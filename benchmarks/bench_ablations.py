@@ -1,0 +1,30 @@
+"""Ablations of GBU's optimisations (Section 3.2.1).
+
+The generalized strategy combines several independent ideas: directional
+ε-extension, sibling shifting with piggybacking, summary-assisted queries and
+bounded ascent.  This benchmark switches them off one at a time and records
+the update/query cost of each variant, quantifying how much each optimisation
+contributes (the paper discusses them qualitatively).
+"""
+
+
+def test_gbu_ablations(figure_runner):
+    rows = figure_runner("ablations")
+    by_variant = {row.strategy: row for row in rows}
+
+    baseline = by_variant["GBU"]
+
+    # Forbidding ascent (L=0) pushes far more updates back to top-down and
+    # therefore costs update I/O.
+    assert by_variant["GBU-L0"].extras["top_down_fraction"] > baseline.extras["top_down_fraction"]
+    assert by_variant["GBU-L0"].avg_update_io >= baseline.avg_update_io
+
+    # Disabling the ε-extension cannot make updates cheaper.
+    assert by_variant["GBU-eps0"].avg_update_io >= baseline.avg_update_io * 0.98
+
+    # Disabling summary-assisted queries cannot make queries cheaper.
+    assert by_variant["GBU-no-summary-queries"].avg_query_io >= baseline.avg_query_io
+
+    # Disabling piggybacking never helps query cost (it exists to reduce
+    # overlap); allow a small tolerance for noise at benchmark scale.
+    assert by_variant["GBU-no-piggyback"].avg_query_io >= baseline.avg_query_io * 0.95

@@ -1,0 +1,35 @@
+"""Section 4 — analytical cost model vs. measured bottom-up cost.
+
+Reproduces the paper's bound: the worst-case bottom-up update cost (even at
+the maximum movement distance) does not exceed the best-case top-down cost
+``2 * height + 1``, and the measured GBU update cost stays within the
+analytical envelope across movement distances.
+"""
+
+from repro.bench.reporting import pivot_by_strategy
+
+
+def test_cost_model(figure_runner):
+    rows = figure_runner("cost_model")
+
+    analytic_td = [row for row in rows if row.strategy == "TD-analytic"]
+    analytic_gbu = [row for row in rows if row.strategy == "GBU-analytic"]
+    measured_gbu = [row for row in rows if row.strategy == "GBU"]
+
+    assert analytic_td and analytic_gbu and measured_gbu
+    td_best_case = analytic_td[0].avg_update_io
+
+    # The analytical bottom-up cost never exceeds the top-down best case.
+    for row in analytic_gbu:
+        assert row.avg_update_io <= td_best_case
+
+    # The measured GBU update cost is bounded by the top-down best case plus
+    # a small allowance for node splits the model does not charge.
+    for row in measured_gbu:
+        assert row.avg_update_io <= td_best_case + 2.0
+
+    # Both the model and the measurement increase with the movement distance.
+    model_costs = [row.avg_update_io for row in sorted(analytic_gbu, key=lambda r: r.x_value)]
+    assert model_costs == sorted(model_costs)
+    measured_costs = [row.avg_update_io for row in sorted(measured_gbu, key=lambda r: r.x_value)]
+    assert measured_costs[-1] > measured_costs[0]

@@ -1,0 +1,26 @@
+"""Figure 5(e)-(f) — effect of the distance threshold D.
+
+Paper shape to reproduce: GBU performs best for every D; TD and LBU are flat
+because the parameter only applies to GBU; GBU's update cost varies only
+slightly with D (favouring extension for slow movers is marginally better),
+and small D keeps query cost down because shifting reduces overlap.
+"""
+
+from repro.bench.reporting import pivot_by_strategy
+
+
+def test_fig5_distance_threshold(figure_runner):
+    rows = figure_runner("fig5_distance")
+    update = pivot_by_strategy(rows, "avg_update_io")
+
+    for values in update.values():
+        assert values["GBU"] < values["TD"]
+
+    td_values = {round(values["TD"], 6) for values in update.values()}
+    lbu_values = {round(values["LBU"], 6) for values in update.values()}
+    assert len(td_values) == 1
+    assert len(lbu_values) == 1
+
+    # GBU's sensitivity to D is mild: max/min within 25 %.
+    gbu_values = [values["GBU"] for values in update.values()]
+    assert max(gbu_values) <= min(gbu_values) * 1.25

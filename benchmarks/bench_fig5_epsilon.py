@@ -1,0 +1,37 @@
+"""Figure 5(a)-(d) — effect of ε on update and query cost (I/O and CPU).
+
+Paper shape to reproduce:
+
+* GBU has the lowest update I/O and CPU at every ε; its update cost falls as
+  ε grows (extensions succeed more often) while its query cost rises (more
+  dead space), so a small ε (0.003) is the sweet spot.
+* TD is flat in ε (the parameter does not apply to it).
+* LBU's update cost is not much better (in the paper: worse) than TD's, and
+  its query cost is above TD's because of the all-direction enlargement.
+"""
+
+from repro.bench.reporting import pivot_by_strategy
+
+
+def test_fig5_epsilon(figure_runner):
+    rows = figure_runner("fig5_epsilon")
+    update = pivot_by_strategy(rows, "avg_update_io")
+    query = pivot_by_strategy(rows, "avg_query_io")
+
+    # TD ignores epsilon entirely.
+    td_updates = {round(values["TD"], 6) for values in update.values()}
+    assert len(td_updates) == 1
+
+    # GBU beats TD on update I/O at every epsilon.
+    for values in update.values():
+        assert values["GBU"] < values["TD"]
+
+    # Larger epsilon helps GBU updates ...
+    epsilons = sorted(update)
+    assert update[epsilons[-1]]["GBU"] <= update[epsilons[0]]["GBU"] + 1e-9
+    # ... and hurts GBU queries.
+    assert query[epsilons[-1]]["GBU"] >= query[epsilons[0]]["GBU"] - 1e-9
+
+    # LBU queries are no better than TD queries (enlargement costs overlap).
+    for values in query.values():
+        assert values["LBU"] >= values["TD"] * 0.95

@@ -1,0 +1,33 @@
+"""Figure 5(g)-(h) — effect of the maximum distance moved between updates.
+
+Paper shape to reproduce: every technique degrades as objects move faster
+(the index keeps reorganising); TD degrades the most at high speeds (more
+reinsertion and splits); GBU stays cheapest throughout; query costs stay
+comparable until the fastest setting, where TD suffers the most.
+"""
+
+from repro.bench.reporting import pivot_by_strategy
+
+
+def test_fig5_max_distance(figure_runner):
+    rows = figure_runner("fig5_max_distance")
+    update = pivot_by_strategy(rows, "avg_update_io")
+    distances = sorted(update)
+
+    # Faster movement costs more updates for every strategy (monotone trend
+    # between the slowest and the fastest setting).
+    for strategy in ("TD", "LBU", "GBU"):
+        assert update[distances[-1]][strategy] > update[distances[0]][strategy]
+
+    # GBU cheapest at every speed, and TD most expensive at every speed.
+    for values in update.values():
+        assert values["GBU"] <= values["TD"]
+        assert values["GBU"] <= values["LBU"] * 1.05
+        assert values["TD"] >= values["LBU"]
+
+    # The bottom-up strategies lose part of their advantage at the fastest
+    # setting (more updates escape the local repairs), so their own costs
+    # grow faster than TD's in relative terms — but GBU never loses the lead.
+    assert update[distances[-1]]["GBU"] / update[distances[0]]["GBU"] >= (
+        update[distances[-1]]["TD"] / update[distances[0]]["TD"]
+    )

@@ -1,0 +1,28 @@
+"""Figure 6(a)-(b) — effect of the level threshold ℓ (ascending the R-tree).
+
+Paper shape to reproduce: GBU-3 (and GBU-2, nearly identical) has the lowest
+update cost; GBU-0 — no ascent at all — still beats LBU thanks to the other
+optimisations; TD is the most expensive, especially at the fastest movement
+setting; query costs favour the higher thresholds because updates are
+resolved as locally as possible.
+"""
+
+from repro.bench.reporting import pivot_by_strategy
+
+
+def test_fig6_level_threshold(figure_runner):
+    rows = figure_runner("fig6_level")
+    update = pivot_by_strategy(rows, "avg_update_io")
+
+    for max_distance, values in update.items():
+        # Unlimited ascent is at least as good as forbidding it.
+        assert values["GBU-3"] <= values["GBU-0"] * 1.05
+        # GBU-0 (optimised localized bottom-up) does not lose to LBU.
+        assert values["GBU-0"] <= values["LBU"] * 1.10
+        # Every GBU variant beats TD.
+        for label in ("GBU-0", "GBU-1", "GBU-2", "GBU-3"):
+            assert values[label] < values["TD"]
+
+    # GBU-2 and GBU-3 are nearly equivalent (the paper notes this).
+    for values in update.values():
+        assert abs(values["GBU-2"] - values["GBU-3"]) <= 0.15 * values["GBU-3"] + 0.3

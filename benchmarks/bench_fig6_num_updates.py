@@ -1,0 +1,29 @@
+"""Figure 6(e)-(f) — effect of the number of updates.
+
+Paper shape to reproduce: both update and query costs rise as more updates
+are applied (objects drift away from their initial clustering and the index
+accumulates dead space); GBU has the lowest update cost at every volume and
+its query cost does not degrade faster than TD's — the paper's headline
+"query performance for bottom-up indexes does not degrade after even large
+amounts of updates".
+"""
+
+from repro.bench.reporting import pivot_by_strategy
+
+
+def test_fig6_num_updates(figure_runner):
+    rows = figure_runner("fig6_updates")
+    update = pivot_by_strategy(rows, "avg_update_io")
+    query = pivot_by_strategy(rows, "avg_query_io")
+    volumes = sorted(update)
+
+    # GBU cheapest updater at every update volume.
+    for values in update.values():
+        assert values["GBU"] < values["TD"]
+
+    # Query cost after the largest volume: GBU does not degrade more than TD.
+    assert query[volumes[-1]]["GBU"] <= query[volumes[-1]]["TD"] * 1.1
+
+    # Costs at the largest volume are not lower than at the smallest volume
+    # (the index only gets worse with churn) for the top-down baseline.
+    assert update[volumes[-1]]["TD"] >= update[volumes[0]]["TD"] * 0.9

@@ -1,0 +1,30 @@
+"""Figure 7(a)-(b) — scalability with the dataset size.
+
+Paper shape to reproduce: update cost grows moderately with the number of
+objects (the space is fixed, so density rises); GBU remains the cheapest
+updater at every size; query costs rise sharply with density and converge
+across the strategies.
+"""
+
+from repro.bench.reporting import pivot_by_strategy
+
+
+def test_fig7_scalability(figure_runner):
+    rows = figure_runner("fig7_scalability")
+    update = pivot_by_strategy(rows, "avg_update_io")
+    query = pivot_by_strategy(rows, "avg_query_io")
+    sizes = sorted(update)
+
+    # GBU cheapest updater at every dataset size.
+    for values in update.values():
+        assert values["GBU"] < values["TD"]
+
+    # Query cost rises with density for every strategy (largest vs smallest).
+    for strategy in ("TD", "LBU", "GBU"):
+        assert query[sizes[-1]][strategy] > query[sizes[0]][strategy]
+
+    # Query costs converge at the largest size: the relative spread between
+    # the best and worst strategy stays within ~50 % (the paper reports
+    # "pretty much the same" query cost for all techniques at scale).
+    largest = query[sizes[-1]]
+    assert max(largest.values()) <= min(largest.values()) * 1.5

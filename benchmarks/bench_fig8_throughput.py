@@ -1,0 +1,31 @@
+"""Figure 8 — throughput for varying update/query mixes under DGL.
+
+Paper shape to reproduce: the throughput of TD (and LBU) is best at 100 %
+queries and falls as the update share grows; the reverse holds for GBU, whose
+optimised updates are cheaper than queries; GBU's throughput is consistently
+above TD's whenever updates are present.
+"""
+
+from repro.bench.reporting import pivot_by_strategy
+
+
+def test_fig8_throughput(figure_runner):
+    rows = figure_runner("fig8_throughput")
+    throughput = pivot_by_strategy(rows, "throughput")
+    fractions = sorted(throughput)
+
+    # TD loses throughput as the update share rises.
+    assert throughput[fractions[-1]]["TD"] < throughput[fractions[0]]["TD"]
+
+    # GBU's throughput at a pure-update mix is at least as high as at a
+    # balanced mix (the paper's "reverse" trend).
+    assert throughput[1.0]["GBU"] >= throughput[0.5]["GBU"] * 0.95
+
+    # GBU is consistently at or above TD whenever updates are present.
+    for fraction in fractions:
+        if fraction == 0.0:
+            continue
+        assert throughput[fraction]["GBU"] >= throughput[fraction]["TD"]
+
+    # At a pure-update mix the GBU advantage over TD is substantial.
+    assert throughput[1.0]["GBU"] >= throughput[1.0]["TD"] * 1.2

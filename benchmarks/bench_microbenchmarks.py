@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the individual index operations.
+
+Unlike the figure benchmarks (which measure simulated disk I/O), these use
+pytest-benchmark's timing machinery on the in-process data structures: one
+update / one query / one insert per strategy, on a pre-built index.  They are
+useful for tracking interpreter-level regressions of the hot paths; absolute
+times carry no meaning for the paper's claims (see the repro notes in
+EXPERIMENTS.md about interpreter overhead).
+"""
+
+import random
+
+import pytest
+
+from repro.core import IndexConfig, MovingObjectIndex
+from repro.geometry import Point, Rect
+from repro.workload import WorkloadGenerator, WorkloadSpec
+
+
+def build_index(strategy: str, num_objects: int = 3_000, seed: int = 3) -> MovingObjectIndex:
+    spec = WorkloadSpec(num_objects=num_objects, num_updates=0, num_queries=0, seed=seed)
+    generator = WorkloadGenerator(spec)
+    index = MovingObjectIndex(IndexConfig(strategy=strategy, page_size=256))
+    index.load(generator.initial_objects())
+    return index
+
+
+@pytest.mark.parametrize("strategy", ["TD", "LBU", "GBU"])
+def test_update_latency(benchmark, strategy):
+    index = build_index(strategy)
+    rng = random.Random(7)
+    count = len(index)
+
+    def do_update():
+        oid = rng.randrange(count)
+        position = index.position_of(oid)
+        index.update(
+            oid,
+            Point(
+                min(1, max(0, position.x + rng.uniform(-0.02, 0.02))),
+                min(1, max(0, position.y + rng.uniform(-0.02, 0.02))),
+            ),
+        )
+
+    benchmark(do_update)
+
+
+@pytest.mark.parametrize("strategy", ["TD", "GBU"])
+def test_window_query_latency(benchmark, strategy):
+    index = build_index(strategy)
+    rng = random.Random(9)
+
+    def do_query():
+        cx, cy = rng.random(), rng.random()
+        side = 0.05
+        window = Rect(
+            max(0, cx - side), max(0, cy - side), min(1, cx + side), min(1, cy + side)
+        )
+        index.range_query(window)
+
+    benchmark(do_query)
+
+
+def test_knn_latency(benchmark):
+    index = build_index("GBU")
+    rng = random.Random(11)
+
+    def do_knn():
+        index.knn(Point(rng.random(), rng.random()), k=10)
+
+    benchmark(do_knn)
+
+
+def test_insert_latency(benchmark):
+    index = build_index("GBU")
+    rng = random.Random(13)
+    counter = iter(range(10_000_000, 20_000_000))
+
+    def do_insert():
+        index.insert(next(counter), Point(rng.random(), rng.random()))
+
+    benchmark(do_insert)

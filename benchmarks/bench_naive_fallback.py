@@ -1,0 +1,19 @@
+"""Section 3.1 — how often does each bottom-up strategy fall back to top-down?
+
+The paper motivates the whole design with the observation that the naive
+bottom-up idea (update in place or give up) leaves ~82 % of the updates
+top-down on uniform data.  This benchmark reproduces the ordering: the naive
+strategy falls back the most, LBU much less, and GBU almost never.
+"""
+
+
+def test_naive_fallback(figure_runner):
+    rows = figure_runner("naive_fallback")
+    fractions = {row.strategy: row.extras["top_down_fraction"] for row in rows}
+
+    assert fractions["NAIVE"] > fractions["LBU"] > fractions["GBU"]
+    # The naive strategy loses the majority of its updates to top-down
+    # processing (82 % in the paper's full-scale setting).
+    assert fractions["NAIVE"] > 0.5
+    # GBU handles almost everything bottom-up.
+    assert fractions["GBU"] < 0.05

@@ -1,0 +1,15 @@
+"""Table 1 — workload parameters and their values.
+
+The paper's Table 1 lists every tuning/workload parameter and the values
+swept in the evaluation.  This "benchmark" renders the reproduction's
+counterpart (including the paper-scale values the scaled workloads stand in
+for) so the parameter grid is recorded alongside the measured figures.
+"""
+
+from repro.bench.figures import TABLE1_PARAMETERS
+
+
+def test_table1_parameters(figure_runner):
+    rows = figure_runner("table1")
+    parameters = {row.x_value for row in rows}
+    assert parameters == set(TABLE1_PARAMETERS)

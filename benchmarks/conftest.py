@@ -1,0 +1,93 @@
+"""Shared fixtures for the benchmark suite.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the paper
+through :mod:`repro.bench.figures` and is executed with pytest-benchmark
+(``pytest benchmarks/ --benchmark-only``).
+
+Workload scale
+--------------
+The paper's experiments run millions of objects and updates; the benchmark
+suite defaults to a scale that finishes in a few minutes on a laptop.  Set
+the ``REPRO_BENCH_SCALE`` environment variable to grow every workload
+proportionally, e.g.::
+
+    REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only
+
+Reports
+-------
+Each benchmark renders its figure as a text table (the same series the paper
+plots) and writes it to ``benchmarks/reports/<figure>.txt`` so the numbers
+survive the pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import get_figure, render_figure_result
+
+#: Default scale of the benchmark workloads (1.0 = the quick scale used by
+#: the CLI; the unit tests use far smaller scales).
+DEFAULT_SCALE = 0.5
+
+REPORT_DIRECTORY = Path(__file__).parent / "reports"
+
+
+def bench_scale() -> float:
+    """Scale multiplier for the benchmark workloads."""
+    value = os.environ.get("REPRO_BENCH_SCALE", "")
+    try:
+        scale = float(value)
+    except ValueError:
+        scale = DEFAULT_SCALE
+    if not value:
+        scale = DEFAULT_SCALE
+    return max(scale, 0.05)
+
+
+def bench_seed() -> int:
+    """Workload seed (override with REPRO_BENCH_SEED)."""
+    try:
+        return int(os.environ.get("REPRO_BENCH_SEED", "1"))
+    except ValueError:
+        return 1
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return bench_seed()
+
+
+@pytest.fixture
+def figure_runner(benchmark, scale, seed):
+    """Run a figure definition once under pytest-benchmark and report it.
+
+    Returns the list of :class:`~repro.bench.metrics.MetricRow` produced, so
+    the calling benchmark can additionally assert the expected shape.
+    """
+
+    def _run(figure_key: str):
+        definition = get_figure(figure_key)
+        rows = benchmark.pedantic(
+            definition.run,
+            kwargs={"scale": scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        report = render_figure_result(definition, rows)
+        REPORT_DIRECTORY.mkdir(exist_ok=True)
+        report_path = REPORT_DIRECTORY / f"{figure_key}.txt"
+        report_path.write_text(report + "\n", encoding="utf-8")
+        print()
+        print(report)
+        return rows
+
+    return _run

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package (where
+PEP 660 editable installs are unavailable), e.g. via::
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Supporting Frequent Updates in R-Trees: A Bottom-Up
+Approach" (Lee, Hsu, Jensen, Cui, Teo; VLDB 2003).
+
+The package provides a complete, pure-Python implementation of the paper's
+system stack:
+
+* :mod:`repro.geometry` — points and MBRs;
+* :mod:`repro.storage` — simulated paged disk, LRU buffer pool, I/O counters;
+* :mod:`repro.rtree` — the disk-based R-tree (splits, reinsertion, queries,
+  bulk loading, validation);
+* :mod:`repro.secondary` — the secondary object-ID hash index;
+* :mod:`repro.summary` — the main-memory summary structure (direct access
+  table + leaf bit vector) and summary-assisted queries;
+* :mod:`repro.update` — the update strategies: top-down (TD), naive
+  bottom-up, localized bottom-up (LBU, Algorithm 1) and generalized
+  bottom-up (GBU, Algorithm 2);
+* :mod:`repro.workload` — GSTD-style moving-object workload generation;
+* :mod:`repro.concurrency` — Dynamic Granular Locking and the throughput
+  simulator;
+* :mod:`repro.cost` — the analytical cost model of Section 4;
+* :mod:`repro.bench` — the experiment harness reproducing every figure;
+* :mod:`repro.core` — the :class:`~repro.core.index.MovingObjectIndex`
+  facade tying everything together.
+
+Quick start::
+
+    from repro import IndexConfig, MovingObjectIndex, Point, Rect
+
+    index = MovingObjectIndex(IndexConfig(strategy="GBU"))
+    index.load([(0, Point(0.1, 0.1)), (1, Point(0.2, 0.8))])
+    index.update(0, Point(0.12, 0.11))
+    print(index.range_query(Rect(0.0, 0.0, 0.5, 0.5)))
+"""
+
+from repro.core import IndexConfig, MovingObjectIndex
+from repro.geometry import Point, Rect
+from repro.update import TuningParameters, UpdateOutcome
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IndexConfig",
+    "MovingObjectIndex",
+    "Point",
+    "Rect",
+    "TuningParameters",
+    "UpdateOutcome",
+    "__version__",
+]

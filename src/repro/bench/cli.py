@@ -1,0 +1,111 @@
+"""Command-line front end: ``rtree-bottomup-bench``.
+
+Examples::
+
+    # list the available experiments
+    rtree-bottomup-bench --list
+
+    # reproduce Figure 5(a)-(d) at the default (quick) scale
+    rtree-bottomup-bench fig5_epsilon
+
+    # reproduce the throughput figure at 4x scale with a fixed seed
+    rtree-bottomup-bench fig8_throughput --scale 4 --seed 7
+
+    # run everything and write the combined report to a file
+    rtree-bottomup-bench all --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.figures import all_figures, get_figure
+from repro.bench.reporting import render_figure_result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rtree-bottomup-bench",
+        description=(
+            "Reproduce the evaluation figures of 'Supporting Frequent Updates in "
+            "R-Trees: A Bottom-Up Approach' (VLDB 2003)."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        nargs="?",
+        default=None,
+        help="figure key to run (e.g. fig5_epsilon), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale multiplier (1.0 = quick laptop scale)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="workload seed")
+    parser.add_argument(
+        "--output", type=str, default=None, help="write the report to this file as well"
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="append ASCII bar charts of the measured series to the report",
+    )
+    return parser
+
+
+def list_figures() -> str:
+    lines = ["available experiments:"]
+    for definition in all_figures():
+        lines.append(f"  {definition.key:18s} {definition.paper_reference:18s} {definition.title}")
+    return "\n".join(lines)
+
+
+def run(figure_key: str, scale: float, seed: Optional[int], chart: bool = False) -> str:
+    """Run one experiment (or 'all') and return the rendered report."""
+    keys = [d.key for d in all_figures()] if figure_key == "all" else [figure_key]
+    reports: List[str] = []
+    for key in keys:
+        definition = get_figure(key)
+        started = time.time()
+        rows = definition.run(scale=scale, seed=seed)
+        elapsed = time.time() - started
+        reports.append(render_figure_result(definition, rows))
+        if chart:
+            from repro.bench.plotting import chart_all_metrics
+
+            rendered = chart_all_metrics(rows)
+            if rendered:
+                reports.append(rendered)
+        reports.append(f"(wall clock: {elapsed:.1f}s at scale {scale:g})\n")
+    return "\n".join(reports)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or args.figure is None:
+        print(list_figures())
+        return 0
+
+    try:
+        report = run(args.figure, scale=args.scale, seed=args.seed, chart=args.chart)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(main())

@@ -1,0 +1,624 @@
+"""Per-figure experiment definitions.
+
+Each function returns a :class:`FigureDefinition` describing one paper figure
+or table: the swept parameter, the strategies to compare, and a callable that
+produces the :class:`~repro.bench.metrics.MetricRow` series when executed.
+
+Scaling
+-------
+The paper runs 1-10 million objects and 1-10 million updates; this harness
+defaults to a few thousand of each so the full suite completes in minutes on
+a laptop (see DESIGN.md, "Substitutions").  Every definition accepts a
+``scale`` multiplier: ``scale=1.0`` is the quick default, larger values grow
+both the object count and the update/query counts proportionally, preserving
+the density and update-pressure ratios that drive the paper's trends.
+
+The experiments and their paper counterparts:
+
+====================  =========================================================
+``table1``            Table 1 — workload / parameter values (reported, no runs)
+``fig5_epsilon``      Figures 5(a)-(d) — effect of ε on update/query I/O & CPU
+``fig5_distance``     Figures 5(e)-(f) — effect of the distance threshold D
+``fig5_max_distance`` Figures 5(g)-(h) — effect of maximum distance moved
+``fig6_level``        Figures 6(a)-(b) — effect of the level threshold ℓ
+``fig6_distribution`` Figures 6(c)-(d) — effect of the initial distribution
+``fig6_updates``      Figures 6(e)-(f) — effect of the number of updates
+``fig6_buffers``      Figures 6(g)-(h) — effect of buffer size
+``fig7_scalability``  Figure 7 — effect of dataset size
+``fig8_throughput``   Figure 8 — throughput vs. update fraction under DGL
+``cost_model``        Section 4 — analytical vs. measured bottom-up cost
+``naive_fallback``    Section 3.1 — fraction of naive bottom-up updates that
+                      degrade to top-down
+``ablations``         Section 3.2.1 — GBU optimisations switched off one at a
+                      time (piggybacking, summary-assisted queries, sibling
+                      shifting)
+====================  =========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.experiment import run_figure_point
+from repro.bench.metrics import MetricRow
+from repro.concurrency.throughput import ThroughputExperiment, run_throughput
+from repro.core.config import IndexConfig
+from repro.core.index import MovingObjectIndex
+from repro.cost.model import BottomUpCostModel, TopDownCostModel, TreeShape
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.spec import WorkloadSpec
+
+#: Strategies compared in most figures, in the paper's order.
+DEFAULT_STRATEGIES = ("TD", "LBU", "GBU")
+
+#: Page size used by the I/O experiments.  The paper uses 1024-byte pages on
+#: a one-million-object index, which yields a height-5 tree whose leaf MBRs
+#: are small compared to the distances objects move.  At the scaled-down
+#: object counts of this harness, 1024-byte pages would make leaves so large
+#: that almost every update stays inside its leaf, flattening the differences
+#: the figures are about.  256-byte pages restore the paper's tree height
+#: (5), its movement-to-leaf-extent ratio and its ~80 % naive fallback rate
+#: (see EXPERIMENTS.md, "Scaling substitutions").
+BENCH_PAGE_SIZE = 256
+
+#: Table 1 of the paper: parameters and the values used (defaults in bold in
+#: the paper are listed first here).
+TABLE1_PARAMETERS: Dict[str, Sequence] = {
+    "epsilon": (0.003, 0.0, 0.007, 0.015, 0.03),
+    "distance_threshold": (0.03, 0.0, 0.3, 3.0),
+    "level_threshold": ("height-1", 0, 1, 2, 3),
+    "data_distribution": ("Uniform", "Gaussian", "Skewed"),
+    "buffer_percent": (1, 0, 3, 5, 10),
+    "max_distance_moved": (0.03, 0.003, 0.015, 0.06, 0.1, 0.15),
+    "num_updates_millions_paper": (1, 2, 3, 5, 7, 10),
+    "database_size_millions_paper": (1, 2, 5, 10),
+    "page_size_bytes": (1024,),
+    "queries_paper": (1_000_000,),
+}
+
+
+@dataclass
+class FigureDefinition:
+    """A runnable description of one figure/table reproduction."""
+
+    key: str
+    title: str
+    paper_reference: str
+    x_label: str
+    runner: Callable[[float, Optional[int]], List[MetricRow]]
+    notes: str = ""
+    expected_shape: str = ""
+
+    def run(self, scale: float = 1.0, seed: Optional[int] = None) -> List[MetricRow]:
+        """Execute the experiment at the given scale; returns the metric rows."""
+        return self.runner(scale, seed)
+
+
+# ---------------------------------------------------------------------------
+# Scaling helpers
+# ---------------------------------------------------------------------------
+
+def _base_spec(scale: float, seed: Optional[int] = None, **overrides) -> WorkloadSpec:
+    """The default workload at the given scale (uniform, default parameters)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    seed = 1 if seed is None else seed
+    spec = WorkloadSpec(
+        num_objects=max(500, int(4_000 * scale)),
+        num_updates=max(500, int(8_000 * scale)),
+        num_queries=max(100, int(400 * scale)),
+        seed=seed,
+    )
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+def _rows_for_point(
+    figure_x_label: str,
+    x_value,
+    strategy: str,
+    spec: WorkloadSpec,
+    config_overrides: Optional[Dict] = None,
+    param_overrides: Optional[Dict] = None,
+    label: Optional[str] = None,
+) -> MetricRow:
+    merged_overrides = {"page_size": BENCH_PAGE_SIZE}
+    if config_overrides:
+        merged_overrides.update(config_overrides)
+    result = run_figure_point(
+        strategy,
+        spec,
+        config_overrides=merged_overrides,
+        param_overrides=param_overrides,
+    )
+    return MetricRow(
+        x_label=figure_x_label,
+        x_value=x_value,
+        strategy=label if label is not None else strategy,
+        avg_update_io=result.avg_update_io,
+        avg_query_io=result.avg_query_io,
+        update_cpu_seconds=result.update_phase.cpu_seconds,
+        query_cpu_seconds=result.query_phase.cpu_seconds,
+        extras={"top_down_fraction": result.outcome_fractions.get("top_down", 0.0)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+def _run_table1(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    rows: List[MetricRow] = []
+    for parameter, values in TABLE1_PARAMETERS.items():
+        rows.append(
+            MetricRow(
+                x_label="parameter",
+                x_value=parameter,
+                strategy="-",
+                extras={"default": values[0] if not isinstance(values[0], str) else 0.0},
+            )
+        )
+        rows[-1].extras["values"] = ", ".join(str(v) for v in values)  # type: ignore[assignment]
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5(a)-(d): effect of epsilon
+# ---------------------------------------------------------------------------
+
+EPSILON_VALUES = (0.0, 0.003, 0.007, 0.015, 0.03)
+
+
+def _run_fig5_epsilon(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    rows: List[MetricRow] = []
+    spec = _base_spec(scale, seed)
+    for epsilon in EPSILON_VALUES:
+        for strategy in DEFAULT_STRATEGIES:
+            rows.append(
+                _rows_for_point(
+                    "epsilon",
+                    epsilon,
+                    strategy,
+                    spec,
+                    param_overrides={"epsilon": epsilon},
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5(e)-(f): effect of the distance threshold D
+# ---------------------------------------------------------------------------
+
+DISTANCE_THRESHOLD_VALUES = (0.0, 0.03, 0.3, 3.0)
+
+
+def _run_fig5_distance(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    rows: List[MetricRow] = []
+    spec = _base_spec(scale, seed)
+    for threshold in DISTANCE_THRESHOLD_VALUES:
+        for strategy in DEFAULT_STRATEGIES:
+            rows.append(
+                _rows_for_point(
+                    "distance_threshold",
+                    threshold,
+                    strategy,
+                    spec,
+                    param_overrides={"distance_threshold": threshold},
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5(g)-(h): effect of the maximum distance moved between updates
+# ---------------------------------------------------------------------------
+
+MAX_DISTANCE_VALUES = (0.003, 0.015, 0.03, 0.06, 0.1, 0.15)
+
+
+def _run_fig5_max_distance(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    rows: List[MetricRow] = []
+    for max_distance in MAX_DISTANCE_VALUES:
+        spec = _base_spec(scale, seed, max_distance=max_distance)
+        for strategy in DEFAULT_STRATEGIES:
+            rows.append(_rows_for_point("max_distance", max_distance, strategy, spec))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6(a)-(b): effect of the level threshold (GBU-0 .. GBU-3)
+# ---------------------------------------------------------------------------
+
+LEVEL_THRESHOLDS = (0, 1, 2, 3)
+LEVEL_MAX_DISTANCES = (0.03, 0.1, 0.15)
+
+
+def _run_fig6_level(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    rows: List[MetricRow] = []
+    for max_distance in LEVEL_MAX_DISTANCES:
+        spec = _base_spec(scale, seed, max_distance=max_distance)
+        for strategy in ("TD", "LBU"):
+            row = _rows_for_point("max_distance", max_distance, strategy, spec)
+            rows.append(row)
+        for level in LEVEL_THRESHOLDS:
+            row = _rows_for_point(
+                "max_distance",
+                max_distance,
+                "GBU",
+                spec,
+                param_overrides={"level_threshold": level},
+                label=f"GBU-{level}",
+            )
+            rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6(c)-(d): effect of the initial data distribution
+# ---------------------------------------------------------------------------
+
+DISTRIBUTIONS = ("uniform", "gaussian", "skewed")
+
+
+def _run_fig6_distribution(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    rows: List[MetricRow] = []
+    for distribution in DISTRIBUTIONS:
+        spec = _base_spec(scale, seed, distribution=distribution)
+        for strategy in DEFAULT_STRATEGIES:
+            rows.append(_rows_for_point("distribution", distribution, strategy, spec))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6(e)-(f): effect of the number of updates
+# ---------------------------------------------------------------------------
+
+UPDATE_MULTIPLIERS = (1, 2, 3, 5, 7, 10)
+
+
+def _run_fig6_updates(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    rows: List[MetricRow] = []
+    base = _base_spec(scale, seed)
+    base_updates = max(1_000, base.num_updates // 2)
+    for multiplier in UPDATE_MULTIPLIERS:
+        spec = base.with_overrides(num_updates=base_updates * multiplier)
+        for strategy in DEFAULT_STRATEGIES:
+            rows.append(
+                _rows_for_point("num_updates", base_updates * multiplier, strategy, spec)
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6(g)-(h): effect of the buffer size
+# ---------------------------------------------------------------------------
+
+BUFFER_PERCENTAGES = (0.0, 1.0, 3.0, 5.0, 10.0)
+
+
+def _run_fig6_buffers(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    rows: List[MetricRow] = []
+    spec = _base_spec(scale, seed)
+    for percent in BUFFER_PERCENTAGES:
+        for strategy in DEFAULT_STRATEGIES:
+            rows.append(
+                _rows_for_point(
+                    "buffer_percent",
+                    percent,
+                    strategy,
+                    spec,
+                    config_overrides={"buffer_percent": percent},
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: scalability with the dataset size
+# ---------------------------------------------------------------------------
+
+DATASET_MULTIPLIERS = (1, 2, 5, 10)
+
+
+def _run_fig7_scalability(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    rows: List[MetricRow] = []
+    base = _base_spec(scale, seed)
+    base_objects = max(500, base.num_objects // 2)
+    for multiplier in DATASET_MULTIPLIERS:
+        spec = base.with_overrides(num_objects=base_objects * multiplier)
+        for strategy in DEFAULT_STRATEGIES:
+            rows.append(
+                _rows_for_point("num_objects", base_objects * multiplier, strategy, spec)
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: throughput under DGL for varying update fractions
+# ---------------------------------------------------------------------------
+
+UPDATE_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Scaled-down stand-ins for the paper's throughput setup (50 threads over a
+#: one-million-object index with query windows in [0, 0.01]).  At a few
+#: thousand objects those windows would make queries far cheaper than updates
+#: and 50 clients would contend on a few hundred leaf granules, inverting the
+#: cost ratios the figure is about; the substitutions below keep the
+#: query/update cost ratio and the client-to-granule ratio close to the
+#: paper's (see EXPERIMENTS.md).
+THROUGHPUT_QUERY_SIDE = 0.15
+THROUGHPUT_CLIENTS = 16
+
+
+def _run_fig8_throughput(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    rows: List[MetricRow] = []
+    seed = 1 if seed is None else seed
+    num_objects = max(1_000, int(8_000 * scale))
+    num_operations = max(200, int(1_000 * scale))
+    for fraction in UPDATE_FRACTIONS:
+        for strategy in DEFAULT_STRATEGIES:
+            spec = WorkloadSpec(
+                num_objects=num_objects,
+                num_updates=0,
+                num_queries=0,
+                seed=seed,
+                query_max_side=THROUGHPUT_QUERY_SIDE,
+            )
+            generator = WorkloadGenerator(spec)
+            index = MovingObjectIndex(IndexConfig(strategy=strategy))
+            index.load(generator.initial_objects())
+            experiment = ThroughputExperiment(
+                num_operations=num_operations,
+                update_fraction=fraction,
+                num_clients=THROUGHPUT_CLIENTS,
+            )
+            result = run_throughput(index, generator, experiment)
+            rows.append(
+                MetricRow(
+                    x_label="update_fraction",
+                    x_value=fraction,
+                    strategy=strategy,
+                    throughput=result.throughput,
+                    extras={
+                        "lock_waits": float(result.lock_waits),
+                        "utilisation": result.utilisation,
+                    },
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Section 4: analytical cost model vs. measurement
+# ---------------------------------------------------------------------------
+
+COST_DISTANCES = (0.003, 0.015, 0.03, 0.06, 0.1, 0.15)
+
+
+def _run_cost_model(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    rows: List[MetricRow] = []
+    spec = _base_spec(scale, seed)
+    generator = WorkloadGenerator(spec)
+    index = MovingObjectIndex(IndexConfig(strategy="GBU", page_size=BENCH_PAGE_SIZE))
+    index.load(generator.initial_objects())
+    shape = TreeShape.from_tree(index.tree)
+    top_down = TopDownCostModel(shape)
+    bottom_up = BottomUpCostModel(shape)
+    rows.append(
+        MetricRow(
+            x_label="distance",
+            x_value="best-case",
+            strategy="TD-analytic",
+            avg_update_io=top_down.best_case_cost(),
+        )
+    )
+    for distance in COST_DISTANCES:
+        rows.append(
+            MetricRow(
+                x_label="distance",
+                x_value=distance,
+                strategy="GBU-analytic",
+                avg_update_io=bottom_up.update_cost(distance),
+            )
+        )
+    # Measured counterpart: GBU at the same movement scales.
+    for distance in COST_DISTANCES:
+        measured_spec = spec.with_overrides(max_distance=distance)
+        rows.append(_rows_for_point("distance", distance, "GBU", measured_spec))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Section 3.1: the naive bottom-up fallback fraction
+# ---------------------------------------------------------------------------
+
+def _run_naive_fallback(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    rows: List[MetricRow] = []
+    spec = _base_spec(scale, seed)
+    for strategy in ("NAIVE", "LBU", "GBU"):
+        result = run_figure_point(
+            strategy, spec, config_overrides={"page_size": BENCH_PAGE_SIZE}
+        )
+        rows.append(
+            MetricRow(
+                x_label="strategy",
+                x_value=strategy,
+                strategy=strategy,
+                avg_update_io=result.avg_update_io,
+                extras={
+                    "top_down_fraction": result.outcome_fractions.get("top_down", 0.0),
+                    "in_place_fraction": result.outcome_fractions.get("in_place", 0.0),
+                },
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Ablations of GBU's optimisations (Section 3.2.1)
+# ---------------------------------------------------------------------------
+
+def _run_ablations(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    rows: List[MetricRow] = []
+    spec = _base_spec(scale, seed)
+    variants = {
+        "GBU": {},
+        "GBU-no-piggyback": {"param_overrides": {"piggyback": False}},
+        "GBU-no-summary-queries": {"config_overrides": {"use_summary_for_queries": False}},
+        "GBU-L0": {"param_overrides": {"level_threshold": 0}},
+        "GBU-eps0": {"param_overrides": {"epsilon": 0.0}},
+    }
+    for label, overrides in variants.items():
+        config_overrides = {"page_size": BENCH_PAGE_SIZE}
+        config_overrides.update(overrides.get("config_overrides") or {})
+        result = run_figure_point(
+            "GBU",
+            spec,
+            config_overrides=config_overrides,
+            param_overrides=overrides.get("param_overrides"),
+        )
+        rows.append(
+            MetricRow(
+                x_label="variant",
+                x_value=label,
+                strategy=label,
+                avg_update_io=result.avg_update_io,
+                avg_query_io=result.avg_query_io,
+                extras={"top_down_fraction": result.outcome_fractions.get("top_down", 0.0)},
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_FIGURES: Dict[str, FigureDefinition] = {}
+
+
+def _register(definition: FigureDefinition) -> None:
+    _FIGURES[definition.key] = definition
+
+
+_register(FigureDefinition(
+    key="table1",
+    title="Workload parameters and their values",
+    paper_reference="Table 1",
+    x_label="parameter",
+    runner=_run_table1,
+    notes="Reported verbatim; paper-scale counts are recorded in WorkloadSpec.",
+))
+_register(FigureDefinition(
+    key="fig5_epsilon",
+    title="Effect of epsilon on update and query cost",
+    paper_reference="Figure 5(a)-(d)",
+    x_label="epsilon",
+    runner=_run_fig5_epsilon,
+    expected_shape="GBU lowest update I/O; larger eps helps GBU updates, hurts queries; LBU above TD.",
+))
+_register(FigureDefinition(
+    key="fig5_distance",
+    title="Effect of the distance threshold D",
+    paper_reference="Figure 5(e)-(f)",
+    x_label="distance threshold",
+    runner=_run_fig5_distance,
+    expected_shape="GBU best throughout; TD/LBU flat (D only applies to GBU).",
+))
+_register(FigureDefinition(
+    key="fig5_max_distance",
+    title="Effect of the maximum distance moved between updates",
+    paper_reference="Figure 5(g)-(h)",
+    x_label="max distance moved",
+    runner=_run_fig5_max_distance,
+    expected_shape="All strategies degrade with faster movement; TD degrades the most; GBU best.",
+))
+_register(FigureDefinition(
+    key="fig6_level",
+    title="Effect of the level threshold (ascending the R-tree)",
+    paper_reference="Figure 6(a)-(b)",
+    x_label="max distance moved",
+    runner=_run_fig6_level,
+    expected_shape="GBU-3 ~ GBU-2 best; GBU-0 better than LBU; TD worst at high speeds.",
+))
+_register(FigureDefinition(
+    key="fig6_distribution",
+    title="Effect of the initial data distribution",
+    paper_reference="Figure 6(c)-(d)",
+    x_label="distribution",
+    runner=_run_fig6_distribution,
+    expected_shape="Updates cheapest on uniform; skewed queries cheap (mostly empty space).",
+))
+_register(FigureDefinition(
+    key="fig6_updates",
+    title="Effect of the number of updates",
+    paper_reference="Figure 6(e)-(f)",
+    x_label="number of updates",
+    runner=_run_fig6_updates,
+    expected_shape="Costs grow with update volume; GBU lowest update cost and best query cost after many updates.",
+))
+_register(FigureDefinition(
+    key="fig6_buffers",
+    title="Effect of the buffer size",
+    paper_reference="Figure 6(g)-(h)",
+    x_label="buffer (% of database)",
+    runner=_run_fig6_buffers,
+    expected_shape="Everything improves with buffering; LBU drops below TD once a buffer exists; GBU best.",
+))
+_register(FigureDefinition(
+    key="fig7_scalability",
+    title="Scalability with the dataset size",
+    paper_reference="Figure 7(a)-(b)",
+    x_label="number of objects",
+    runner=_run_fig7_scalability,
+    expected_shape="Update cost grows slowly with dataset size; GBU remains best; query costs converge.",
+))
+_register(FigureDefinition(
+    key="fig8_throughput",
+    title="Throughput for varying update/query mixes under DGL",
+    paper_reference="Figure 8",
+    x_label="update fraction",
+    runner=_run_fig8_throughput,
+    expected_shape="TD/LBU throughput falls as updates dominate; GBU rises and stays above TD.",
+))
+_register(FigureDefinition(
+    key="cost_model",
+    title="Analytical bottom-up cost vs. measured GBU cost",
+    paper_reference="Section 4",
+    x_label="distance moved",
+    runner=_run_cost_model,
+    expected_shape="Bottom-up worst case stays below the top-down best case (2h+1).",
+))
+_register(FigureDefinition(
+    key="naive_fallback",
+    title="Fraction of bottom-up updates degrading to top-down",
+    paper_reference="Section 3.1 (82% observation)",
+    x_label="strategy",
+    runner=_run_naive_fallback,
+    expected_shape="NAIVE falls back far more often than LBU, which falls back more often than GBU.",
+))
+_register(FigureDefinition(
+    key="ablations",
+    title="GBU optimisation ablations",
+    paper_reference="Section 3.2.1",
+    x_label="variant",
+    runner=_run_ablations,
+    expected_shape="Disabling piggybacking/summary queries/ascent each costs update or query I/O.",
+))
+
+
+def all_figures() -> List[FigureDefinition]:
+    """Every registered figure definition, in registration order."""
+    return list(_FIGURES.values())
+
+
+def get_figure(key: str) -> FigureDefinition:
+    """Look up a figure definition by key (raises ``KeyError`` with guidance)."""
+    try:
+        return _FIGURES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {key!r}; available: {', '.join(sorted(_FIGURES))}"
+        ) from None

@@ -1,0 +1,41 @@
+"""Concurrency control and the throughput experiment.
+
+Section 3.2.2 of the paper argues that bottom-up updates fit naturally into
+Dynamic Granular Locking (DGL, Chakrabarti & Mehrotra): the lockable granules
+are the leaf-level MBRs (plus external granules for space not covered by any
+leaf), top-down operations acquire locks on every overlapping granule, and a
+bottom-up update acquires the locks of the leaves it touches, so the two
+interleave consistently.  Section 5.4 measures throughput with 50 concurrent
+clients and varying update/query mixes (Figure 8).
+
+This package provides:
+
+* :mod:`repro.concurrency.locks` — a generic multi-granularity lock manager
+  (S / X / IS / IX modes, FIFO queuing);
+* :mod:`repro.concurrency.dgl` — the DGL protocol layer that maps index
+  operations to granule lock requests;
+* :mod:`repro.concurrency.simulator` — a deterministic discrete-event
+  simulator of N concurrent clients (real OS threads would be serialised by
+  the Python interpreter's global lock and distort the measurement; the
+  simulator charges each operation its measured I/O cost and models lock
+  waits explicitly — see DESIGN.md, "Substitutions");
+* :mod:`repro.concurrency.throughput` — the end-to-end throughput experiment
+  used for Figure 8.
+"""
+
+from repro.concurrency.dgl import DGLProtocol, GranuleLockRequest
+from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.simulator import OperationTrace, ThroughputResult, ThroughputSimulator
+from repro.concurrency.throughput import ThroughputExperiment, run_throughput
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "DGLProtocol",
+    "GranuleLockRequest",
+    "OperationTrace",
+    "ThroughputResult",
+    "ThroughputSimulator",
+    "ThroughputExperiment",
+    "run_throughput",
+]

@@ -1,0 +1,107 @@
+"""End-to-end throughput experiment (Figure 8).
+
+The experiment measures operations per second for a mixed workload of window
+queries and updates under DGL locking with many concurrent clients, for each
+update strategy.  It proceeds in two phases:
+
+1. **Recording phase** — the mixed operation stream is executed once against
+   the index (single-threaded).  For every operation we record its physical
+   I/O count (from the shared :class:`~repro.storage.stats.IOStatistics`) and
+   the set of leaf granules it touched (from the buffer pool's access log),
+   from which the DGL layer derives its lock requests.
+2. **Simulation phase** — the recorded traces are replayed by the
+   :class:`~repro.concurrency.simulator.ThroughputSimulator` over *N* virtual
+   clients; the reported throughput is operations divided by the simulated
+   makespan.
+
+See DESIGN.md ("Substitutions") for why a simulation replaces real threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.concurrency.dgl import DGLProtocol
+from repro.concurrency.simulator import OperationTrace, ThroughputResult, ThroughputSimulator
+from repro.core.index import MovingObjectIndex
+from repro.workload.generator import WorkloadGenerator
+
+
+@dataclass
+class ThroughputExperiment:
+    """Configuration of one throughput measurement."""
+
+    num_operations: int = 2_000
+    update_fraction: float = 0.5
+    num_clients: int = 50
+    time_per_io: float = 0.01
+    cpu_time_per_op: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.num_operations <= 0:
+            raise ValueError("num_operations must be positive")
+        if not 0.0 <= self.update_fraction <= 1.0:
+            raise ValueError("update_fraction must be in [0, 1]")
+
+
+def record_traces(
+    index: MovingObjectIndex,
+    generator: WorkloadGenerator,
+    experiment: ThroughputExperiment,
+) -> List[OperationTrace]:
+    """Execute the mixed stream once and capture per-operation traces."""
+    protocol = DGLProtocol(
+        leaf_pages={leaf.page_id for leaf in index.tree.leaf_nodes()}
+    )
+    traces: List[OperationTrace] = []
+    buffer = index.buffer
+
+    for kind, payload in generator.mixed_operations(
+        experiment.num_operations, experiment.update_fraction
+    ):
+        access_log: list = []
+        buffer.access_log = access_log
+        before = index.stats.total_physical_io
+        if kind == "update":
+            oid, _old, new = payload
+            index.update(oid, new)
+        else:
+            index.range_query(payload)
+        io_cost = index.stats.total_physical_io - before
+        buffer.access_log = None
+
+        reads = [page for access, page in access_log if access == "read"]
+        writes = [page for access, page in access_log if access == "write"]
+        # Keep the protocol's view of which pages are leaves current: updates
+        # may have split leaves or created new ones.
+        for leaf in _new_leaves(index, protocol):
+            protocol.register_leaf(leaf)
+        if kind == "update":
+            requests = protocol.requests_for_update(reads, writes)
+        else:
+            requests = protocol.requests_for_query(reads)
+        traces.append(OperationTrace(kind=kind, physical_io=io_cost, lock_requests=requests))
+    return traces
+
+
+def _new_leaves(index: MovingObjectIndex, protocol: DGLProtocol) -> List[int]:
+    """Leaf pages present in the tree but unknown to the protocol yet."""
+    current = {leaf.page_id for leaf in index.tree.leaf_nodes()}
+    return [page for page in current if not protocol.is_leaf_granule(page)]
+
+
+def run_throughput(
+    index: MovingObjectIndex,
+    generator: WorkloadGenerator,
+    experiment: Optional[ThroughputExperiment] = None,
+) -> ThroughputResult:
+    """Record the mixed stream on *index* and simulate its concurrent execution."""
+    experiment = experiment if experiment is not None else ThroughputExperiment()
+    traces = record_traces(index, generator, experiment)
+    simulator = ThroughputSimulator(
+        num_clients=experiment.num_clients,
+        time_per_io=experiment.time_per_io,
+        cpu_time_per_op=experiment.cpu_time_per_op,
+    )
+    return simulator.run(traces)

@@ -1,0 +1,19 @@
+"""High-level public API.
+
+:class:`~repro.core.index.MovingObjectIndex` is the facade a downstream user
+interacts with: it wires together the simulated disk, the buffer pool, the
+R-tree, the secondary object-ID index, the summary structure and the chosen
+update strategy, and exposes ``insert`` / ``update`` / ``delete`` /
+``range_query`` / ``knn`` plus I/O statistics.
+
+:class:`~repro.core.config.IndexConfig` captures every knob — page size,
+buffer percentage, split algorithm, update strategy, and the paper's tuning
+parameters (ε, D, ℓ) — so an index configuration can be described, logged and
+reproduced as a single value.
+"""
+
+from repro.core.config import IndexConfig
+from repro.core.index import MovingObjectIndex
+from repro.core.persistence import load_index, save_index
+
+__all__ = ["IndexConfig", "MovingObjectIndex", "save_index", "load_index"]

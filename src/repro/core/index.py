@@ -1,0 +1,192 @@
+"""The MovingObjectIndex facade.
+
+A :class:`MovingObjectIndex` is the complete system the paper evaluates: an
+R-tree on a paged, buffered disk; a secondary object-ID hash index; the
+main-memory summary structure (when the configured strategy uses it); and one
+of the update strategies (TD, NAIVE, LBU, GBU).
+
+Typical usage::
+
+    from repro.core import IndexConfig, MovingObjectIndex
+    from repro.geometry import Point, Rect
+
+    index = MovingObjectIndex(IndexConfig(strategy="GBU"))
+    index.load([(oid, Point(x, y)) for oid, (x, y) in enumerate(positions)])
+
+    index.update(42, Point(0.30, 0.41))          # object 42 moved
+    hits = index.range_query(Rect(0.2, 0.2, 0.4, 0.5))
+    print(index.stats.as_dict())                  # disk I/O so far
+
+The facade tracks each object's current position so callers only supply the
+new position on update (the strategies internally need the old one to apply
+the distance-threshold optimisation and to fall back to top-down deletion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import IndexConfig
+from repro.geometry import Point, Rect
+from repro.rtree.bulk import bulk_load_str
+from repro.rtree.split import make_split_strategy
+from repro.rtree.tree import RTree
+from repro.rtree.validation import validate_tree
+from repro.secondary import ObjectHashIndex
+from repro.storage import BufferPool, DiskManager, IOStatistics, PageLayout
+from repro.summary import SummaryStructure
+from repro.update import UpdateOutcome, make_strategy
+from repro.update.base import UpdateStrategy
+
+
+class MovingObjectIndex:
+    """A complete moving-object index with a configurable update strategy."""
+
+    def __init__(self, config: Optional[IndexConfig] = None) -> None:
+        self.config = config if config is not None else IndexConfig()
+        self.stats = IOStatistics()
+        self.layout = PageLayout(
+            page_size=self.config.page_size,
+            min_fill_factor=self.config.min_fill_factor,
+        )
+        self.disk = DiskManager(page_size=self.config.page_size, stats=self.stats)
+        # The buffer is sized after loading (it depends on the database size);
+        # start unbuffered so that nothing is cached before the measured phase.
+        self.buffer = BufferPool(self.disk, capacity=0, stats=self.stats)
+        self.tree = RTree(
+            self.buffer,
+            layout=self.layout,
+            split_strategy=make_split_strategy(self.config.split),
+            store_parent_pointers=self.config.needs_parent_pointers,
+            reinsert_on_underflow=self.config.reinsert_on_underflow,
+        )
+        self.hash_index = ObjectHashIndex.build_from_tree(
+            self.tree, stats=self.stats, charge_io=self.config.charge_hash_io
+        )
+        self.summary: Optional[SummaryStructure] = None
+        if self.config.strategy == "GBU":
+            self.summary = SummaryStructure.build_from_tree(self.tree)
+        self.strategy: UpdateStrategy = make_strategy(
+            self.config.strategy,
+            self.tree,
+            params=self.config.params,
+            stats=self.stats,
+            hash_index=self.hash_index,
+            summary=self.summary,
+            use_summary_for_queries=self.config.use_summary_for_queries,
+        )
+        self._positions: Dict[int, Point] = {}
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, objects: Iterable[Tuple[int, Point]], bulk: bool = True) -> None:
+        """Load the initial set of objects.
+
+        With ``bulk=True`` (default) the initial tree is STR-packed, the
+        buffer pool is sized to ``buffer_percent`` of the resulting database,
+        and the I/O counters are reset — loading is index construction, not
+        part of any measured phase.  With ``bulk=False`` objects are inserted
+        one by one through the normal top-down path.
+        """
+        objects = list(objects)
+        if bulk:
+            if self.tree.size != 0:
+                raise ValueError("bulk loading requires an empty index")
+            bulk_load_str(self.tree, objects, fill_factor=self.config.bulk_load_fill)
+        else:
+            for oid, location in objects:
+                self.tree.insert(oid, location)
+        for oid, location in objects:
+            self._positions[oid] = location
+        self.configure_buffer()
+        self.reset_statistics()
+
+    def configure_buffer(self, percent: Optional[float] = None) -> None:
+        """(Re)size the buffer pool as a percentage of the current database size."""
+        percent = self.config.buffer_percent if percent is None else percent
+        database_pages = len(self.disk)
+        self.buffer.clear()
+        self.buffer.capacity = 0
+        resized = BufferPool.for_percentage(
+            self.disk, percent, database_pages, stats=self.stats
+        )
+        self.buffer.capacity = resized.capacity
+
+    # ------------------------------------------------------------------
+    # Data operations
+    # ------------------------------------------------------------------
+    def insert(self, oid: int, location: Point) -> None:
+        """Insert a new object."""
+        if oid in self._positions:
+            raise ValueError(f"object {oid} already exists; use update()")
+        self.strategy.insert(oid, location)
+        self._positions[oid] = location
+
+    def update(self, oid: int, new_location: Point) -> UpdateOutcome:
+        """Move an existing object to *new_location* using the configured strategy."""
+        old_location = self._positions.get(oid)
+        if old_location is None:
+            raise KeyError(f"object {oid} is not in the index")
+        outcome = self.strategy.update(oid, old_location, new_location)
+        self._positions[oid] = new_location
+        return outcome
+
+    def delete(self, oid: int) -> bool:
+        """Remove an object from the index."""
+        location = self._positions.pop(oid, None)
+        if location is None:
+            return False
+        return self.strategy.delete(oid, location)
+
+    def range_query(self, window: Rect) -> List[int]:
+        """Object ids whose positions fall inside *window*."""
+        return self.strategy.range_query(window)
+
+    def knn(self, point: Point, k: int) -> List[Tuple[float, int]]:
+        """The *k* objects nearest to *point* as ``(distance, oid)`` pairs."""
+        return self.tree.knn(point, k)
+
+    def position_of(self, oid: int) -> Optional[Point]:
+        """Last recorded position of *oid* (``None`` if absent)."""
+        return self._positions.get(oid)
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._positions
+
+    # ------------------------------------------------------------------
+    # Statistics and integrity
+    # ------------------------------------------------------------------
+    def reset_statistics(self) -> None:
+        """Zero the I/O counters and the strategy's outcome counters."""
+        self.stats.reset()
+        self.strategy.reset_counters()
+
+    def io_snapshot(self) -> IOStatistics:
+        """A copy of the current I/O counters."""
+        return self.stats.snapshot()
+
+    def validate(self, check_min_fill: bool = False) -> dict:
+        """Run the full structural validation; returns tree statistics."""
+        report = validate_tree(
+            self.tree, check_min_fill=check_min_fill, expected_size=len(self._positions)
+        )
+        hash_errors = self.hash_index.consistency_errors(self.tree)
+        if hash_errors:
+            raise AssertionError("; ".join(hash_errors))
+        if self.summary is not None:
+            summary_errors = self.summary.consistency_errors()
+            if summary_errors:
+                raise AssertionError("; ".join(summary_errors))
+        return report
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the index state."""
+        counts = self.tree.node_count()
+        return (
+            f"{self.config.describe()} | objects={len(self._positions)} "
+            f"height={self.tree.height} leaves={counts['leaf']} internals={counts['internal']}"
+        )

@@ -1,0 +1,17 @@
+"""Geometric primitives for the R-tree reproduction.
+
+This package provides the two-dimensional primitives the paper's algorithms
+operate on:
+
+* :class:`~repro.geometry.point.Point` — a 2-D point (object location).
+* :class:`~repro.geometry.rect.Rect` — an axis-aligned rectangle used as a
+  Minimum Bounding Rectangle (MBR) throughout the R-tree.
+
+Both classes are immutable value objects so they can be shared freely between
+tree nodes, the main-memory summary structure, and workload generators.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, union_all
+
+__all__ = ["Point", "Rect", "union_all"]

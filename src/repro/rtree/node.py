@@ -1,0 +1,142 @@
+"""R-tree nodes and entries.
+
+The node format follows the paper's Section 2:
+
+* **Leaf nodes** contain entries ``(oid, rect)`` where *oid* identifies the
+  data object and *rect* is its MBR (a degenerate rectangle for the moving
+  points used in the experiments).
+* **Non-leaf nodes** contain entries ``(ptr, rect)`` where *ptr* is the page
+  id of a child node and *rect* bounds all MBRs in that child.
+
+A node occupies exactly one disk page.  Levels are counted from the leaves:
+level 0 is the leaf level and the root has level ``height - 1``.
+
+LBU (Section 3.1) additionally stores a parent pointer in every leaf node;
+:attr:`Node.parent_page_id` holds it when the tree is configured with
+``store_parent_pointers=True``.  GBU never uses parent pointers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.geometry import Rect, union_all
+
+
+class Entry:
+    """A single node entry: an MBR plus either an object id or a child page id."""
+
+    __slots__ = ("rect", "child")
+
+    def __init__(self, rect: Rect, child: int) -> None:
+        self.rect = rect
+        self.child = child
+
+    def __repr__(self) -> str:
+        return f"Entry(child={self.child}, rect={self.rect!r})"
+
+    def copy(self) -> "Entry":
+        return Entry(self.rect, self.child)
+
+
+class Node:
+    """An R-tree node stored on one disk page.
+
+    Parameters
+    ----------
+    page_id:
+        Identifier of the page holding this node.
+    level:
+        Distance from the leaf level; ``0`` for leaves.
+    entries:
+        Node entries (see :class:`Entry`).
+    parent_page_id:
+        Page id of the parent node; only maintained for leaves when the tree
+        stores parent pointers (the LBU configuration).
+    stored_mbr:
+        The leaf MBR as recorded in the parent's entry, when an update
+        strategy has deliberately enlarged it beyond the tight bound of the
+        entries (the ε-enlargement of Section 3.1/3.2).  ``None`` means the
+        tight bound applies.  :meth:`effective_mbr` folds it in.
+    """
+
+    __slots__ = ("page_id", "level", "entries", "parent_page_id", "stored_mbr")
+
+    def __init__(
+        self,
+        page_id: int,
+        level: int,
+        entries: Optional[List[Entry]] = None,
+        parent_page_id: Optional[int] = None,
+    ) -> None:
+        self.page_id = page_id
+        self.level = level
+        self.entries = entries if entries is not None else []
+        self.parent_page_id = parent_page_id
+        self.stored_mbr: Optional[Rect] = None
+
+    # -- classification -----------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    # -- entry management -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add_entry(self, entry: Entry) -> None:
+        self.entries.append(entry)
+
+    def find_entry(self, child: int) -> Optional[Entry]:
+        """Return the entry whose object id / child pointer equals *child*."""
+        for entry in self.entries:
+            if entry.child == child:
+                return entry
+        return None
+
+    def remove_entry(self, child: int) -> Optional[Entry]:
+        """Remove and return the entry for *child*, or ``None`` if absent."""
+        for index, entry in enumerate(self.entries):
+            if entry.child == child:
+                return self.entries.pop(index)
+        return None
+
+    def child_ids(self) -> List[int]:
+        """Object ids (leaf) or child page ids (internal) of all entries."""
+        return [entry.child for entry in self.entries]
+
+    def is_full(self, capacity: int) -> bool:
+        return len(self.entries) >= capacity
+
+    def underflows(self, min_entries: int) -> bool:
+        return len(self.entries) < min_entries
+
+    # -- geometry ----------------------------------------------------------
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of all entries.
+
+        Raises ``ValueError`` for an empty node; only a brand-new empty root
+        has no MBR and callers never ask for it.
+        """
+        return union_all(entry.rect for entry in self.entries)
+
+    def effective_mbr(self) -> Rect:
+        """The node's MBR including any deliberate ε-enlargement.
+
+        The bottom-up strategies may record an enlarged MBR in
+        :attr:`stored_mbr` (mirroring the rectangle kept in the parent's
+        entry); the effective MBR is the union of that slack and the tight
+        bound of the current entries, so it is always a valid bound.
+        """
+        tight = self.mbr()
+        if self.stored_mbr is None:
+            return tight
+        return self.stored_mbr.union(tight)
+
+    # -- debugging ------------------------------------------------------------
+    def __repr__(self) -> str:
+        kind = "Leaf" if self.is_leaf else "Internal"
+        return (
+            f"{kind}Node(page={self.page_id}, level={self.level}, "
+            f"entries={len(self.entries)})"
+        )

@@ -1,0 +1,91 @@
+"""Observer protocol for R-tree structural events.
+
+The bottom-up update strategies rely on auxiliary structures that must track
+the R-tree as it changes:
+
+* the **secondary object-ID index** (hash table: object id -> leaf page id)
+  used by LBU and GBU to reach a leaf directly, and
+* the **main-memory summary structure** (direct access table over internal
+  nodes + leaf-fullness bit vector) used by GBU.
+
+Rather than scattering maintenance calls throughout the tree and the update
+strategies, the tree emits events whenever a node is created, written, or
+deleted, and whenever the root changes.  Auxiliary structures implement
+:class:`TreeObserver` and register themselves with the tree; they then stay
+consistent regardless of which code path (top-down insert, bottom-up shift,
+bulk load, condense, ...) modified the index.
+
+Observer callbacks are main-memory work: they never touch the buffer pool or
+the disk and therefore never affect the I/O metrics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rtree.node import Node
+
+
+class TreeObserver:
+    """Base class with no-op handlers for every tree event.
+
+    Subclasses override only what they need.
+    """
+
+    def on_node_created(self, node: "Node") -> None:
+        """A node was allocated (it may still be empty)."""
+
+    def on_node_written(self, node: "Node") -> None:
+        """A node was written to its page (entries and/or MBR may have changed)."""
+
+    def on_node_deleted(self, node: "Node") -> None:
+        """A node was removed from the tree and its page freed."""
+
+    def on_root_changed(self, root_page_id: int, height: int) -> None:
+        """The root page id and/or tree height changed."""
+
+    def on_object_removed(self, oid: int) -> None:
+        """An object was removed from the index entirely (not re-inserted)."""
+
+
+class ObserverList:
+    """A tiny multiplexer that forwards events to all registered observers."""
+
+    def __init__(self) -> None:
+        self._observers: List[TreeObserver] = []
+
+    def register(self, observer: TreeObserver) -> None:
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def unregister(self, observer: TreeObserver) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def __iter__(self):
+        return iter(self._observers)
+
+    def __len__(self) -> int:
+        return len(self._observers)
+
+    # -- event fan-out ------------------------------------------------------
+    def node_created(self, node: "Node") -> None:
+        for observer in self._observers:
+            observer.on_node_created(node)
+
+    def node_written(self, node: "Node") -> None:
+        for observer in self._observers:
+            observer.on_node_written(node)
+
+    def node_deleted(self, node: "Node") -> None:
+        for observer in self._observers:
+            observer.on_node_deleted(node)
+
+    def root_changed(self, root_page_id: int, height: int) -> None:
+        for observer in self._observers:
+            observer.on_root_changed(root_page_id, height)
+
+    def object_removed(self, oid: int) -> None:
+        for observer in self._observers:
+            observer.on_object_removed(oid)

@@ -1,0 +1,579 @@
+"""The disk-based R-tree.
+
+:class:`RTree` implements the index the paper's three update strategies
+operate on.  Every node access goes through the buffer pool so that physical
+I/O is counted exactly the way the paper measures it.
+
+The public surface is intentionally close to the paper's description:
+
+* :meth:`RTree.insert` / :meth:`RTree.delete` — the classic top-down
+  operations (ChooseLeaf, AdjustTree, node splits, and Guttman's
+  CondenseTree with re-insertion of orphaned entries).
+* :meth:`RTree.range_query` — window queries, the paper's query workload.
+* :meth:`RTree.knn` — a best-first nearest-neighbour extension (not used by
+  the paper, provided for library completeness).
+* :meth:`RTree.insert_at_subtree` — a standard insert that starts its descent
+  at an arbitrary ancestor node instead of the root.  This is the primitive
+  GBU's Algorithm 2 uses after ``FindParent`` located the lowest ancestor
+  whose MBR covers the object's new position.
+* low-level node accessors (:meth:`read_node`, :meth:`write_node`, ...) used
+  by the bottom-up strategies, which by design manipulate leaves and their
+  siblings directly.
+
+Levels are numbered from the leaves (leaf level = 0, root level =
+``height - 1``), matching the way the paper's Algorithm 3 ascends the tree.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.geometry import Point, Rect
+from repro.rtree.node import Entry, Node
+from repro.rtree.observers import ObserverList, TreeObserver
+from repro.rtree.split import QuadraticSplit, SplitStrategy
+from repro.storage.buffer import BufferPool
+from repro.storage.sizing import PageLayout
+
+
+class RTree:
+    """A paged R-tree with pluggable split strategy and observer support.
+
+    Parameters
+    ----------
+    buffer:
+        Buffer pool through which every node read/write flows.
+    layout:
+        Page layout used to derive leaf/internal capacities.
+    split_strategy:
+        Node split algorithm; Guttman's quadratic split by default.
+    store_parent_pointers:
+        When ``True`` leaf nodes carry a parent pointer (the LBU
+        configuration, Section 3.1).  This costs one entry slot of leaf
+        capacity and forces extra leaf writes whenever leaves change parents.
+    reinsert_on_underflow:
+        When ``True`` (default) deletion uses Guttman's CondenseTree:
+        underflowing nodes are dissolved and their entries re-inserted.
+        When ``False`` underflowing nodes are simply left sparse.
+    """
+
+    def __init__(
+        self,
+        buffer: BufferPool,
+        layout: Optional[PageLayout] = None,
+        split_strategy: Optional[SplitStrategy] = None,
+        store_parent_pointers: bool = False,
+        reinsert_on_underflow: bool = True,
+    ) -> None:
+        self.buffer = buffer
+        self.disk = buffer.disk
+        self.layout = layout if layout is not None else PageLayout()
+        self.split_strategy = split_strategy if split_strategy is not None else QuadraticSplit()
+        self.store_parent_pointers = store_parent_pointers
+        self.reinsert_on_underflow = reinsert_on_underflow
+
+        self.leaf_capacity = self.layout.leaf_capacity(
+            with_parent_pointer=store_parent_pointers
+        )
+        self.internal_capacity = self.layout.internal_capacity
+        self.min_leaf_entries = self.layout.min_entries(self.leaf_capacity)
+        self.min_internal_entries = self.layout.min_entries(self.internal_capacity)
+
+        self.observers = ObserverList()
+        self.size = 0  # number of indexed objects
+        self.height = 1
+
+        root = Node(page_id=self.disk.allocate_page(), level=0)
+        self.root_page_id = root.page_id
+        self.observers.node_created(root)
+        self.write_node(root)
+        self.observers.root_changed(self.root_page_id, self.height)
+
+    # ------------------------------------------------------------------
+    # Observer management
+    # ------------------------------------------------------------------
+    def register_observer(self, observer: TreeObserver) -> None:
+        """Attach *observer*; it will receive every subsequent tree event."""
+        self.observers.register(observer)
+
+    def unregister_observer(self, observer: TreeObserver) -> None:
+        self.observers.unregister(observer)
+
+    # ------------------------------------------------------------------
+    # Node I/O
+    # ------------------------------------------------------------------
+    def read_node(self, page_id: int) -> Node:
+        """Read the node stored on *page_id* through the buffer pool."""
+        node = self.buffer.read(page_id)
+        if node is None:
+            raise LookupError(f"page {page_id} does not hold an R-tree node")
+        return node
+
+    def write_node(self, node: Node) -> None:
+        """Write *node* back to its page and notify observers."""
+        self.buffer.write(node.page_id, node)
+        self.observers.node_written(node)
+
+    def peek_node(self, page_id: int) -> Node:
+        """Read a node without charging I/O (tests and validators only)."""
+        return self.disk.peek(page_id)
+
+    def _allocate_node(self, level: int) -> Node:
+        node = Node(page_id=self.disk.allocate_page(), level=level)
+        self.observers.node_created(node)
+        return node
+
+    def _free_node(self, node: Node) -> None:
+        self.buffer.discard(node.page_id)
+        self.disk.deallocate_page(node.page_id)
+        self.observers.node_deleted(node)
+
+    # ------------------------------------------------------------------
+    # Capacities
+    # ------------------------------------------------------------------
+    def capacity_for_level(self, level: int) -> int:
+        return self.leaf_capacity if level == 0 else self.internal_capacity
+
+    def min_entries_for_level(self, level: int) -> int:
+        return self.min_leaf_entries if level == 0 else self.min_internal_entries
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, oid: int, location: Union[Point, Rect]) -> None:
+        """Insert object *oid* at *location* using the standard top-down path."""
+        rect = location if isinstance(location, Rect) else Rect.from_point(location)
+        self._insert_entry(Entry(rect, oid), target_level=0)
+        self.size += 1
+
+    def insert_at_subtree(
+        self,
+        oid: int,
+        location: Union[Point, Rect],
+        anchor_page_id: int,
+        ancestor_path: Sequence[int] = (),
+    ) -> None:
+        """Insert *oid* by descending from *anchor_page_id* instead of the root.
+
+        *ancestor_path* lists the page ids strictly above the anchor, ordered
+        root first; it is consulted (and the corresponding nodes are read,
+        with I/O charged) only if a node split propagates above the anchor.
+        GBU obtains both the anchor and the path from the in-memory summary
+        structure, so the common case costs no extra I/O.
+        """
+        rect = location if isinstance(location, Rect) else Rect.from_point(location)
+        self._insert_entry(
+            Entry(rect, oid),
+            target_level=0,
+            anchor_page_id=anchor_page_id,
+            ancestor_path=list(ancestor_path),
+        )
+        self.size += 1
+
+    def _insert_entry(
+        self,
+        entry: Entry,
+        target_level: int,
+        anchor_page_id: Optional[int] = None,
+        ancestor_path: Optional[List[int]] = None,
+    ) -> None:
+        """Insert *entry* at *target_level*, splitting and adjusting as needed."""
+        start_page = anchor_page_id if anchor_page_id is not None else self.root_page_id
+        upper_path = list(ancestor_path or [])
+
+        path = self._choose_path(entry.rect, target_level, start_page)
+        target = path[-1]
+        target.add_entry(entry)
+
+        # An entry inserted at level 1 re-parents the leaf it points to (this
+        # happens when CondenseTree re-inserts the children of a dissolved
+        # level-1 node); with the LBU configuration that leaf's parent pointer
+        # must be rewritten — another instance of LBU's maintenance overhead.
+        if self.store_parent_pointers and target.level == 1 and target_level == 1:
+            child = self.read_node(entry.child)
+            if child.parent_page_id != target.page_id:
+                child.parent_page_id = target.page_id
+                self.write_node(child)
+
+        self._handle_overflow_and_adjust(path, upper_path, enlarged_rect=entry.rect)
+
+    def _choose_path(
+        self, rect: Rect, target_level: int, start_page_id: int
+    ) -> List[Node]:
+        """Descend from *start_page_id* to *target_level* choosing subtrees.
+
+        Returns the nodes read along the way, topmost first.  Every node on
+        the path is read through the buffer (and therefore charged).
+        """
+        node = self.read_node(start_page_id)
+        if node.level < target_level:
+            raise ValueError(
+                f"cannot descend to level {target_level} from a node at level {node.level}"
+            )
+        path = [node]
+        while node.level > target_level:
+            child_entry = self._choose_subtree(node, rect)
+            node = self.read_node(child_entry.child)
+            path.append(node)
+        return path
+
+    def _choose_subtree(self, node: Node, rect: Rect) -> Entry:
+        """Guttman's ChooseLeaf criterion: least enlargement, then least area."""
+        best_entry: Optional[Entry] = None
+        best_enlargement = float("inf")
+        best_area = float("inf")
+        for entry in node.entries:
+            enlargement = entry.rect.enlargement_to_include(rect)
+            area = entry.rect.area()
+            if enlargement < best_enlargement or (
+                enlargement == best_enlargement and area < best_area
+            ):
+                best_entry = entry
+                best_enlargement = enlargement
+                best_area = area
+        if best_entry is None:
+            raise LookupError("cannot choose a subtree in an empty internal node")
+        return best_entry
+
+    def _handle_overflow_and_adjust(
+        self,
+        path: List[Node],
+        upper_path: List[int],
+        enlarged_rect: Optional[Rect] = None,
+    ) -> None:
+        """AdjustTree: propagate splits and MBR changes from ``path[-1]`` upwards.
+
+        *path* holds the nodes read during the descent (topmost first);
+        *upper_path* holds page ids above ``path[0]`` that are read lazily —
+        and only when a split or MBR enlargement actually has to propagate
+        that far.  Nodes are written back only when their content changed, so
+        a purely local insert costs exactly the writes the paper's cost model
+        charges.
+        """
+        modified = {path[-1].page_id}  # the target node always changed
+        split_sibling: Optional[Node] = None
+        index = len(path) - 1
+        while index >= 0:
+            node = path[index]
+            capacity = self.capacity_for_level(node.level)
+
+            if len(node.entries) > capacity:
+                split_sibling = self._split_node(node)
+            else:
+                if node.page_id in modified:
+                    self.write_node(node)
+                split_sibling = None
+
+            node_changed = node.page_id in modified or split_sibling is not None
+            if not node_changed:
+                break  # nothing left to propagate
+
+            parent = path[index - 1] if index > 0 else None
+            if parent is None and upper_path:
+                parent_page = upper_path.pop()
+                parent = self.read_node(parent_page)
+                path.insert(0, parent)
+                index += 1  # keep `index - 1` pointing at the freshly added parent
+
+            if parent is None:
+                # `node` is the root of the whole tree.
+                if split_sibling is not None:
+                    self._grow_root(node, split_sibling)
+                break
+
+            parent_entry = parent.find_entry(node.page_id)
+            if parent_entry is None:
+                raise LookupError(
+                    f"node {node.page_id} not found in parent {parent.page_id}"
+                )
+            new_mbr = node.mbr()
+            if parent_entry.rect != new_mbr:
+                parent_entry.rect = new_mbr
+                node.stored_mbr = None  # the tight bound replaced any ε-slack
+                modified.add(parent.page_id)
+            if split_sibling is not None:
+                parent.add_entry(Entry(split_sibling.mbr(), split_sibling.page_id))
+                modified.add(parent.page_id)
+                self._maintain_parent_pointers(parent, [split_sibling])
+            index -= 1
+
+    def _split_node(self, node: Node) -> Node:
+        """Split an overflowing *node*; return the newly created sibling."""
+        min_entries = self.min_entries_for_level(node.level)
+        group_a, group_b = self.split_strategy.split(node.entries, min_entries)
+        sibling = self._allocate_node(node.level)
+        node.entries = list(group_a)
+        sibling.entries = list(group_b)
+        sibling.parent_page_id = node.parent_page_id
+        node.stored_mbr = None  # entries were redistributed: any ε-slack is void
+        self.write_node(node)
+        self.write_node(sibling)
+        # When leaves carry parent pointers, the children that moved into the
+        # sibling of a level-1 node must be rewritten to point at it.
+        if self.store_parent_pointers and node.level == 1:
+            self._rewrite_children_parent_pointers(sibling)
+        return sibling
+
+    def _grow_root(self, old_root: Node, sibling: Node) -> None:
+        """Create a new root above *old_root* and *sibling*."""
+        new_root = self._allocate_node(old_root.level + 1)
+        new_root.entries = [
+            Entry(old_root.mbr(), old_root.page_id),
+            Entry(sibling.mbr(), sibling.page_id),
+        ]
+        self.write_node(new_root)
+        self.root_page_id = new_root.page_id
+        self.height = new_root.level + 1
+        self._maintain_parent_pointers(new_root, [old_root, sibling])
+        self.observers.root_changed(self.root_page_id, self.height)
+
+    def _maintain_parent_pointers(self, parent: Node, children: Iterable[Node]) -> None:
+        """Set the parent pointer of leaf *children* (LBU configuration only)."""
+        if not self.store_parent_pointers or parent.level != 1:
+            return
+        for child in children:
+            if child.parent_page_id != parent.page_id:
+                child.parent_page_id = parent.page_id
+                self.write_node(child)
+
+    def _rewrite_children_parent_pointers(self, parent: Node) -> None:
+        """Rewrite the parent pointer of every leaf child of *parent*.
+
+        This models LBU's parent-pointer maintenance cost: after a level-1
+        node splits, roughly half of its leaves now have a different parent
+        and each of those leaves must be read and written back.
+        """
+        if not self.store_parent_pointers or parent.level != 1:
+            return
+        for entry in parent.entries:
+            child = self.read_node(entry.child)
+            if child.parent_page_id != parent.page_id:
+                child.parent_page_id = parent.page_id
+                self.write_node(child)
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, oid: int, location: Union[Point, Rect]) -> bool:
+        """Delete object *oid* whose entry MBR contains *location*.
+
+        Performs the top-down FindLeaf search (which may follow several
+        partial paths because sibling MBRs overlap), removes the entry, and
+        condenses the tree.  Returns ``True`` when the object was found.
+        """
+        rect = location if isinstance(location, Rect) else Rect.from_point(location)
+        found = self._find_leaf(self.root_page_id, oid, rect, path=[])
+        if found is None:
+            return False
+        path, leaf = found
+        leaf.remove_entry(oid)
+        self.size -= 1
+        self.observers.object_removed(oid)
+        self._condense_tree(path + [leaf])
+        return True
+
+    def delete_from_leaf(self, oid: int, leaf: Node, parent_path: Sequence[Node]) -> None:
+        """Remove *oid* from an already-located *leaf* and condense the tree.
+
+        The bottom-up strategies locate the leaf via the secondary hash index
+        and must still keep the tree consistent when the removal causes an
+        underflow; they call this method with whatever parent path they have
+        already paid to read.
+        """
+        if leaf.remove_entry(oid) is None:
+            raise LookupError(f"object {oid} not found in leaf {leaf.page_id}")
+        self.size -= 1
+        self.observers.object_removed(oid)
+        self._condense_tree(list(parent_path) + [leaf])
+
+    def _find_leaf(
+        self, page_id: int, oid: int, rect: Rect, path: List[Node]
+    ) -> Optional[Tuple[List[Node], Node]]:
+        """Locate the leaf containing *oid*; returns the root-to-parent path and leaf."""
+        node = self.read_node(page_id)
+        if node.is_leaf:
+            if node.find_entry(oid) is not None:
+                return list(path), node
+            return None
+        for entry in node.entries:
+            if entry.rect.intersects(rect):
+                result = self._find_leaf(entry.child, oid, rect, path + [node])
+                if result is not None:
+                    return result
+        return None
+
+    def _condense_tree(self, path: List[Node]) -> None:
+        """Guttman's CondenseTree.
+
+        Walk from the modified leaf towards the root.  Underflowing nodes are
+        removed and their entries collected for re-insertion; surviving nodes
+        have their parent entry's MBR tightened.  Finally orphaned entries are
+        re-inserted at their original level and a root with a single child is
+        collapsed.
+        """
+        orphans: List[Tuple[int, Entry]] = []  # (level, entry)
+        modified = {path[-1].page_id}  # the leaf the entry was removed from
+        index = len(path) - 1
+        while index > 0:
+            node = path[index]
+            parent = path[index - 1]
+            min_entries = self.min_entries_for_level(node.level)
+            if self.reinsert_on_underflow and node.underflows(min_entries):
+                parent.remove_entry(node.page_id)
+                modified.add(parent.page_id)
+                orphans.extend((node.level, entry) for entry in node.entries)
+                self._free_node(node)
+            else:
+                parent_entry = parent.find_entry(node.page_id)
+                if parent_entry is None:
+                    raise LookupError(
+                        f"node {node.page_id} not found in parent {parent.page_id}"
+                    )
+                if node.page_id in modified:
+                    self.write_node(node)
+                if node.entries:
+                    new_mbr = node.mbr()
+                    if parent_entry.rect != new_mbr:
+                        parent_entry.rect = new_mbr
+                        node.stored_mbr = None  # the tight bound replaced any ε-slack
+                        modified.add(parent.page_id)
+            index -= 1
+
+        root = path[0]
+        if root.page_id in modified:
+            self.write_node(root)
+
+        # Re-insert orphaned entries at the level they came from; entries of a
+        # dissolved leaf are data objects, entries of a dissolved internal
+        # node are whole subtrees.
+        for level, entry in orphans:
+            self._insert_entry(entry.copy(), target_level=level)
+
+        self._shrink_root_if_needed()
+
+    def _shrink_root_if_needed(self) -> None:
+        """Collapse the root while it is an internal node with a single child."""
+        changed = False
+        root = self.read_node(self.root_page_id)
+        while not root.is_leaf and len(root.entries) == 1:
+            child_page = root.entries[0].child
+            child = self.read_node(child_page)
+            self._free_node(root)
+            self.root_page_id = child.page_id
+            self.height = child.level + 1
+            root = child
+            changed = True
+        if changed:
+            self.observers.root_changed(self.root_page_id, self.height)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, window: Rect) -> List[int]:
+        """Return the object ids whose MBRs intersect *window* (top-down search)."""
+        results: List[int] = []
+        stack = [self.root_page_id]
+        while stack:
+            node = self.read_node(stack.pop())
+            if node.is_leaf:
+                for entry in node.entries:
+                    if entry.rect.intersects(window):
+                        results.append(entry.child)
+            else:
+                for entry in node.entries:
+                    if entry.rect.intersects(window):
+                        stack.append(entry.child)
+        return results
+
+    def point_query(self, point: Point) -> List[int]:
+        """Return the object ids whose MBRs contain *point*."""
+        return self.range_query(Rect.from_point(point))
+
+    def knn(self, point: Point, k: int) -> List[Tuple[float, int]]:
+        """Best-first k-nearest-neighbour search.
+
+        Returns up to *k* pairs ``(distance, oid)`` ordered by increasing
+        distance.  This is an extension beyond the paper, included because a
+        moving-object index without kNN support would be of limited practical
+        use; it shares the same buffered node access as every other operation.
+        """
+        if k <= 0:
+            return []
+        results: List[Tuple[float, int]] = []
+        counter = 0
+        heap: List[Tuple[float, int, int, bool]] = []  # (dist, tiebreak, id, is_node)
+        heapq.heappush(heap, (0.0, counter, self.root_page_id, True))
+        while heap:
+            distance, _, identifier, is_node = heapq.heappop(heap)
+            if len(results) >= k and distance > results[-1][0]:
+                break
+            if is_node:
+                node = self.read_node(identifier)
+                for entry in node.entries:
+                    counter += 1
+                    entry_distance = entry.rect.min_distance_to_point(point)
+                    heapq.heappush(
+                        heap, (entry_distance, counter, entry.child, not node.is_leaf)
+                    )
+            else:
+                results.append((distance, identifier))
+                results.sort()
+                if len(results) > k:
+                    results = results[:k]
+        return results[:k]
+
+    # ------------------------------------------------------------------
+    # Traversal helpers (used by summary construction, validation, stats)
+    # ------------------------------------------------------------------
+    def iter_nodes(self, charge_io: bool = False):
+        """Yield ``(node, parent_page_id)`` for every node in the tree.
+
+        With ``charge_io=False`` (default) nodes are read via
+        :meth:`peek_node`, so tests and summary bootstrapping do not disturb
+        the I/O counters.
+        """
+        reader: Callable[[int], Node] = self.read_node if charge_io else self.peek_node
+        stack: List[Tuple[int, Optional[int]]] = [(self.root_page_id, None)]
+        while stack:
+            page_id, parent_id = stack.pop()
+            node = reader(page_id)
+            yield node, parent_id
+            if not node.is_leaf:
+                for entry in node.entries:
+                    stack.append((entry.child, page_id))
+
+    def leaf_nodes(self, charge_io: bool = False):
+        """Yield every leaf node."""
+        for node, _ in self.iter_nodes(charge_io=charge_io):
+            if node.is_leaf:
+                yield node
+
+    def internal_nodes(self, charge_io: bool = False):
+        """Yield every internal node."""
+        for node, _ in self.iter_nodes(charge_io=charge_io):
+            if not node.is_leaf:
+                yield node
+
+    def node_count(self) -> Dict[str, int]:
+        """Return ``{"leaf": ..., "internal": ...}`` node counts (no I/O charged)."""
+        counts = {"leaf": 0, "internal": 0}
+        for node, _ in self.iter_nodes():
+            counts["leaf" if node.is_leaf else "internal"] += 1
+        return counts
+
+    def root_mbr(self) -> Optional[Rect]:
+        """MBR of the whole tree, or ``None`` when the tree is empty (no I/O charged)."""
+        root = self.peek_node(self.root_page_id)
+        if not root.entries:
+            return None
+        return root.mbr()
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"RTree(size={self.size}, height={self.height}, "
+            f"leaf_capacity={self.leaf_capacity}, internal_capacity={self.internal_capacity})"
+        )

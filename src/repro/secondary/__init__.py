@@ -1,0 +1,13 @@
+"""Secondary object-ID index.
+
+Both bottom-up strategies reach the leaf holding an object directly through
+"an existing secondary identity index such as a hash table" (Sections 3.1 and
+3.2 of the paper).  :class:`~repro.secondary.hash_index.ObjectHashIndex`
+implements that index as a tree observer so it stays consistent with every
+leaf write, and charges one disk read per probe — the accounting used by the
+paper's cost analysis (Section 4.2).
+"""
+
+from repro.secondary.hash_index import ObjectHashIndex
+
+__all__ = ["ObjectHashIndex"]

@@ -1,0 +1,112 @@
+"""Binary node serialization.
+
+The simulated disk stores node objects directly (serialising on the hot path
+would only burn CPU without changing the I/O counts the paper measures), but
+the page-size model in :class:`~repro.storage.sizing.PageLayout` makes claims
+about how many entries fit in a page.  This module provides an actual binary
+codec for nodes so those claims can be checked: a node at its configured
+capacity must serialise to at most ``page_size`` bytes, and a round trip must
+preserve the node exactly.
+
+The format mirrors the paper's node layout:
+
+* header: level (2 bytes), entry count (2 bytes), parent pointer (4 bytes,
+  ``0xFFFFFFFF`` when absent), flags (4 bytes reserved), stored-MBR marker
+  and rectangle (1 + 16 bytes) — rounded up into
+  :attr:`~repro.storage.sizing.PageLayout.header_size` bytes when smaller;
+* entries: four 32-bit float coordinates plus one 32-bit unsigned child id /
+  object id per entry, matching ``PageLayout.entry_size``.
+
+The codec is also what an on-disk deployment of this library would use, so it
+lives in the storage package rather than in the tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.geometry import Rect
+from repro.rtree.node import Entry, Node
+from repro.storage.sizing import PageLayout
+
+_NO_PARENT = 0xFFFFFFFF
+_HEADER_STRUCT = struct.Struct("<HHIB4f")  # level, count, parent, flags, stored mbr
+_ENTRY_STRUCT = struct.Struct("<4fI")      # xmin, ymin, xmax, ymax, child
+
+_FLAG_HAS_STORED_MBR = 0x01
+
+
+class SerializationError(ValueError):
+    """Raised when a node cannot be encoded within its page."""
+
+
+def serialized_size(node: Node, layout: Optional[PageLayout] = None) -> int:
+    """Number of bytes :func:`serialize_node` will produce for *node*."""
+    layout = layout if layout is not None else PageLayout()
+    header = max(_HEADER_STRUCT.size, layout.header_size)
+    return header + len(node.entries) * _ENTRY_STRUCT.size
+
+
+def serialize_node(node: Node, layout: Optional[PageLayout] = None) -> bytes:
+    """Encode *node* into a page image.
+
+    Raises :class:`SerializationError` when the encoding exceeds the layout's
+    page size — which would mean the fan-out model over-promised.
+    """
+    layout = layout if layout is not None else PageLayout()
+    flags = 0
+    stored = node.stored_mbr
+    if stored is not None:
+        flags |= _FLAG_HAS_STORED_MBR
+        stored_tuple = stored.as_tuple()
+    else:
+        stored_tuple = (0.0, 0.0, 0.0, 0.0)
+
+    parent = node.parent_page_id if node.parent_page_id is not None else _NO_PARENT
+    header = _HEADER_STRUCT.pack(
+        node.level, len(node.entries), parent, flags, *stored_tuple
+    )
+    header = header.ljust(max(_HEADER_STRUCT.size, layout.header_size), b"\x00")
+
+    body = bytearray(header)
+    for entry in node.entries:
+        body += _ENTRY_STRUCT.pack(*entry.rect.as_tuple(), entry.child)
+
+    if len(body) > layout.page_size:
+        raise SerializationError(
+            f"node {node.page_id} with {len(node.entries)} entries needs "
+            f"{len(body)} bytes, page size is {layout.page_size}"
+        )
+    return bytes(body)
+
+
+def deserialize_node(page_id: int, data: bytes, layout: Optional[PageLayout] = None) -> Node:
+    """Decode a page image produced by :func:`serialize_node`."""
+    layout = layout if layout is not None else PageLayout()
+    header_size = max(_HEADER_STRUCT.size, layout.header_size)
+    if len(data) < header_size:
+        raise SerializationError("page image shorter than the node header")
+    level, count, parent, flags, sx0, sy0, sx1, sy1 = _HEADER_STRUCT.unpack(
+        data[: _HEADER_STRUCT.size]
+    )
+
+    entries = []
+    offset = header_size
+    for _ in range(count):
+        chunk = data[offset : offset + _ENTRY_STRUCT.size]
+        if len(chunk) < _ENTRY_STRUCT.size:
+            raise SerializationError("truncated entry in page image")
+        xmin, ymin, xmax, ymax, child = _ENTRY_STRUCT.unpack(chunk)
+        entries.append(Entry(Rect(xmin, ymin, xmax, ymax), child))
+        offset += _ENTRY_STRUCT.size
+
+    node = Node(
+        page_id=page_id,
+        level=level,
+        entries=entries,
+        parent_page_id=None if parent == _NO_PARENT else parent,
+    )
+    if flags & _FLAG_HAS_STORED_MBR:
+        node.stored_mbr = Rect(sx0, sy0, sx1, sy1)
+    return node

@@ -1,0 +1,30 @@
+"""Main-memory summary structure (Section 3.2 of the paper).
+
+The generalized bottom-up strategy keeps the R-tree untouched on disk and
+adds a compact, easy-to-maintain main-memory structure consisting of
+
+1. a **direct access table** with one small entry per *internal* node of the
+   R-tree (its MBR, level, and child pointers), organised by level, and
+2. a **bit vector** over the leaf nodes recording which leaves are full.
+
+The table gives GBU direct access to a node's parent without parent pointers
+(`FindParent`, Algorithm 3), the bit vector lets it pick a non-full sibling
+without probing sibling pages on disk, and the same table can be used to
+answer window queries with fewer internal-node reads.
+
+Everything in this package is main-memory work: it is maintained from the
+R-tree's observer events and never performs disk I/O.
+"""
+
+from repro.summary.bitvector import LeafBitVector
+from repro.summary.direct_access import DirectAccessEntry, DirectAccessTable
+from repro.summary.query import summary_guided_range_query
+from repro.summary.structure import SummaryStructure
+
+__all__ = [
+    "DirectAccessEntry",
+    "DirectAccessTable",
+    "LeafBitVector",
+    "SummaryStructure",
+    "summary_guided_range_query",
+]

@@ -1,0 +1,147 @@
+"""Direct access table over the R-tree's internal nodes.
+
+Part 1 of the summary structure (Section 3.2): one compact entry per internal
+node holding the node's MBR, its level, and the page ids of its children.
+Entries are organised by level, mirroring the paper's contiguous per-level
+layout, so the `FindParent` ascent can scan "the parent entries in level l".
+
+The table deliberately excludes leaf nodes and the individual child MBRs —
+that is what keeps it small (the paper reports a table entry at roughly 20 %
+of a node's size and the whole table at roughly 0.16 % of the R-tree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.geometry import Point, Rect
+
+
+class DirectAccessEntry:
+    """Summary entry for one internal R-tree node."""
+
+    __slots__ = ("page_id", "level", "mbr", "child_page_ids")
+
+    def __init__(self, page_id: int, level: int, mbr: Rect, child_page_ids: List[int]) -> None:
+        self.page_id = page_id
+        self.level = level
+        self.mbr = mbr
+        self.child_page_ids = list(child_page_ids)
+
+    def contains_child(self, page_id: int) -> bool:
+        return page_id in self.child_page_ids
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectAccessEntry(page={self.page_id}, level={self.level}, "
+            f"children={len(self.child_page_ids)})"
+        )
+
+
+class DirectAccessTable:
+    """Mapping from internal-node page id to its summary entry, organised by level."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, DirectAccessEntry] = {}
+        self._by_level: Dict[int, List[int]] = {}
+        # Derived reverse mapping child page id -> parent page id.  The paper
+        # finds parents by scanning the level's contiguous entries; the
+        # reverse map returns the same answer in O(1) (see ``scan_parent_of``
+        # for the literal scan, kept for tests and documentation).
+        self._parent_of: Dict[int, int] = {}
+        self.mbr_updates = 0
+        self.entry_insertions = 0
+        self.entry_removals = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def upsert(self, page_id: int, level: int, mbr: Rect, child_page_ids: List[int]) -> None:
+        """Insert or update the entry for internal node *page_id*."""
+        existing = self._entries.get(page_id)
+        if existing is None:
+            entry = DirectAccessEntry(page_id, level, mbr, child_page_ids)
+            self._entries[page_id] = entry
+            self._by_level.setdefault(level, []).append(page_id)
+            self.entry_insertions += 1
+        else:
+            if existing.level != level:
+                self._by_level[existing.level].remove(page_id)
+                self._by_level.setdefault(level, []).append(page_id)
+                existing.level = level
+            if existing.mbr != mbr:
+                self.mbr_updates += 1
+            for child in existing.child_page_ids:
+                if self._parent_of.get(child) == page_id:
+                    del self._parent_of[child]
+            existing.mbr = mbr
+            existing.child_page_ids = list(child_page_ids)
+            entry = existing
+        for child in child_page_ids:
+            self._parent_of[child] = page_id
+
+    def remove(self, page_id: int) -> None:
+        """Remove the entry for *page_id* (the internal node was deleted)."""
+        entry = self._entries.pop(page_id, None)
+        if entry is None:
+            return
+        self._by_level[entry.level].remove(page_id)
+        if not self._by_level[entry.level]:
+            del self._by_level[entry.level]
+        for child in entry.child_page_ids:
+            if self._parent_of.get(child) == page_id:
+                del self._parent_of[child]
+        self.entry_removals += 1
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, page_id: int) -> Optional[DirectAccessEntry]:
+        return self._entries.get(page_id)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def levels(self) -> List[int]:
+        """Levels present in the table, ascending (2 is the lowest internal
+        level with internal children; 1 is the leaf-parent level)."""
+        return sorted(self._by_level)
+
+    def entries_at_level(self, level: int) -> Iterator[DirectAccessEntry]:
+        """Iterate over the entries of internal nodes at *level*."""
+        for page_id in self._by_level.get(level, []):
+            yield self._entries[page_id]
+
+    def parent_of(self, page_id: int) -> Optional[DirectAccessEntry]:
+        """Entry of the internal node whose child list contains *page_id*."""
+        parent_page = self._parent_of.get(page_id)
+        if parent_page is None:
+            return None
+        return self._entries.get(parent_page)
+
+    def scan_parent_of(self, page_id: int, level: int) -> Optional[DirectAccessEntry]:
+        """Find the parent of *page_id* by scanning the entries at *level*.
+
+        This is the literal lookup of the paper's Algorithm 3 ("for each
+        parent entry whose MBR contains node ... if some child offset matches
+        node offset").  It returns the same entry as :meth:`parent_of`; tests
+        assert the equivalence.
+        """
+        for entry in self.entries_at_level(level):
+            if entry.contains_child(page_id):
+                return entry
+        return None
+
+    def entries_containing(self, point: Point, level: int) -> List[DirectAccessEntry]:
+        """Entries at *level* whose MBR contains *point* (used in tests/ablations)."""
+        return [entry for entry in self.entries_at_level(level) if entry.mbr.contains_point(point)]
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    def size_bytes(self, entry_size: int) -> int:
+        """Approximate memory footprint given the per-entry size in bytes."""
+        return len(self._entries) * entry_size

@@ -1,0 +1,67 @@
+"""Summary-assisted window queries.
+
+Section 3.2 notes that the summary structure can also speed up querying:
+"We first check for overlap with the root entry in the direct access table
+and then proceed to the next level of internal node entries, looking for
+overlaps until the level above the leaf is reached.  Equipped with knowledge
+of which index nodes above the leaf level to read from disk, we carry on with
+the query as usual."
+
+:func:`summary_guided_range_query` implements that: the descent through the
+internal levels happens entirely in memory on the direct access table, so the
+only pages read from disk are the level-1 nodes (parents of leaves) that
+overlap the window — needed for their children's MBRs — and the overlapping
+leaves themselves.  The answer set is identical to
+:meth:`repro.rtree.tree.RTree.range_query`; only the number of internal-node
+reads differs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.geometry import Rect
+from repro.rtree.tree import RTree
+from repro.summary.structure import SummaryStructure
+
+
+def summary_guided_range_query(
+    tree: RTree, summary: SummaryStructure, window: Rect
+) -> List[int]:
+    """Answer the window query *window* using the summary structure.
+
+    Returns the object ids whose MBRs intersect *window*.
+    """
+    root_entry = summary.root_entry()
+    if root_entry is None:
+        # The root is a leaf: there are no internal nodes to skip.
+        return tree.range_query(window)
+
+    if not root_entry.mbr.intersects(window):
+        return []
+
+    # In-memory descent: find the level-1 nodes (parents of leaves) that can
+    # contain qualifying leaves, without reading any internal node from disk.
+    frontier = [root_entry]
+    while frontier and frontier[0].level > 1:
+        next_frontier = []
+        for entry in frontier:
+            for child_page in entry.child_page_ids:
+                child_entry = summary.table.get(child_page)
+                if child_entry is not None and child_entry.mbr.intersects(window):
+                    next_frontier.append(child_entry)
+        frontier = next_frontier
+
+    # Disk phase: read the qualifying level-1 nodes to obtain leaf MBRs, then
+    # the qualifying leaves to obtain the objects.
+    results: List[int] = []
+    for entry in frontier:
+        level1_node = tree.read_node(entry.page_id)
+        for child in level1_node.entries:
+            if not child.rect.intersects(window):
+                continue
+            leaf = tree.read_node(child.child)
+            for leaf_entry in leaf.entries:
+                if leaf_entry.rect.intersects(window):
+                    results.append(leaf_entry.child)
+    return results

@@ -1,0 +1,46 @@
+"""Update strategies — the paper's primary contribution.
+
+Three strategies are provided, matching the ones evaluated in Section 5:
+
+* :class:`~repro.update.topdown.TopDownUpdate` (**TD**) — the traditional
+  R-tree update: a top-down delete traversal followed by a top-down insert.
+* :class:`~repro.update.localized.LocalizedBottomUpUpdate` (**LBU**) —
+  Algorithm 1: reach the leaf through the secondary object-ID hash index,
+  update in place when possible, otherwise enlarge the leaf MBR by ε in all
+  directions (bounded by the parent MBR, reached through a leaf-level parent
+  pointer) or shift the object to a sibling, falling back to a top-down
+  update.
+* :class:`~repro.update.generalized.GeneralizedBottomUpUpdate` (**GBU**) —
+  Algorithm 2: like LBU but driven by the main-memory summary structure, with
+  directional ε-extension (``iExtendMBR``, Algorithm 4), sibling shifting
+  with piggybacking, and bounded ascent to the lowest covering ancestor
+  (``FindParent``, Algorithm 3).
+
+A fourth strategy, :class:`~repro.update.naive.NaiveBottomUpUpdate`, is the
+preliminary bottom-up idea discussed at the start of Section 3.1 (update in
+place or give up and go top-down); it exists to reproduce the paper's
+observation that ~82 % of its updates on uniform data degrade to top-down.
+
+All strategies implement :class:`~repro.update.base.UpdateStrategy` and are
+constructed by :func:`~repro.update.factory.make_strategy`.
+"""
+
+from repro.update.base import UpdateOutcome, UpdateStrategy
+from repro.update.factory import make_strategy, strategy_names
+from repro.update.generalized import GeneralizedBottomUpUpdate
+from repro.update.localized import LocalizedBottomUpUpdate
+from repro.update.naive import NaiveBottomUpUpdate
+from repro.update.params import TuningParameters
+from repro.update.topdown import TopDownUpdate
+
+__all__ = [
+    "UpdateOutcome",
+    "UpdateStrategy",
+    "TuningParameters",
+    "TopDownUpdate",
+    "NaiveBottomUpUpdate",
+    "LocalizedBottomUpUpdate",
+    "GeneralizedBottomUpUpdate",
+    "make_strategy",
+    "strategy_names",
+]

@@ -1,0 +1,110 @@
+"""Common interface of the update strategies.
+
+Every strategy turns an update request — "object *oid*, last seen at
+*old_location*, is now at *new_location*" — into a sequence of index
+operations, and reports which of the paper's update classes the request fell
+into (:class:`UpdateOutcome`).  The per-class counters a strategy keeps are
+what reproduce statements such as "82 % of the updates remain top-down" for
+the naive strategy and the TD-fallback rates discussed for GBU.
+
+Strategies also expose :meth:`UpdateStrategy.range_query` so experiments can
+issue the query workload through the same object: TD and LBU answer queries
+with the plain top-down R-tree search, GBU answers them through the summary
+structure (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.geometry import Point, Rect
+from repro.rtree.tree import RTree
+from repro.storage.stats import IOStatistics
+
+
+class UpdateOutcome(enum.Enum):
+    """How an update was ultimately carried out."""
+
+    IN_PLACE = "in_place"              # new position within the leaf MBR
+    EXTENDED = "extended"              # leaf MBR enlarged (by ε) to cover it
+    SIBLING_SHIFT = "sibling_shift"    # object moved to a sibling leaf
+    ASCENDED = "ascended"              # re-inserted below a covering ancestor
+    TOP_DOWN = "top_down"              # full top-down delete + insert
+    INSERTED_NEW = "inserted_new"      # object was not in the index yet
+
+
+class UpdateStrategy:
+    """Base class for TD, LBU and GBU."""
+
+    #: Short name used in reports and experiment configuration ("TD", ...).
+    name: str = "abstract"
+
+    def __init__(self, tree: RTree, stats: Optional[IOStatistics] = None) -> None:
+        self.tree = tree
+        self.stats = stats if stats is not None else tree.disk.stats
+        self.outcome_counts: Dict[UpdateOutcome, int] = {
+            outcome: 0 for outcome in UpdateOutcome
+        }
+        self.update_count = 0
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def update(self, oid: int, old_location: Point, new_location: Point) -> UpdateOutcome:
+        """Move object *oid* from *old_location* to *new_location*."""
+        outcome = self._update(oid, old_location, new_location)
+        self.outcome_counts[outcome] += 1
+        self.update_count += 1
+        return outcome
+
+    def _update(self, oid: int, old_location: Point, new_location: Point) -> UpdateOutcome:
+        raise NotImplementedError
+
+    def insert(self, oid: int, location: Point) -> None:
+        """Insert a brand-new object (all strategies use the standard insert)."""
+        self.tree.insert(oid, location)
+
+    def delete(self, oid: int, location: Point) -> bool:
+        """Remove an object from the index (standard top-down delete)."""
+        return self.tree.delete(oid, location)
+
+    def range_query(self, window: Rect) -> List[int]:
+        """Answer a window query; strategies may override (GBU uses the summary)."""
+        return self.tree.range_query(window)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def outcome_fractions(self) -> Dict[str, float]:
+        """Fraction of updates per outcome (empty dict before any update)."""
+        if self.update_count == 0:
+            return {}
+        return {
+            outcome.value: count / self.update_count
+            for outcome, count in self.outcome_counts.items()
+            if count
+        }
+
+    def top_down_fraction(self) -> float:
+        """Fraction of updates that degenerated to a full top-down update."""
+        if self.update_count == 0:
+            return 0.0
+        return self.outcome_counts[UpdateOutcome.TOP_DOWN] / self.update_count
+
+    def reset_counters(self) -> None:
+        for outcome in self.outcome_counts:
+            self.outcome_counts[outcome] = 0
+        self.update_count = 0
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _top_down_update(self, oid: int, old_location: Point, new_location: Point) -> UpdateOutcome:
+        """The traditional delete-then-insert update, shared by every fallback."""
+        deleted = self.tree.delete(oid, old_location)
+        self.tree.insert(oid, new_location)
+        return UpdateOutcome.TOP_DOWN if deleted else UpdateOutcome.INSERTED_NEW
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(updates={self.update_count})"

@@ -1,0 +1,282 @@
+"""GBU — Generalized Bottom-Up Update (Algorithm 2).
+
+GBU keeps the R-tree structure untouched and drives every decision from the
+main-memory summary structure (Section 3.2):
+
+* the **root check** and the **parent MBR bound** come from the direct access
+  table, not from disk;
+* the **directional ε-extension** (``iExtendMBR``, Algorithm 4) enlarges the
+  leaf MBR only towards the object's movement and only as far as needed;
+* **sibling shifting** consults the leaf bit vector so full siblings are
+  skipped without reading them, and *piggybacks* other objects of the source
+  leaf that also fit in the chosen sibling, tightening the source MBR;
+* when neither works, **FindParent** (Algorithm 3) locates — entirely in
+  memory — the lowest ancestor whose MBR covers the new position (bounded by
+  the level threshold ℓ) and the object is re-inserted below it;
+* a **distance threshold** D decides whether extension or shifting is
+  attempted first (fast movers shift first).
+
+Only when the new position falls outside the root MBR, or when removing the
+object would underflow its leaf, does GBU hand the update to the traditional
+top-down machinery.
+
+GBU also answers window queries through the summary structure
+(:func:`repro.summary.query.summary_guided_range_query`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.geometry import Point, Rect
+from repro.rtree.node import Entry, Node
+from repro.rtree.tree import RTree
+from repro.secondary import ObjectHashIndex
+from repro.storage.stats import IOStatistics
+from repro.summary import SummaryStructure, summary_guided_range_query
+from repro.update.base import UpdateOutcome, UpdateStrategy
+from repro.update.params import TuningParameters
+
+
+class GeneralizedBottomUpUpdate(UpdateStrategy):
+    """Algorithm 2 of the paper, with the Section 3.2.1 optimisations."""
+
+    name = "GBU"
+
+    def __init__(
+        self,
+        tree: RTree,
+        hash_index: ObjectHashIndex,
+        summary: SummaryStructure,
+        params: Optional[TuningParameters] = None,
+        stats: Optional[IOStatistics] = None,
+        use_summary_for_queries: bool = True,
+    ) -> None:
+        super().__init__(tree, stats=stats)
+        self.hash_index = hash_index
+        self.summary = summary
+        self.params = params if params is not None else TuningParameters.paper_defaults()
+        self.use_summary_for_queries = use_summary_for_queries
+
+    # ------------------------------------------------------------------
+    # Queries (summary-assisted, Section 3.2)
+    # ------------------------------------------------------------------
+    def range_query(self, window: Rect) -> List[int]:
+        if self.use_summary_for_queries:
+            return summary_guided_range_query(self.tree, self.summary, window)
+        return self.tree.range_query(window)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+    def _update(self, oid: int, old_location: Point, new_location: Point) -> UpdateOutcome:
+        # Root check: if the new location falls outside the root MBR the tree
+        # has to grow, which is inherently a global reorganisation.
+        root_mbr = self.summary.root_mbr()
+        if root_mbr is not None and not root_mbr.contains_point(new_location):
+            return self._top_down_update(oid, old_location, new_location)
+
+        # Locate the leaf through the secondary object-ID index.
+        leaf_page = self.hash_index.lookup(oid)
+        if leaf_page is None:
+            self.tree.insert(oid, new_location)
+            return UpdateOutcome.INSERTED_NEW
+        leaf = self.tree.read_node(leaf_page)
+        entry = leaf.find_entry(oid)
+        if entry is None:
+            return self._top_down_update(oid, old_location, new_location)
+
+        # In place: the new location lies within the leaf MBR.
+        if leaf.effective_mbr().contains_point(new_location):
+            entry.rect = Rect.from_point(new_location)
+            self.tree.write_node(leaf)
+            return UpdateOutcome.IN_PLACE
+
+        parent_entry = self.summary.parent_entry_of_leaf(leaf_page)
+        parent_mbr = parent_entry.mbr if parent_entry is not None else None
+
+        # Distance threshold D: fast movers try a sibling before extending.
+        distance_moved = old_location.distance_to(new_location)
+        fast_mover = distance_moved > self.params.distance_threshold
+
+        attempts = ("sibling", "extend") if fast_mover else ("extend", "sibling")
+        for attempt in attempts:
+            if attempt == "extend":
+                outcome = self._try_extend(leaf, entry, new_location, parent_mbr, parent_entry)
+            else:
+                outcome = self._try_sibling_shift(leaf, oid, new_location, parent_entry)
+            if outcome is not None:
+                return outcome
+
+        # Neither a local extension nor a sibling shift worked: ascend.
+        return self._ascend_and_reinsert(leaf, oid, old_location, new_location)
+
+    # ------------------------------------------------------------------
+    # iExtendMBR (Algorithm 4)
+    # ------------------------------------------------------------------
+    def _try_extend(
+        self,
+        leaf: Node,
+        entry: Entry,
+        new_location: Point,
+        parent_mbr: Optional[Rect],
+        parent_entry,
+    ) -> Optional[UpdateOutcome]:
+        """Directionally extend the leaf MBR; return the outcome or ``None``."""
+        current_mbr = leaf.effective_mbr()
+        extended = current_mbr.extended_towards(
+            new_location, self.params.epsilon, bound=parent_mbr
+        )
+        if not extended.contains_point(new_location):
+            return None
+
+        entry.rect = Rect.from_point(new_location)
+        leaf.stored_mbr = extended
+        self.tree.write_node(leaf)
+
+        # The leaf MBR lives in the parent's entry: it must be enlarged too so
+        # that queries descending through the parent still reach the object.
+        if parent_entry is not None:
+            parent_node = self.tree.read_node(parent_entry.page_id)
+            child_entry = parent_node.find_entry(leaf.page_id)
+            if child_entry is not None and not child_entry.rect.contains_rect(extended):
+                child_entry.rect = child_entry.rect.union(extended)
+                self.tree.write_node(parent_node)
+        return UpdateOutcome.EXTENDED
+
+    # ------------------------------------------------------------------
+    # Sibling shift with piggybacking (Section 3.2.1, optimisation 4)
+    # ------------------------------------------------------------------
+    def _try_sibling_shift(
+        self,
+        leaf: Node,
+        oid: int,
+        new_location: Point,
+        parent_entry,
+    ) -> Optional[UpdateOutcome]:
+        """Move the object to a suitable sibling leaf; return the outcome or ``None``."""
+        if parent_entry is None:
+            return None
+        # Removing the object must not underflow the leaf.
+        if len(leaf.entries) - 1 < self.tree.min_leaf_entries:
+            return None
+
+        # The bit vector identifies non-full siblings without disk access, but
+        # the sibling MBRs live in the parent node, which has to be read.
+        candidate_pages = [
+            page
+            for page in parent_entry.child_page_ids
+            if page != leaf.page_id and not self.summary.is_leaf_full(page)
+        ]
+        if not candidate_pages:
+            return None
+
+        parent_node = self.tree.read_node(parent_entry.page_id)
+        chosen_page: Optional[int] = None
+        for child_entry in parent_node.entries:
+            if child_entry.child in candidate_pages and child_entry.rect.contains_point(
+                new_location
+            ):
+                chosen_page = child_entry.child
+                break
+        if chosen_page is None:
+            return None
+
+        sibling = self.tree.read_node(chosen_page)
+        if sibling.is_full(self.tree.leaf_capacity):
+            # The bit vector can be momentarily conservative the other way
+            # only; a full sibling here means another update filled it first.
+            return None
+
+        removed = leaf.remove_entry(oid)
+        assert removed is not None
+        sibling.add_entry(Entry(Rect.from_point(new_location), oid))
+
+        # Piggyback other objects of the source leaf that also fit in the
+        # sibling's MBR, redistributing objects between the two leaves.
+        if self.params.piggyback:
+            self._piggyback(leaf, sibling)
+
+        self.tree.write_node(leaf)
+        self.tree.write_node(sibling)
+
+        # Tighten the source leaf's MBR in the parent to reduce overlap.
+        source_entry = parent_node.find_entry(leaf.page_id)
+        if source_entry is not None and leaf.entries:
+            tightened = leaf.mbr()
+            if source_entry.rect != tightened:
+                source_entry.rect = tightened
+                leaf.stored_mbr = None
+                self.tree.write_node(parent_node)
+        return UpdateOutcome.SIBLING_SHIFT
+
+    def _piggyback(self, source: Node, sibling: Node) -> None:
+        """Move further objects from *source* into *sibling* when they fit.
+
+        Objects are eligible when their position lies inside the sibling's
+        current MBR (so the sibling MBR does not grow), the sibling has spare
+        capacity, and the source stays above its minimum fill.
+        """
+        sibling_mbr = sibling.mbr()
+        moved = 0
+        index = 0
+        while index < len(source.entries):
+            if moved >= self.params.max_piggyback_objects:
+                break
+            if len(sibling.entries) >= self.tree.leaf_capacity:
+                break
+            if len(source.entries) <= self.tree.min_leaf_entries:
+                break
+            entry = source.entries[index]
+            if sibling_mbr.contains_rect(entry.rect):
+                source.entries.pop(index)
+                sibling.add_entry(entry)
+                moved += 1
+                continue
+            index += 1
+
+    # ------------------------------------------------------------------
+    # FindParent ascent (Algorithm 3)
+    # ------------------------------------------------------------------
+    def _ascend_and_reinsert(
+        self, leaf: Node, oid: int, old_location: Point, new_location: Point
+    ) -> UpdateOutcome:
+        """Delete bottom-up and re-insert below the lowest covering ancestor.
+
+        When the level threshold forbids any ascent (ℓ = 0, the paper's
+        "optimal localized bottom-up" reduction) or no ancestor within the
+        threshold covers the new position, the object is still deleted
+        bottom-up and then re-inserted with a standard top-down insert from
+        the root — the bottom-up deletion is what distinguishes this from the
+        full top-down update, which additionally pays the FindLeaf descent.
+        """
+        level_threshold = self.params.level_threshold
+        if level_threshold is None:
+            level_threshold = max(self.tree.height - 1, 0)
+
+        # Removing the object must not underflow the leaf (Algorithm 2 issues
+        # a top-down update in that case).
+        if len(leaf.entries) - 1 < self.tree.min_leaf_entries:
+            return self._top_down_update(oid, old_location, new_location)
+
+        if level_threshold < 1:
+            ancestor_page, ancestor_path = None, []
+        else:
+            ancestor_page, ancestor_path = self.summary.find_parent(
+                leaf.page_id, new_location, level_threshold=level_threshold
+            )
+
+        ascended = ancestor_page is not None
+        if ancestor_page is None:
+            # Global re-insert: start the insert descent at the root.
+            ancestor_page, ancestor_path = self.tree.root_page_id, []
+
+        removed = leaf.remove_entry(oid)
+        assert removed is not None
+        self.tree.write_node(leaf)
+        self.tree.size -= 1  # insert_at_subtree() below counts the object again
+
+        self.tree.insert_at_subtree(
+            oid, new_location, anchor_page_id=ancestor_page, ancestor_path=ancestor_path
+        )
+        return UpdateOutcome.ASCENDED if ascended else UpdateOutcome.TOP_DOWN

@@ -1,0 +1,138 @@
+"""LBU — Localized Bottom-Up Update (Algorithm 1).
+
+The localized strategy reaches the object's leaf through the secondary hash
+index and tries, in order:
+
+1. update in place when the new position lies within the leaf MBR;
+2. enlarge the leaf MBR by ε **in all directions** — a Kwon-style lazy
+   enlargement — provided the enlarged MBR stays within the parent MBR,
+   which the strategy reads through the parent pointer stored in the leaf;
+3. shift the object to a sibling leaf whose MBR already contains the new
+   position (each candidate sibling must be read from disk to check that it
+   is not full);
+4. otherwise fall back to a full top-down update.
+
+The strategy requires the tree to be built with ``store_parent_pointers=True``:
+the leaf-level parent pointers reduce leaf fan-out and must be rewritten when
+a level-1 node splits — the maintenance costs the paper identifies as LBU's
+main weakness (Section 3.1 and the discussion of Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geometry import Point, Rect
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+from repro.secondary import ObjectHashIndex
+from repro.storage.stats import IOStatistics
+from repro.update.base import UpdateOutcome, UpdateStrategy
+from repro.update.params import TuningParameters
+
+
+class LocalizedBottomUpUpdate(UpdateStrategy):
+    """Algorithm 1 of the paper."""
+
+    name = "LBU"
+
+    def __init__(
+        self,
+        tree: RTree,
+        hash_index: ObjectHashIndex,
+        params: Optional[TuningParameters] = None,
+        stats: Optional[IOStatistics] = None,
+    ) -> None:
+        super().__init__(tree, stats=stats)
+        if not tree.store_parent_pointers:
+            raise ValueError(
+                "LocalizedBottomUpUpdate requires a tree built with "
+                "store_parent_pointers=True (the strategy relies on leaf-level "
+                "parent pointers)"
+            )
+        self.hash_index = hash_index
+        self.params = params if params is not None else TuningParameters.paper_defaults()
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def _update(self, oid: int, old_location: Point, new_location: Point) -> UpdateOutcome:
+        # Locate the leaf through the secondary object-ID index.
+        leaf_page = self.hash_index.lookup(oid)
+        if leaf_page is None:
+            self.tree.insert(oid, new_location)
+            return UpdateOutcome.INSERTED_NEW
+        leaf = self.tree.read_node(leaf_page)
+        entry = leaf.find_entry(oid)
+        if entry is None:
+            return self._top_down_update(oid, old_location, new_location)
+
+        # 1. In place: the new location lies within the (possibly enlarged) leaf MBR.
+        if leaf.effective_mbr().contains_point(new_location):
+            entry.rect = Rect.from_point(new_location)
+            self.tree.write_node(leaf)
+            return UpdateOutcome.IN_PLACE
+
+        # Retrieve the parent of the leaf node (through the parent pointer).
+        if leaf.parent_page_id is None:
+            # The leaf is the root: there is nothing to enlarge against and no
+            # siblings to shift to; repair top-down.
+            return self._top_down_update(oid, old_location, new_location)
+        parent = self.tree.read_node(leaf.parent_page_id)
+        parent_entry = parent.find_entry(leaf.page_id)
+        if parent_entry is None:
+            # Parent pointer is stale (should not happen when maintenance is
+            # correct); fall back to the safe path.
+            return self._top_down_update(oid, old_location, new_location)
+
+        # 2. Enlarge the leaf MBR by ε in all directions, bounded by the parent MBR.
+        parent_mbr = parent.mbr()
+        enlarged = leaf.effective_mbr().expanded(self.params.epsilon)
+        if parent_mbr.contains_rect(enlarged) and enlarged.contains_point(new_location):
+            entry.rect = Rect.from_point(new_location)
+            leaf.stored_mbr = enlarged
+            self.tree.write_node(leaf)
+            parent_entry.rect = enlarged
+            self.tree.write_node(parent)
+            return UpdateOutcome.EXTENDED
+
+        # 3. Removing the object must not underflow the leaf; otherwise the
+        #    reorganisation belongs to the top-down machinery.
+        if len(leaf.entries) - 1 < self.tree.min_leaf_entries:
+            return self._top_down_update(oid, old_location, new_location)
+
+        removed = leaf.remove_entry(oid)
+        assert removed is not None
+        self.tree.write_node(leaf)
+
+        # 3b. Shift to a sibling whose MBR contains the new location and which
+        #     is not full.  Without the summary structure every candidate has
+        #     to be read from disk to check fullness.
+        sibling = self._find_sibling(parent, exclude_page=leaf.page_id, location=new_location)
+        if sibling is not None:
+            sibling.add_entry(removed.__class__(Rect.from_point(new_location), oid))
+            self.tree.write_node(sibling)
+            return UpdateOutcome.SIBLING_SHIFT
+
+        # 4. Standard R-tree insert from the root (the object is already deleted).
+        self.tree.insert(oid, new_location)
+        self.tree.size -= 1  # insert() counts a new object; this one was only moved
+        return UpdateOutcome.TOP_DOWN
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _find_sibling(
+        self, parent: Node, exclude_page: int, location: Point
+    ) -> Optional[Node]:
+        """Read candidate siblings until a non-full one containing *location* is found."""
+        for candidate in parent.entries:
+            if candidate.child == exclude_page:
+                continue
+            if not candidate.rect.contains_point(location):
+                continue
+            sibling = self.tree.read_node(candidate.child)
+            if sibling.is_full(self.tree.leaf_capacity):
+                continue
+            return sibling
+        return None

@@ -1,0 +1,25 @@
+"""TD — the traditional top-down update (the paper's baseline).
+
+"A traditional R-tree update first carries out a top-down search for the
+leaf node with the index entry of the object, deletes the entry, and then
+executes another and separate top-down search for the optimal location in
+which to insert the entry for the new object" (Section 3).
+
+The strategy therefore costs two descents per update: the delete descent may
+follow several partial paths because sibling MBRs overlap, and both the
+delete and the insert may trigger node splits and re-insertion of entries.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point
+from repro.update.base import UpdateOutcome, UpdateStrategy
+
+
+class TopDownUpdate(UpdateStrategy):
+    """Delete top-down, then insert top-down."""
+
+    name = "TD"
+
+    def _update(self, oid: int, old_location: Point, new_location: Point) -> UpdateOutcome:
+        return self._top_down_update(oid, old_location, new_location)

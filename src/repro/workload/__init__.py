@@ -1,0 +1,42 @@
+"""Workload generation.
+
+The paper's experiments use a GSTD-like generator (Theodoridis et al.) that
+produces an initial distribution of 2-D points in the unit square, a stream
+of locality-bounded movements, and a set of uniformly distributed query
+windows.  This package re-implements that generator:
+
+* :mod:`repro.workload.distributions` — uniform, Gaussian and skewed initial
+  placements;
+* :mod:`repro.workload.movement` — per-update movement bounded by a maximum
+  distance (Table 1's "maximum distance moved");
+* :mod:`repro.workload.queries` — query windows with uniformly distributed
+  centres and sizes in ``[0, 0.1]`` (or ``[0, 0.01]`` for the throughput
+  experiment);
+* :mod:`repro.workload.generator` — :class:`WorkloadGenerator`, which ties the
+  pieces together and yields reproducible update/query streams;
+* :mod:`repro.workload.spec` — :class:`WorkloadSpec`, the declarative
+  description of a workload used by the benchmark harness (it mirrors the
+  parameters of the paper's Table 1).
+"""
+
+from repro.workload.distributions import (
+    gaussian_positions,
+    initial_positions,
+    skewed_positions,
+    uniform_positions,
+)
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.movement import MovementModel
+from repro.workload.queries import QueryWorkload
+from repro.workload.spec import WorkloadSpec
+
+__all__ = [
+    "initial_positions",
+    "uniform_positions",
+    "gaussian_positions",
+    "skewed_positions",
+    "MovementModel",
+    "QueryWorkload",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+]

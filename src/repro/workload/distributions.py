@@ -1,0 +1,85 @@
+"""Initial spatial distributions of the moving objects.
+
+The paper evaluates three initial distributions (Figure 6(c)-(d)):
+
+* **uniform** — positions drawn uniformly from the unit square (the default
+  for every other experiment);
+* **Gaussian** — positions clustered around the centre of the data space;
+* **skewed** — positions concentrated in one corner region, leaving most of
+  the space empty (the paper notes that queries are cheap for this
+  distribution because "most of the space is empty").
+
+All generators take an explicit :class:`random.Random` instance or seed so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Union
+
+from repro.geometry import Point
+
+DistributionName = str
+
+_VALID = ("uniform", "gaussian", "skewed")
+
+
+def _rng(seed_or_rng: Union[int, random.Random, None]) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def uniform_positions(count: int, seed: Union[int, random.Random, None] = 0) -> List[Point]:
+    """*count* points drawn uniformly from the unit square."""
+    rng = _rng(seed)
+    return [Point(rng.random(), rng.random()) for _ in range(count)]
+
+
+def gaussian_positions(
+    count: int,
+    seed: Union[int, random.Random, None] = 0,
+    center: Point = Point(0.5, 0.5),
+    sigma: float = 0.12,
+) -> List[Point]:
+    """*count* points normally distributed around *center* (clamped to the unit square)."""
+    rng = _rng(seed)
+    points = []
+    for _ in range(count):
+        x = rng.gauss(center.x, sigma)
+        y = rng.gauss(center.y, sigma)
+        points.append(Point(x, y).clamped())
+    return points
+
+
+def skewed_positions(
+    count: int,
+    seed: Union[int, random.Random, None] = 0,
+    exponent: float = 3.0,
+) -> List[Point]:
+    """*count* points skewed towards the origin corner of the unit square.
+
+    Coordinates are drawn as ``u**exponent`` with ``u`` uniform, so mass
+    concentrates near zero and most of the data space stays empty.
+    """
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    rng = _rng(seed)
+    return [Point(rng.random() ** exponent, rng.random() ** exponent) for _ in range(count)]
+
+
+def initial_positions(
+    distribution: DistributionName,
+    count: int,
+    seed: Union[int, random.Random, None] = 0,
+) -> List[Point]:
+    """Dispatch on the distribution name used in experiment configurations."""
+    name = distribution.lower()
+    if name == "uniform":
+        return uniform_positions(count, seed)
+    if name == "gaussian":
+        return gaussian_positions(count, seed)
+    if name in ("skew", "skewed"):
+        return skewed_positions(count, seed)
+    raise ValueError(f"unknown distribution {distribution!r}; expected one of {_VALID}")

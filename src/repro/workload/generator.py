@@ -1,0 +1,108 @@
+"""GSTD-style workload generator.
+
+:class:`WorkloadGenerator` realises a :class:`~repro.workload.spec.WorkloadSpec`:
+it produces the initial object placement, a reproducible stream of update
+requests (object id, old position, new position), and the query windows.
+Every stream is driven by the spec's seed, so two generators built from the
+same spec produce identical workloads — the property that lets the benchmark
+harness run TD, LBU and GBU on byte-identical inputs, as the paper does.
+
+The generator keeps track of each object's current position: updates are
+"move object *o* from where it is to a new nearby position", which is exactly
+the semantics of the paper's monitoring applications (the new position
+depends on the previous one through the movement model).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.geometry import Point, Rect
+from repro.workload.distributions import initial_positions
+from repro.workload.movement import MovementModel
+from repro.workload.queries import QueryWorkload
+from repro.workload.spec import WorkloadSpec
+
+UpdateRequest = Tuple[int, Point, Point]  # (oid, old_position, new_position)
+
+
+class WorkloadGenerator:
+    """Produces the initial data, update stream and query stream of a spec."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self._movement = MovementModel(
+            max_distance=spec.max_distance, seed=random.Random(spec.seed + 1)
+        )
+        self._queries = QueryWorkload(
+            max_side=spec.query_max_side,
+            min_side=spec.query_min_side,
+            seed=random.Random(spec.seed + 2),
+        )
+        self._positions: List[Point] = initial_positions(
+            spec.distribution, spec.num_objects, seed=random.Random(spec.seed)
+        )
+
+    # ------------------------------------------------------------------
+    # Initial data
+    # ------------------------------------------------------------------
+    def initial_objects(self) -> List[Tuple[int, Point]]:
+        """``(oid, position)`` pairs for the initial index load."""
+        return list(enumerate(self._positions))
+
+    def current_position(self, oid: int) -> Point:
+        """The generator's view of where *oid* currently is."""
+        return self._positions[oid]
+
+    # ------------------------------------------------------------------
+    # Update stream
+    # ------------------------------------------------------------------
+    def updates(self, count: int = None) -> Iterator[UpdateRequest]:
+        """Yield *count* update requests (default: the spec's ``num_updates``).
+
+        Objects are picked uniformly at random; each request moves the picked
+        object one movement-model step from its current position.  The
+        generator's own position table advances as requests are produced, so
+        consuming the stream twice requires two generators (by design — a
+        workload is a single reproducible sequence).
+        """
+        if count is None:
+            count = self.spec.num_updates
+        for _ in range(count):
+            oid = self._rng.randrange(self.spec.num_objects)
+            old = self._positions[oid]
+            new = self._movement.next_position(oid, old)
+            self._positions[oid] = new
+            yield oid, old, new
+
+    # ------------------------------------------------------------------
+    # Query stream
+    # ------------------------------------------------------------------
+    def queries(self, count: int = None) -> Iterator[Rect]:
+        """Yield *count* query windows (default: the spec's ``num_queries``)."""
+        if count is None:
+            count = self.spec.num_queries
+        return self._queries.iter_windows(count)
+
+    # ------------------------------------------------------------------
+    # Mixed stream (throughput experiment, Figure 8)
+    # ------------------------------------------------------------------
+    def mixed_operations(
+        self, count: int, update_fraction: float
+    ) -> Iterator[Tuple[str, object]]:
+        """Yield *count* operations, a fraction of which are updates.
+
+        Each yielded item is ``("update", (oid, old, new))`` or
+        ``("query", window)``.  The interleaving is random but reproducible,
+        mirroring the 50-client mixed workload of the throughput study.
+        """
+        if not 0.0 <= update_fraction <= 1.0:
+            raise ValueError("update_fraction must be in [0, 1]")
+        update_stream = self.updates(count)  # drawn lazily; at most `count` are consumed
+        for _ in range(count):
+            if self._rng.random() < update_fraction:
+                yield "update", next(update_stream)
+            else:
+                yield "query", self._queries.next_window()

@@ -1,0 +1,109 @@
+"""Tests for the per-figure experiment definitions.
+
+Full figure runs belong to the ``benchmarks/`` suite; here the definitions
+are exercised at a very small scale to check that every registered figure
+runs, produces rows with the right labels/series, and that the cheapest
+figures reproduce their expected qualitative shape.
+"""
+
+import pytest
+
+from repro.bench import all_figures, get_figure
+from repro.bench.figures import TABLE1_PARAMETERS
+from repro.bench.reporting import pivot_by_strategy
+
+TINY = 0.12  # scale multiplier small enough for unit-test runtimes
+
+
+class TestRegistry:
+    def test_all_registered_figures_have_unique_keys(self):
+        keys = [definition.key for definition in all_figures()]
+        assert len(keys) == len(set(keys))
+
+    def test_every_paper_figure_is_covered(self):
+        references = " ".join(definition.paper_reference for definition in all_figures())
+        for expected in (
+            "Table 1",
+            "Figure 5(a)-(d)",
+            "Figure 5(e)-(f)",
+            "Figure 5(g)-(h)",
+            "Figure 6(a)-(b)",
+            "Figure 6(c)-(d)",
+            "Figure 6(e)-(f)",
+            "Figure 6(g)-(h)",
+            "Figure 7",
+            "Figure 8",
+            "Section 4",
+            "Section 3.1",
+        ):
+            assert expected in references
+
+    def test_get_figure_unknown_key(self):
+        with pytest.raises(KeyError):
+            get_figure("fig99_nonexistent")
+
+    def test_table1_lists_paper_parameters(self):
+        assert "epsilon" in TABLE1_PARAMETERS
+        assert 0.003 in TABLE1_PARAMETERS["epsilon"]
+        assert "max_distance_moved" in TABLE1_PARAMETERS
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_figure("fig5_epsilon").run(scale=0.0)
+
+
+class TestTable1:
+    def test_rows_cover_every_parameter(self):
+        rows = get_figure("table1").run(scale=1.0)
+        parameters = {row.x_value for row in rows}
+        assert parameters == set(TABLE1_PARAMETERS)
+
+
+class TestNaiveFallbackFigure:
+    def test_fallback_ordering_matches_section_3_1(self):
+        # This figure needs a slightly larger scale than the other unit-test
+        # runs: with too few objects the leaf MBRs dwarf the movement
+        # distances and the naive strategy stops falling back.
+        rows = get_figure("naive_fallback").run(scale=0.25, seed=5)
+        fractions = {row.strategy: row.extras["top_down_fraction"] for row in rows}
+        assert fractions["NAIVE"] > fractions["LBU"] > fractions["GBU"]
+        # The naive strategy must lose a large share of its updates to
+        # top-down processing (the paper reports 82 % at full scale).
+        assert fractions["NAIVE"] > 0.45
+
+
+class TestEpsilonFigure:
+    def test_series_and_shape(self):
+        rows = get_figure("fig5_epsilon").run(scale=TINY, seed=5)
+        strategies = {row.strategy for row in rows}
+        assert strategies == {"TD", "LBU", "GBU"}
+        update_pivot = pivot_by_strategy(rows, "avg_update_io")
+        # TD ignores epsilon: identical cost at every x value.
+        td_values = {round(values["TD"], 6) for values in update_pivot.values()}
+        assert len(td_values) == 1
+        # GBU updates must be cheaper than TD at the paper's default epsilon.
+        assert update_pivot[0.003]["GBU"] < update_pivot[0.003]["TD"]
+
+
+class TestCostModelFigure:
+    def test_analytic_bound_holds(self):
+        rows = get_figure("cost_model").run(scale=TINY, seed=3)
+        by_strategy = {}
+        for row in rows:
+            by_strategy.setdefault(row.strategy, []).append(row)
+        td_best = by_strategy["TD-analytic"][0].avg_update_io
+        for row in by_strategy["GBU-analytic"]:
+            assert row.avg_update_io <= td_best
+
+
+class TestThroughputFigure:
+    def test_gbu_consistently_at_or_above_td(self):
+        # Like the fallback figure, the throughput comparison needs enough
+        # objects for lock contention not to dominate; scale 0.25 keeps the
+        # runtime in seconds while preserving the figure's shape.
+        rows = get_figure("fig8_throughput").run(scale=0.25, seed=5)
+        pivot = pivot_by_strategy(rows, "throughput")
+        for fraction, values in pivot.items():
+            if fraction == 0.0:
+                continue  # pure-query mixes are identical by construction
+            assert values["GBU"] >= values["TD"]

@@ -1,0 +1,86 @@
+"""Tests for the benchmark metric rows and text reporting."""
+
+from repro.bench import MetricRow, format_table, get_figure, render_figure_result
+from repro.bench.reporting import pivot_by_strategy, rows_to_dicts
+
+
+def sample_rows():
+    return [
+        MetricRow("epsilon", 0.003, "TD", avg_update_io=12.0, avg_query_io=6.0),
+        MetricRow("epsilon", 0.003, "GBU", avg_update_io=5.5, avg_query_io=4.2,
+                  extras={"top_down_fraction": 0.01}),
+        MetricRow("epsilon", 0.03, "GBU", avg_update_io=4.4, avg_query_io=5.3),
+    ]
+
+
+class TestMetricRow:
+    def test_as_dict_includes_only_present_metrics(self):
+        row = MetricRow("x", 1, "TD", avg_update_io=3.0)
+        exported = row.as_dict()
+        assert exported["update_io"] == 3.0
+        assert "query_io" not in exported
+        assert "throughput_tps" not in exported
+
+    def test_as_dict_rounds_values(self):
+        row = MetricRow("x", 1, "TD", avg_update_io=3.14159)
+        assert row.as_dict()["update_io"] == 3.142
+
+    def test_extras_are_exported(self):
+        row = MetricRow("x", 1, "GBU", extras={"top_down_fraction": 0.123456})
+        assert row.as_dict()["top_down_fraction"] == 0.1235
+
+    def test_throughput_rounding(self):
+        row = MetricRow("x", 0.5, "GBU", throughput=1234.567)
+        assert row.as_dict()["throughput_tps"] == 1234.6
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        table = format_table(rows_to_dicts(sample_rows()))
+        lines = table.splitlines()
+        assert "strategy" in lines[0]
+        assert len(lines) == 2 + len(sample_rows())  # header + separator + rows
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_explicit_column_selection(self):
+        table = format_table(rows_to_dicts(sample_rows()), columns=["strategy", "update_io"])
+        assert "query_io" not in table
+        assert "GBU" in table
+
+    def test_columns_union_across_rows(self):
+        rows = [{"a": 1}, {"b": 2}]
+        table = format_table(rows)
+        assert "a" in table and "b" in table
+
+
+class TestRenderFigureResult:
+    def test_report_contains_reference_and_expected_shape(self):
+        definition = get_figure("fig5_epsilon")
+        report = render_figure_result(definition, sample_rows())
+        assert "Figure 5(a)-(d)" in report
+        assert "expected shape" in report
+        assert "GBU" in report
+
+    def test_report_for_definition_with_notes(self):
+        definition = get_figure("table1")
+        report = render_figure_result(definition, sample_rows())
+        assert "note:" in report
+
+
+class TestPivot:
+    def test_pivot_by_strategy_on_core_metric(self):
+        pivot = pivot_by_strategy(sample_rows(), metric="avg_update_io")
+        assert pivot[0.003]["TD"] == 12.0
+        assert pivot[0.003]["GBU"] == 5.5
+        assert pivot[0.03]["GBU"] == 4.4
+
+    def test_pivot_on_extra_metric(self):
+        pivot = pivot_by_strategy(sample_rows(), metric="top_down_fraction")
+        assert pivot[0.003]["GBU"] == 0.01
+        assert 0.03 not in pivot  # row without the extra is skipped
+
+    def test_pivot_skips_missing_metric(self):
+        rows = [MetricRow("x", 1, "TD")]
+        assert pivot_by_strategy(rows, metric="avg_update_io") == {}

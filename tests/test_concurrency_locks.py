@@ -1,0 +1,105 @@
+"""Tests for the multi-granularity lock manager."""
+
+from repro.concurrency import LockManager, LockMode
+from repro.concurrency.locks import compatible
+
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+IS = LockMode.INTENTION_SHARED
+IX = LockMode.INTENTION_EXCLUSIVE
+
+
+class TestCompatibilityMatrix:
+    def test_shared_locks_are_compatible(self):
+        assert compatible(S, S)
+
+    def test_exclusive_conflicts_with_everything(self):
+        for mode in (IS, IX, S, X):
+            assert not compatible(X, mode)
+            assert not compatible(mode, X) or mode is None
+
+    def test_intention_modes_are_compatible_with_each_other(self):
+        assert compatible(IS, IX)
+        assert compatible(IX, IS)
+        assert compatible(IX, IX)
+
+    def test_shared_conflicts_with_intention_exclusive(self):
+        assert not compatible(S, IX)
+        assert not compatible(IX, S)
+
+
+class TestAcquisition:
+    def test_try_acquire_grants_free_resource(self):
+        manager = LockManager()
+        assert manager.try_acquire("leaf1", owner="a", mode=X)
+        assert manager.holders("leaf1") == {"a": X}
+
+    def test_conflicting_request_is_denied(self):
+        manager = LockManager()
+        manager.try_acquire("leaf1", owner="a", mode=X)
+        assert not manager.try_acquire("leaf1", owner="b", mode=S)
+
+    def test_compatible_requests_coexist(self):
+        manager = LockManager()
+        assert manager.try_acquire("leaf1", "a", S)
+        assert manager.try_acquire("leaf1", "b", S)
+        assert set(manager.holders("leaf1")) == {"a", "b"}
+
+    def test_reacquisition_by_same_owner_is_noop(self):
+        manager = LockManager()
+        assert manager.try_acquire("leaf1", "a", X)
+        assert manager.try_acquire("leaf1", "a", X)
+        assert manager.try_acquire("leaf1", "a", S)  # weaker request under X
+
+    def test_upgrade_from_shared_to_exclusive_when_alone(self):
+        manager = LockManager()
+        manager.try_acquire("leaf1", "a", S)
+        assert manager.try_acquire("leaf1", "a", X)
+        assert manager.holders("leaf1")["a"] == X
+
+    def test_upgrade_blocked_by_other_shared_holder(self):
+        manager = LockManager()
+        manager.try_acquire("leaf1", "a", S)
+        manager.try_acquire("leaf1", "b", S)
+        assert not manager.try_acquire("leaf1", "a", X)
+
+
+class TestAllOrNothing:
+    def test_acquire_all_succeeds_atomically(self):
+        manager = LockManager()
+        requests = [("leaf1", X), ("leaf2", S), ("tree", IX)]
+        assert manager.try_acquire_all(requests, owner="a")
+        assert manager.locks_of("a") == {"leaf1", "leaf2", "tree"}
+
+    def test_acquire_all_fails_without_partial_grants(self):
+        manager = LockManager()
+        manager.try_acquire("leaf2", "other", X)
+        requests = [("leaf1", X), ("leaf2", X)]
+        assert not manager.try_acquire_all(requests, owner="a")
+        assert manager.locks_of("a") == set()
+        assert manager.wait_count == 1
+
+    def test_acquire_all_allows_already_held_resources(self):
+        manager = LockManager()
+        manager.try_acquire("leaf1", "a", X)
+        assert manager.try_acquire_all([("leaf1", S), ("leaf2", S)], owner="a")
+
+
+class TestRelease:
+    def test_release_all_frees_resources(self):
+        manager = LockManager()
+        manager.try_acquire_all([("leaf1", X), ("leaf2", X)], owner="a")
+        manager.release_all("a")
+        assert manager.try_acquire("leaf1", "b", X)
+        assert manager.try_acquire("leaf2", "b", X)
+        assert manager.held_resources() == {"leaf1", "leaf2"}
+
+    def test_release_of_unknown_owner_is_silent(self):
+        LockManager().release_all("ghost")
+
+    def test_grant_counter_increments(self):
+        manager = LockManager()
+        manager.try_acquire("leaf1", "a", S)
+        manager.try_acquire("leaf1", "b", S)
+        assert manager.grant_count == 2

@@ -1,0 +1,91 @@
+"""Tests for the discrete-event throughput simulator."""
+
+import pytest
+
+from repro.concurrency import LockMode, OperationTrace, ThroughputSimulator
+from repro.concurrency.dgl import GranuleLockRequest
+
+
+def op(io, granule=None, mode=LockMode.EXCLUSIVE, kind="update"):
+    requests = [GranuleLockRequest(granule, mode)] if granule is not None else []
+    return OperationTrace(kind=kind, physical_io=io, lock_requests=requests)
+
+
+class TestOperationTrace:
+    def test_duration_combines_io_and_cpu(self):
+        trace = op(io=5)
+        assert trace.duration(time_per_io=0.01, cpu_time=0.002) == pytest.approx(0.052)
+
+    def test_zero_io_still_costs_cpu(self):
+        assert op(io=0).duration(0.01, 0.001) == pytest.approx(0.001)
+
+
+class TestSimulator:
+    def test_independent_operations_run_in_parallel(self):
+        simulator = ThroughputSimulator(num_clients=4, time_per_io=0.01, cpu_time_per_op=0.0)
+        traces = [op(io=10, granule=i) for i in range(4)]
+        result = simulator.run(traces)
+        # Four non-conflicting operations of 0.1s each on four clients: the
+        # makespan is one operation's duration.
+        assert result.makespan == pytest.approx(0.1)
+        assert result.throughput == pytest.approx(40.0)
+        assert result.lock_waits == 0
+
+    def test_conflicting_operations_serialise(self):
+        simulator = ThroughputSimulator(num_clients=4, time_per_io=0.01, cpu_time_per_op=0.0)
+        traces = [op(io=10, granule="hot") for _ in range(4)]
+        result = simulator.run(traces)
+        assert result.makespan == pytest.approx(0.4)
+        assert result.lock_waits > 0
+
+    def test_shared_locks_do_not_serialise(self):
+        simulator = ThroughputSimulator(num_clients=4, time_per_io=0.01, cpu_time_per_op=0.0)
+        traces = [op(io=10, granule="hot", mode=LockMode.SHARED, kind="query") for _ in range(4)]
+        result = simulator.run(traces)
+        assert result.makespan == pytest.approx(0.1)
+
+    def test_single_client_serialises_everything(self):
+        simulator = ThroughputSimulator(num_clients=1, time_per_io=0.01, cpu_time_per_op=0.0)
+        traces = [op(io=5, granule=i) for i in range(6)]
+        result = simulator.run(traces)
+        assert result.makespan == pytest.approx(0.3)
+
+    def test_more_clients_never_reduce_throughput(self):
+        traces = [op(io=4, granule=i % 7) for i in range(50)]
+        few = ThroughputSimulator(num_clients=2, time_per_io=0.01).run(list(traces))
+        many = ThroughputSimulator(num_clients=16, time_per_io=0.01).run(list(traces))
+        assert many.throughput >= few.throughput - 1e-9
+
+    def test_cheaper_operations_give_higher_throughput(self):
+        cheap = [op(io=2, granule=i) for i in range(40)]
+        expensive = [op(io=20, granule=i) for i in range(40)]
+        simulator = ThroughputSimulator(num_clients=8, time_per_io=0.01)
+        assert simulator.run(cheap).throughput > simulator.run(expensive).throughput
+
+    def test_operation_count_reported(self):
+        simulator = ThroughputSimulator(num_clients=2)
+        result = simulator.run([op(io=1, granule=1), op(io=1, granule=2)])
+        assert result.operations == 2
+
+    def test_empty_trace_list(self):
+        result = ThroughputSimulator(num_clients=2).run([])
+        assert result.operations == 0
+        assert result.throughput == 0.0
+
+    def test_utilisation_bounded_by_one(self):
+        traces = [op(io=3, granule=i % 3) for i in range(30)]
+        result = ThroughputSimulator(num_clients=5, time_per_io=0.01).run(traces)
+        assert 0.0 < result.utilisation <= 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputSimulator(num_clients=0)
+        with pytest.raises(ValueError):
+            ThroughputSimulator(time_per_io=-1.0)
+
+    def test_determinism(self):
+        traces = [op(io=(i % 5) + 1, granule=i % 4) for i in range(60)]
+        first = ThroughputSimulator(num_clients=6, time_per_io=0.01).run(list(traces))
+        second = ThroughputSimulator(num_clients=6, time_per_io=0.01).run(list(traces))
+        assert first.makespan == second.makespan
+        assert first.lock_waits == second.lock_waits

@@ -1,0 +1,96 @@
+"""Integration tests for the end-to-end throughput experiment (Figure 8 machinery)."""
+
+import pytest
+
+from repro.concurrency import ThroughputExperiment, run_throughput
+from repro.concurrency.throughput import record_traces
+from repro.core import IndexConfig, MovingObjectIndex
+from repro.workload import WorkloadGenerator, WorkloadSpec
+
+from tests.conftest import SMALL_PAGE_SIZE
+
+
+def loaded(strategy, num_objects=800, seed=3):
+    spec = WorkloadSpec(
+        num_objects=num_objects, num_updates=0, num_queries=0, seed=seed, query_max_side=0.15
+    )
+    generator = WorkloadGenerator(spec)
+    index = MovingObjectIndex(IndexConfig(strategy=strategy, page_size=SMALL_PAGE_SIZE))
+    index.load(generator.initial_objects())
+    return index, generator
+
+
+class TestExperimentConfig:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputExperiment(num_operations=0)
+        with pytest.raises(ValueError):
+            ThroughputExperiment(update_fraction=1.5)
+
+
+class TestRecording:
+    def test_traces_capture_every_operation(self):
+        index, generator = loaded("GBU")
+        experiment = ThroughputExperiment(num_operations=120, update_fraction=0.5, num_clients=8)
+        traces = record_traces(index, generator, experiment)
+        assert len(traces) == 120
+        kinds = {trace.kind for trace in traces}
+        assert kinds == {"update", "query"}
+
+    def test_traces_have_positive_cost_and_lock_sets(self):
+        index, generator = loaded("TD")
+        experiment = ThroughputExperiment(num_operations=60, update_fraction=0.5, num_clients=8)
+        traces = record_traces(index, generator, experiment)
+        assert all(trace.physical_io >= 0 for trace in traces)
+        assert any(trace.lock_requests for trace in traces)
+
+    def test_recording_leaves_the_index_valid(self):
+        index, generator = loaded("GBU")
+        experiment = ThroughputExperiment(num_operations=100, update_fraction=0.8, num_clients=8)
+        record_traces(index, generator, experiment)
+        index.validate()
+
+    def test_access_log_detached_after_recording(self):
+        index, generator = loaded("GBU")
+        experiment = ThroughputExperiment(num_operations=10, update_fraction=0.5, num_clients=4)
+        record_traces(index, generator, experiment)
+        assert index.buffer.access_log is None
+
+
+class TestEndToEnd:
+    def test_throughput_positive_for_all_strategies(self):
+        for strategy in ("TD", "LBU", "GBU"):
+            index, generator = loaded(strategy, num_objects=500)
+            result = run_throughput(
+                index,
+                generator,
+                ThroughputExperiment(num_operations=150, update_fraction=0.5, num_clients=8),
+            )
+            assert result.throughput > 0
+            assert result.operations == 150
+
+    def test_gbu_beats_td_on_update_heavy_mix(self):
+        """The headline of Figure 8: under a 100 % update mix GBU sustains a
+        higher transaction rate than TD."""
+        results = {}
+        for strategy in ("TD", "GBU"):
+            index, generator = loaded(strategy, num_objects=800, seed=5)
+            results[strategy] = run_throughput(
+                index,
+                generator,
+                ThroughputExperiment(num_operations=250, update_fraction=1.0, num_clients=8),
+            )
+        assert results["GBU"].throughput > results["TD"].throughput
+
+    def test_pure_query_mix_equalises_td_and_lbu(self):
+        """With no updates, TD and LBU answer queries identically, so their
+        simulated throughput must match exactly."""
+        outcomes = {}
+        for strategy in ("TD", "LBU"):
+            index, generator = loaded(strategy, num_objects=500, seed=9)
+            outcomes[strategy] = run_throughput(
+                index,
+                generator,
+                ThroughputExperiment(num_operations=100, update_fraction=0.0, num_clients=8),
+            )
+        assert outcomes["TD"].throughput == pytest.approx(outcomes["LBU"].throughput, rel=1e-6)

@@ -1,0 +1,153 @@
+"""Tests for the :class:`repro.core.index.MovingObjectIndex` facade."""
+
+import random
+
+import pytest
+
+from repro.core import IndexConfig, MovingObjectIndex
+from repro.geometry import Point, Rect
+from repro.update import UpdateOutcome
+
+from tests.conftest import SMALL_PAGE_SIZE, make_points
+
+
+def fresh_index(strategy="GBU", **overrides):
+    return MovingObjectIndex(IndexConfig(strategy=strategy, page_size=SMALL_PAGE_SIZE, **overrides))
+
+
+class TestLoading:
+    def test_bulk_load_populates_index(self):
+        index = fresh_index()
+        index.load(make_points(300))
+        assert len(index) == 300
+        assert index.validate()["objects"] == 300
+
+    def test_bulk_load_resets_io_counters(self):
+        index = fresh_index()
+        index.load(make_points(300))
+        assert index.stats.total_physical_io == 0
+
+    def test_incremental_load(self):
+        index = fresh_index()
+        index.load(make_points(150), bulk=False)
+        assert len(index) == 150
+        index.validate()
+
+    def test_bulk_load_twice_rejected(self):
+        index = fresh_index()
+        index.load(make_points(50))
+        with pytest.raises(ValueError):
+            index.load(make_points(50))
+
+    def test_buffer_sized_from_database(self):
+        index = fresh_index(buffer_percent=10.0)
+        index.load(make_points(500))
+        assert index.buffer.capacity >= 1
+        unbuffered = fresh_index(buffer_percent=0.0)
+        unbuffered.load(make_points(500))
+        assert unbuffered.buffer.capacity == 0
+
+    def test_configure_buffer_can_be_resized_later(self):
+        index = fresh_index(buffer_percent=0.0)
+        index.load(make_points(400))
+        index.configure_buffer(percent=5.0)
+        assert index.buffer.capacity >= 1
+
+
+class TestDataOperations:
+    def test_insert_update_delete_roundtrip(self):
+        index = fresh_index()
+        index.load(make_points(100))
+        index.insert(1_000, Point(0.5, 0.5))
+        assert 1_000 in index
+        index.update(1_000, Point(0.6, 0.6))
+        assert index.position_of(1_000) == Point(0.6, 0.6)
+        assert index.delete(1_000)
+        assert 1_000 not in index
+        assert not index.delete(1_000)
+
+    def test_inserting_duplicate_oid_rejected(self):
+        index = fresh_index()
+        index.load(make_points(10))
+        with pytest.raises(ValueError):
+            index.insert(3, Point(0.9, 0.9))
+
+    def test_updating_unknown_oid_rejected(self):
+        index = fresh_index()
+        index.load(make_points(10))
+        with pytest.raises(KeyError):
+            index.update(999, Point(0.5, 0.5))
+
+    def test_update_returns_outcome(self):
+        index = fresh_index()
+        index.load(make_points(200))
+        outcome = index.update(5, Point(0.99, 0.01))
+        assert isinstance(outcome, UpdateOutcome)
+
+    def test_range_query_and_knn(self):
+        index = fresh_index()
+        points = make_points(300)
+        index.load(points)
+        window = Rect(0.2, 0.2, 0.5, 0.6)
+        expected = sorted(oid for oid, p in points if window.contains_point(p))
+        assert sorted(index.range_query(window)) == expected
+        nearest = index.knn(Point(0.5, 0.5), 5)
+        assert len(nearest) == 5
+        assert nearest == sorted(nearest)
+
+    def test_position_of_unknown_object_is_none(self):
+        index = fresh_index()
+        index.load(make_points(10))
+        assert index.position_of(404) is None
+
+
+class TestStatisticsAndIntegrity:
+    def test_io_snapshot_is_a_copy(self):
+        index = fresh_index()
+        index.load(make_points(200))
+        index.update(0, Point(0.4, 0.4))
+        snapshot = index.io_snapshot()
+        index.update(1, Point(0.6, 0.6))
+        assert index.stats.total_physical_io >= snapshot.total_physical_io
+
+    def test_reset_statistics_clears_io_and_outcomes(self):
+        index = fresh_index()
+        index.load(make_points(200))
+        index.update(0, Point(0.4, 0.4))
+        index.reset_statistics()
+        assert index.stats.total_physical_io == 0
+        assert index.strategy.update_count == 0
+
+    def test_validate_detects_hash_corruption(self):
+        index = fresh_index()
+        index.load(make_points(100))
+        index.hash_index._leaf_of[0] = 999_999
+        with pytest.raises(AssertionError):
+            index.validate()
+
+    def test_describe_mentions_strategy_and_size(self):
+        index = fresh_index(strategy="LBU")
+        index.load(make_points(120))
+        text = index.describe()
+        assert "LBU" in text
+        assert "objects=120" in text
+
+    def test_every_strategy_facade_round_trips(self):
+        for strategy in ("TD", "NAIVE", "LBU", "GBU"):
+            index = fresh_index(strategy=strategy)
+            index.load(make_points(150, seed=9))
+            rng = random.Random(1)
+            for _ in range(200):
+                index.update(rng.randrange(150), Point(rng.random(), rng.random()))
+            index.validate()
+
+    def test_summary_only_built_for_gbu(self):
+        assert fresh_index(strategy="GBU").summary is not None
+        assert fresh_index(strategy="TD").summary is None
+        assert fresh_index(strategy="LBU").summary is None
+
+    def test_charge_hash_io_can_be_disabled(self):
+        index = fresh_index(charge_hash_io=False)
+        index.load(make_points(100))
+        index.update(0, Point(0.2, 0.2))
+        assert index.stats.hash_index_reads == 0

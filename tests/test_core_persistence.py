@@ -1,0 +1,110 @@
+"""Tests for index checkpointing (save/load)."""
+
+import random
+
+import pytest
+
+from repro.core import IndexConfig, MovingObjectIndex, load_index, save_index
+from repro.geometry import Point, Rect
+
+from tests.conftest import SMALL_PAGE_SIZE, make_points
+
+
+def build_and_churn(strategy="GBU", num_objects=300, updates=400, seed=5):
+    index = MovingObjectIndex(IndexConfig(strategy=strategy, page_size=SMALL_PAGE_SIZE))
+    index.load(make_points(num_objects, seed=seed))
+    rng = random.Random(seed)
+    for _ in range(updates):
+        oid = rng.randrange(num_objects)
+        p = index.position_of(oid)
+        index.update(oid, Point(
+            min(1, max(0, p.x + rng.uniform(-0.05, 0.05))),
+            min(1, max(0, p.y + rng.uniform(-0.05, 0.05))),
+        ))
+    return index
+
+
+class TestRoundTrip:
+    def test_restored_index_passes_validation(self, tmp_path):
+        original = build_and_churn()
+        checkpoint = tmp_path / "index.json"
+        save_index(original, checkpoint)
+        restored = load_index(checkpoint)
+        restored.validate()
+
+    def test_restored_index_answers_queries_identically(self, tmp_path):
+        original = build_and_churn()
+        checkpoint = tmp_path / "index.json"
+        save_index(original, checkpoint)
+        restored = load_index(checkpoint)
+        rng = random.Random(9)
+        for _ in range(30):
+            cx, cy, s = rng.random(), rng.random(), rng.uniform(0, 0.3)
+            window = Rect(max(0, cx - s), max(0, cy - s), min(1, cx + s), min(1, cy + s))
+            assert sorted(restored.range_query(window)) == sorted(original.range_query(window))
+
+    def test_restored_index_preserves_configuration(self, tmp_path):
+        original = build_and_churn(strategy="LBU")
+        checkpoint = tmp_path / "lbu.json"
+        save_index(original, checkpoint)
+        restored = load_index(checkpoint)
+        assert restored.config.strategy == "LBU"
+        assert restored.config.page_size == SMALL_PAGE_SIZE
+        assert restored.config.params == original.config.params
+
+    def test_restored_index_accepts_further_updates(self, tmp_path):
+        original = build_and_churn()
+        checkpoint = tmp_path / "index.json"
+        save_index(original, checkpoint)
+        restored = load_index(checkpoint)
+        rng = random.Random(11)
+        for _ in range(300):
+            oid = rng.randrange(len(restored))
+            restored.update(oid, Point(rng.random(), rng.random()))
+        restored.insert(999_999, Point(0.5, 0.5))
+        assert restored.delete(999_999)
+        restored.validate()
+
+    def test_positions_survive_the_round_trip(self, tmp_path):
+        original = build_and_churn(num_objects=150, updates=200)
+        checkpoint = tmp_path / "index.json"
+        save_index(original, checkpoint)
+        restored = load_index(checkpoint)
+        for oid in range(150):
+            restored_position = restored.position_of(oid)
+            original_position = original.position_of(oid)
+            assert restored_position is not None
+            # Coordinates travel through the 32-bit on-page format, so the
+            # restored position matches to single precision.
+            assert restored_position.x == pytest.approx(original_position.x, abs=1e-6)
+            assert restored_position.y == pytest.approx(original_position.y, abs=1e-6)
+
+    def test_every_strategy_round_trips(self, tmp_path):
+        for strategy in ("TD", "NAIVE", "LBU", "GBU"):
+            original = build_and_churn(strategy=strategy, num_objects=200, updates=200)
+            checkpoint = tmp_path / f"{strategy}.json"
+            save_index(original, checkpoint)
+            restored = load_index(checkpoint)
+            restored.validate()
+            assert sorted(restored.range_query(Rect.unit())) == sorted(
+                original.range_query(Rect.unit())
+            )
+
+    def test_unsupported_format_version_rejected(self, tmp_path):
+        original = build_and_churn(num_objects=100, updates=50)
+        checkpoint = tmp_path / "index.json"
+        save_index(original, checkpoint)
+        import json
+
+        document = json.loads(checkpoint.read_text())
+        document["format_version"] = 999
+        checkpoint.write_text(json.dumps(document))
+        with pytest.raises(ValueError):
+            load_index(checkpoint)
+
+    def test_io_counters_start_fresh_after_load(self, tmp_path):
+        original = build_and_churn(num_objects=100, updates=100)
+        checkpoint = tmp_path / "index.json"
+        save_index(original, checkpoint)
+        restored = load_index(checkpoint)
+        assert restored.stats.total_physical_io == 0

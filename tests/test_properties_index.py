@@ -1,0 +1,105 @@
+"""Property-based end-to-end tests of the MovingObjectIndex.
+
+A random sequence of operations (updates of varying distance, inserts,
+deletes, window queries) is applied both to the real index and to a trivial
+in-memory oracle (a dictionary of positions).  After every batch the index
+must agree with the oracle on every query and pass full structural
+validation.  The property is checked for each update strategy, which is the
+strongest statement the library makes: no strategy ever loses, duplicates or
+misplaces an object.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import IndexConfig, MovingObjectIndex
+from repro.geometry import Point, Rect
+
+from tests.conftest import SMALL_PAGE_SIZE
+
+
+operation = st.sampled_from(["small_move", "large_move", "insert", "delete", "query"])
+
+
+@st.composite
+def operation_sequences(draw):
+    length = draw(st.integers(min_value=20, max_value=80))
+    return [draw(operation) for _ in range(length)], draw(st.integers(0, 2**16))
+
+
+def run_sequence(strategy: str, operations, seed: int):
+    rng = random.Random(seed)
+    config = IndexConfig(strategy=strategy, page_size=SMALL_PAGE_SIZE, buffer_percent=1.0)
+    index = MovingObjectIndex(config)
+    oracle = {
+        oid: Point(rng.random(), rng.random()) for oid in range(120)
+    }
+    index.load(list(oracle.items()))
+    next_oid = 1_000
+
+    for op in operations:
+        if op in ("small_move", "large_move") and oracle:
+            oid = rng.choice(list(oracle))
+            step = 0.01 if op == "small_move" else 0.4
+            old = oracle[oid]
+            new = Point(
+                min(1, max(0, old.x + rng.uniform(-step, step))),
+                min(1, max(0, old.y + rng.uniform(-step, step))),
+            )
+            index.update(oid, new)
+            oracle[oid] = new
+        elif op == "insert":
+            point = Point(rng.random(), rng.random())
+            index.insert(next_oid, point)
+            oracle[next_oid] = point
+            next_oid += 1
+        elif op == "delete" and len(oracle) > 30:
+            oid = rng.choice(list(oracle))
+            assert index.delete(oid)
+            del oracle[oid]
+        elif op == "query":
+            cx, cy, s = rng.random(), rng.random(), rng.uniform(0, 0.3)
+            window = Rect(max(0, cx - s), max(0, cy - s), min(1, cx + s), min(1, cy + s))
+            expected = sorted(oid for oid, p in oracle.items() if window.contains_point(p))
+            assert sorted(index.range_query(window)) == expected
+
+    # Final checks: full agreement plus structural validity.
+    assert sorted(index.range_query(Rect.unit())) == sorted(oracle)
+    index.validate()
+    return index
+
+
+SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@SETTINGS
+@given(operation_sequences())
+def test_gbu_index_agrees_with_oracle(case):
+    operations, seed = case
+    run_sequence("GBU", operations, seed)
+
+
+@SETTINGS
+@given(operation_sequences())
+def test_lbu_index_agrees_with_oracle(case):
+    operations, seed = case
+    run_sequence("LBU", operations, seed)
+
+
+@SETTINGS
+@given(operation_sequences())
+def test_td_index_agrees_with_oracle(case):
+    operations, seed = case
+    run_sequence("TD", operations, seed)
+
+
+@SETTINGS
+@given(operation_sequences())
+def test_naive_index_agrees_with_oracle(case):
+    operations, seed = case
+    run_sequence("NAIVE", operations, seed)

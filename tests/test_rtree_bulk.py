@@ -1,0 +1,115 @@
+"""Tests for STR bulk loading."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.rtree import RTree, bulk_load_str, validate_tree
+from repro.storage import BufferPool, DiskManager, IOStatistics, PageLayout
+
+from tests.conftest import SMALL_PAGE_SIZE, make_points
+
+
+def fresh_tree(**kwargs):
+    stats = IOStatistics()
+    disk = DiskManager(page_size=SMALL_PAGE_SIZE, stats=stats)
+    pool = BufferPool(disk, capacity=0, stats=stats)
+    return RTree(pool, layout=PageLayout(page_size=SMALL_PAGE_SIZE), **kwargs)
+
+
+class TestBulkLoadStructure:
+    def test_loaded_tree_is_valid_and_well_filled(self):
+        tree = fresh_tree()
+        objects = make_points(800)
+        bulk_load_str(tree, objects)
+        stats = validate_tree(tree, expected_size=800, check_min_fill=True)
+        assert stats["objects"] == 800
+
+    def test_loading_empty_iterable_is_a_noop(self):
+        tree = fresh_tree()
+        bulk_load_str(tree, [])
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_single_object(self):
+        tree = fresh_tree()
+        bulk_load_str(tree, [(1, Point(0.5, 0.5))])
+        assert tree.point_query(Point(0.5, 0.5)) == [1]
+        validate_tree(tree, expected_size=1)
+
+    def test_loading_into_non_empty_tree_is_rejected(self):
+        tree = fresh_tree()
+        tree.insert(1, Point(0.1, 0.1))
+        with pytest.raises(ValueError):
+            bulk_load_str(tree, make_points(10))
+
+    def test_invalid_fill_factor_rejected(self):
+        tree = fresh_tree()
+        with pytest.raises(ValueError):
+            bulk_load_str(tree, make_points(10), fill_factor=0.0)
+        with pytest.raises(ValueError):
+            bulk_load_str(fresh_tree(), make_points(10), fill_factor=1.5)
+
+    def test_bulk_load_with_parent_pointers(self):
+        tree = fresh_tree(store_parent_pointers=True)
+        bulk_load_str(tree, make_points(600))
+        validate_tree(tree, expected_size=600)  # includes parent-pointer checks
+
+    def test_rect_objects_supported(self):
+        tree = fresh_tree()
+        rng = random.Random(2)
+        objects = []
+        for oid in range(100):
+            x, y = rng.random() * 0.9, rng.random() * 0.9
+            objects.append((oid, Rect(x, y, x + 0.05, y + 0.05)))
+        bulk_load_str(tree, objects)
+        validate_tree(tree, expected_size=100)
+
+
+class TestBulkLoadBehaviour:
+    def test_queries_match_inserted_tree(self):
+        objects = make_points(700, seed=13)
+        packed = fresh_tree()
+        bulk_load_str(packed, objects)
+        inserted = fresh_tree()
+        for oid, point in objects:
+            inserted.insert(oid, point)
+        rng = random.Random(5)
+        for _ in range(25):
+            cx, cy, side = rng.random(), rng.random(), rng.uniform(0, 0.2)
+            window = Rect(max(0, cx - side), max(0, cy - side), min(1, cx + side), min(1, cy + side))
+            assert sorted(packed.range_query(window)) == sorted(inserted.range_query(window))
+
+    def test_bulk_load_is_cheaper_than_repeated_insertion(self):
+        objects = make_points(700, seed=13)
+        packed = fresh_tree()
+        bulk_load_str(packed, objects)
+        inserted = fresh_tree()
+        for oid, point in objects:
+            inserted.insert(oid, point)
+        assert (
+            packed.disk.stats.total_physical_io < inserted.disk.stats.total_physical_io
+        )
+
+    def test_higher_fill_factor_gives_fewer_leaves(self):
+        objects = make_points(600, seed=3)
+        low = fresh_tree()
+        bulk_load_str(low, objects, fill_factor=0.5)
+        high = fresh_tree()
+        bulk_load_str(high, objects, fill_factor=1.0)
+        assert high.node_count()["leaf"] < low.node_count()["leaf"]
+
+    def test_updates_after_bulk_load_keep_tree_valid(self):
+        tree = fresh_tree()
+        objects = make_points(500)
+        bulk_load_str(tree, objects)
+        rng = random.Random(8)
+        live = dict(objects)
+        for oid in list(live)[:200]:
+            tree.delete(oid, live.pop(oid))
+        for oid in range(10_000, 10_200):
+            point = Point(rng.random(), rng.random())
+            tree.insert(oid, point)
+            live[oid] = point
+        validate_tree(tree, expected_size=len(live))

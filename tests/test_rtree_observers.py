@@ -1,0 +1,128 @@
+"""Tests for the tree observer mechanism."""
+
+from repro.geometry import Point
+from repro.rtree import RTree, TreeObserver
+from repro.rtree.observers import ObserverList
+from repro.storage import BufferPool, DiskManager, IOStatistics, PageLayout
+
+from tests.conftest import SMALL_PAGE_SIZE, make_points
+
+
+class RecordingObserver(TreeObserver):
+    def __init__(self):
+        self.created = []
+        self.written = []
+        self.deleted = []
+        self.root_changes = []
+        self.removed_objects = []
+
+    def on_node_created(self, node):
+        self.created.append(node.page_id)
+
+    def on_node_written(self, node):
+        self.written.append(node.page_id)
+
+    def on_node_deleted(self, node):
+        self.deleted.append(node.page_id)
+
+    def on_root_changed(self, root_page_id, height):
+        self.root_changes.append((root_page_id, height))
+
+    def on_object_removed(self, oid):
+        self.removed_objects.append(oid)
+
+
+def make_tree():
+    stats = IOStatistics()
+    disk = DiskManager(page_size=SMALL_PAGE_SIZE, stats=stats)
+    return RTree(BufferPool(disk, 0, stats), layout=PageLayout(page_size=SMALL_PAGE_SIZE))
+
+
+class TestObserverEvents:
+    def test_writes_are_reported(self):
+        tree = make_tree()
+        observer = RecordingObserver()
+        tree.register_observer(observer)
+        tree.insert(1, Point(0.5, 0.5))
+        assert tree.root_page_id in observer.written
+
+    def test_root_change_reported_on_growth(self):
+        tree = make_tree()
+        observer = RecordingObserver()
+        tree.register_observer(observer)
+        for oid, point in make_points(tree.leaf_capacity + 1):
+            tree.insert(oid, point)
+        assert observer.root_changes
+        last_root, last_height = observer.root_changes[-1]
+        assert last_root == tree.root_page_id
+        assert last_height == tree.height == 2
+
+    def test_node_creation_reported_on_split(self):
+        tree = make_tree()
+        observer = RecordingObserver()
+        tree.register_observer(observer)
+        for oid, point in make_points(tree.leaf_capacity + 1):
+            tree.insert(oid, point)
+        # The split creates at least the sibling leaf and the new root.
+        assert len(observer.created) >= 2
+
+    def test_object_removal_reported_on_delete(self):
+        tree = make_tree()
+        observer = RecordingObserver()
+        tree.register_observer(observer)
+        tree.insert(5, Point(0.2, 0.2))
+        tree.delete(5, Point(0.2, 0.2))
+        assert observer.removed_objects == [5]
+
+    def test_node_deletion_reported_when_nodes_dissolve(self):
+        tree = make_tree()
+        observer = RecordingObserver()
+        tree.register_observer(observer)
+        points = make_points(200)
+        for oid, point in points:
+            tree.insert(oid, point)
+        for oid, point in points:
+            tree.delete(oid, point)
+        assert observer.deleted  # underflowing nodes were dissolved
+
+    def test_unregistered_observer_stops_receiving_events(self):
+        tree = make_tree()
+        observer = RecordingObserver()
+        tree.register_observer(observer)
+        tree.insert(1, Point(0.1, 0.1))
+        seen = len(observer.written)
+        tree.unregister_observer(observer)
+        tree.insert(2, Point(0.2, 0.2))
+        assert len(observer.written) == seen
+
+    def test_observer_registration_is_idempotent(self):
+        tree = make_tree()
+        observer = RecordingObserver()
+        tree.register_observer(observer)
+        tree.register_observer(observer)
+        tree.insert(1, Point(0.3, 0.3))
+        # Each write event is delivered once, not twice.
+        assert observer.written.count(tree.root_page_id) == observer.written.count(
+            tree.root_page_id
+        )
+        assert len(tree.observers) == 1
+
+
+class TestObserverList:
+    def test_len_and_iteration(self):
+        observers = ObserverList()
+        first, second = RecordingObserver(), RecordingObserver()
+        observers.register(first)
+        observers.register(second)
+        assert len(observers) == 2
+        assert list(observers) == [first, second]
+
+    def test_unregister_missing_observer_is_silent(self):
+        observers = ObserverList()
+        observers.unregister(RecordingObserver())  # must not raise
+
+    def test_base_observer_handlers_are_noops(self):
+        # The base class must be safely subclassable with partial overrides.
+        observer = TreeObserver()
+        observer.on_root_changed(1, 1)
+        observer.on_object_removed(2)

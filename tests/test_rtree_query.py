@@ -1,0 +1,106 @@
+"""Tests of window queries, point queries and the kNN extension."""
+
+import random
+
+from repro.geometry import Point, Rect
+from repro.rtree import RTree
+from repro.storage import BufferPool, DiskManager, IOStatistics, PageLayout
+
+from tests.conftest import SMALL_PAGE_SIZE, make_points
+
+
+def loaded_tree(count=400, seed=7):
+    stats = IOStatistics()
+    disk = DiskManager(page_size=SMALL_PAGE_SIZE, stats=stats)
+    pool = BufferPool(disk, capacity=0, stats=stats)
+    tree = RTree(pool, layout=PageLayout(page_size=SMALL_PAGE_SIZE))
+    points = dict()
+    for oid, point in make_points(count, seed=seed):
+        tree.insert(oid, point)
+        points[oid] = point
+    return tree, points
+
+
+class TestRangeQuery:
+    def test_matches_brute_force_on_many_windows(self):
+        tree, points = loaded_tree()
+        rng = random.Random(3)
+        for _ in range(50):
+            cx, cy, side = rng.random(), rng.random(), rng.uniform(0, 0.3)
+            window = Rect(
+                max(0, cx - side), max(0, cy - side), min(1, cx + side), min(1, cy + side)
+            )
+            expected = sorted(oid for oid, p in points.items() if window.contains_point(p))
+            assert sorted(tree.range_query(window)) == expected
+
+    def test_whole_space_query_returns_everything(self):
+        tree, points = loaded_tree(count=200)
+        assert sorted(tree.range_query(Rect.unit())) == sorted(points)
+
+    def test_empty_region_returns_nothing(self):
+        tree, _points = loaded_tree(count=100)
+        # A sliver outside the unit square cannot contain any object.
+        assert tree.range_query(Rect(1.5, 1.5, 1.6, 1.6)) == []
+
+    def test_query_on_empty_tree(self):
+        stats = IOStatistics()
+        disk = DiskManager(page_size=SMALL_PAGE_SIZE, stats=stats)
+        tree = RTree(BufferPool(disk, 0, stats), layout=PageLayout(page_size=SMALL_PAGE_SIZE))
+        assert tree.range_query(Rect.unit()) == []
+
+    def test_boundary_points_are_included(self):
+        tree, _ = loaded_tree(count=0)
+        tree.insert(1, Point(0.5, 0.5))
+        assert tree.range_query(Rect(0.5, 0.5, 0.6, 0.6)) == [1]
+
+    def test_query_counts_io(self):
+        tree, _points = loaded_tree(count=400)
+        before = tree.disk.stats.physical_reads
+        tree.range_query(Rect(0.1, 0.1, 0.4, 0.4))
+        assert tree.disk.stats.physical_reads > before
+
+
+class TestPointQuery:
+    def test_point_query_finds_exact_object(self):
+        tree, points = loaded_tree(count=150)
+        oid, point = next(iter(points.items()))
+        assert oid in tree.point_query(point)
+
+    def test_point_query_misses_unoccupied_location(self):
+        tree, points = loaded_tree(count=10, seed=1)
+        probe = Point(0.987654, 0.123456)
+        expected = [oid for oid, p in points.items() if p == probe]
+        assert tree.point_query(probe) == expected
+
+
+class TestKnn:
+    def test_knn_matches_brute_force(self):
+        tree, points = loaded_tree(count=300)
+        rng = random.Random(4)
+        for _ in range(10):
+            probe = Point(rng.random(), rng.random())
+            result = tree.knn(probe, 7)
+            brute = sorted((p.distance_to(probe), oid) for oid, p in points.items())[:7]
+            assert [oid for _, oid in result] == [oid for _, oid in brute]
+
+    def test_knn_distances_are_sorted(self):
+        tree, _points = loaded_tree(count=200)
+        result = tree.knn(Point(0.5, 0.5), 15)
+        distances = [distance for distance, _ in result]
+        assert distances == sorted(distances)
+
+    def test_knn_k_larger_than_population(self):
+        tree, points = loaded_tree(count=5, seed=2)
+        result = tree.knn(Point(0.5, 0.5), 50)
+        assert len(result) == len(points)
+
+    def test_knn_zero_or_negative_k(self):
+        tree, _points = loaded_tree(count=20)
+        assert tree.knn(Point(0.5, 0.5), 0) == []
+        assert tree.knn(Point(0.5, 0.5), -3) == []
+
+    def test_knn_on_empty_tree(self):
+        stats = IOStatistics()
+        disk = DiskManager(page_size=SMALL_PAGE_SIZE, stats=stats)
+        tree = RTree(BufferPool(disk, 0, stats), layout=PageLayout(page_size=SMALL_PAGE_SIZE))
+        assert tree.knn(Point(0.5, 0.5), 3) == []

@@ -1,0 +1,113 @@
+"""Unit tests for the node split strategies."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect, union_all
+from repro.rtree import Entry, LinearSplit, QuadraticSplit, RStarSplit
+from repro.rtree.split import make_split_strategy
+
+
+def point_entries(coordinates):
+    return [Entry(Rect.from_point(Point(x, y)), oid) for oid, (x, y) in enumerate(coordinates)]
+
+
+def random_entries(count, seed=3):
+    rng = random.Random(seed)
+    return point_entries([(rng.random(), rng.random()) for _ in range(count)])
+
+
+ALL_STRATEGIES = [QuadraticSplit(), LinearSplit(), RStarSplit()]
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+class TestSplitContracts:
+    """Invariants every split algorithm must satisfy."""
+
+    def test_groups_partition_the_entries(self, strategy):
+        entries = random_entries(20)
+        group_a, group_b = strategy.split(entries, min_entries=4)
+        combined = sorted(entry.child for entry in group_a + group_b)
+        assert combined == sorted(entry.child for entry in entries)
+
+    def test_both_groups_meet_minimum_fill(self, strategy):
+        entries = random_entries(25)
+        group_a, group_b = strategy.split(entries, min_entries=8)
+        assert len(group_a) >= 8
+        assert len(group_b) >= 8
+
+    def test_groups_are_disjoint(self, strategy):
+        entries = random_entries(16)
+        group_a, group_b = strategy.split(entries, min_entries=4)
+        assert not ({e.child for e in group_a} & {e.child for e in group_b})
+
+    def test_split_of_identical_rectangles(self, strategy):
+        entries = point_entries([(0.5, 0.5)] * 10)
+        group_a, group_b = strategy.split(entries, min_entries=3)
+        assert len(group_a) + len(group_b) == 10
+        assert len(group_a) >= 3 and len(group_b) >= 3
+
+    def test_split_rejects_too_few_entries(self, strategy):
+        with pytest.raises(ValueError):
+            strategy.split(point_entries([(0.1, 0.1)]), min_entries=1)
+
+    def test_split_rejects_unsatisfiable_minimum(self, strategy):
+        with pytest.raises(ValueError):
+            strategy.split(random_entries(5), min_entries=3)
+
+    def test_split_rejects_zero_minimum(self, strategy):
+        with pytest.raises(ValueError):
+            strategy.split(random_entries(6), min_entries=0)
+
+    def test_split_separates_two_clusters(self, strategy):
+        """Entries forming two well-separated clusters should not be mixed
+        so badly that the two group MBRs cover each other entirely."""
+        cluster_a = [(0.1 + 0.01 * i, 0.1) for i in range(6)]
+        cluster_b = [(0.9 - 0.01 * i, 0.9) for i in range(6)]
+        entries = point_entries(cluster_a + cluster_b)
+        group_a, group_b = strategy.split(entries, min_entries=4)
+        mbr_a = union_all(e.rect for e in group_a)
+        mbr_b = union_all(e.rect for e in group_b)
+        # The overlap between the two group MBRs must be smaller than either
+        # MBR (i.e. the split actually separated something).
+        assert mbr_a.overlap_area(mbr_b) < max(mbr_a.area(), mbr_b.area()) + 1e-9
+
+
+class TestQuadraticSeeds:
+    def test_seeds_are_the_most_wasteful_pair(self):
+        entries = point_entries([(0.0, 0.0), (1.0, 1.0), (0.5, 0.5), (0.49, 0.51)])
+        seed_a, seed_b = QuadraticSplit._pick_seeds(entries)
+        assert {seed_a, seed_b} == {0, 1}
+
+
+class TestLinearSeeds:
+    def test_degenerate_identical_entries_fall_back(self):
+        entries = point_entries([(0.5, 0.5)] * 4)
+        assert LinearSplit._pick_seeds(entries) == (0, 1)
+
+
+class TestRStarQuality:
+    def test_rstar_overlap_not_worse_than_quadratic_on_grid(self):
+        rng = random.Random(11)
+        entries = point_entries([(rng.random(), rng.random()) for _ in range(30)])
+        quadratic = QuadraticSplit().split(list(entries), min_entries=10)
+        rstar = RStarSplit().split(list(entries), min_entries=10)
+
+        def overlap(groups):
+            mbr_a = union_all(e.rect for e in groups[0])
+            mbr_b = union_all(e.rect for e in groups[1])
+            return mbr_a.overlap_area(mbr_b)
+
+        assert overlap(rstar) <= overlap(quadratic) + 1e-9
+
+
+class TestFactory:
+    def test_factory_builds_each_strategy(self):
+        assert make_split_strategy("quadratic").name == "quadratic"
+        assert make_split_strategy("linear").name == "linear"
+        assert make_split_strategy("rstar").name == "rstar"
+
+    def test_factory_rejects_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_split_strategy("greedy")

@@ -1,0 +1,153 @@
+"""Unit tests for :class:`repro.storage.buffer.BufferPool`."""
+
+import pytest
+
+from repro.storage import BufferPool, DiskManager, IOStatistics
+
+
+def make_stack(capacity: int):
+    stats = IOStatistics()
+    disk = DiskManager(page_size=128, stats=stats)
+    pool = BufferPool(disk, capacity=capacity, stats=stats)
+    return stats, disk, pool
+
+
+class TestUnbuffered:
+    def test_every_access_is_physical(self):
+        stats, disk, pool = make_stack(capacity=0)
+        page = disk.allocate_page()
+        pool.write(page, "a")
+        pool.read(page)
+        pool.read(page)
+        assert stats.physical_writes == 1
+        assert stats.physical_reads == 2
+        assert stats.buffer_hits == 0
+
+    def test_write_is_immediately_visible_on_disk(self):
+        _, disk, pool = make_stack(capacity=0)
+        page = disk.allocate_page()
+        pool.write(page, "payload")
+        assert disk.peek(page) == "payload"
+
+
+class TestBuffered:
+    def test_repeated_reads_hit_the_buffer(self):
+        stats, disk, pool = make_stack(capacity=4)
+        page = disk.allocate_page()
+        disk.write_page(page, "a")
+        pool.read(page)
+        pool.read(page)
+        pool.read(page)
+        assert stats.physical_reads == 1
+        assert stats.buffer_hits == 2
+
+    def test_writes_are_absorbed_until_eviction(self):
+        stats, disk, pool = make_stack(capacity=2)
+        page = disk.allocate_page()
+        disk.write_page(page, "original")
+        physical_writes_before = stats.physical_writes
+        pool.write(page, "updated")
+        assert stats.physical_writes == physical_writes_before  # write-back
+        assert pool.read(page) == "updated"  # served from the pool
+
+    def test_dirty_eviction_writes_back(self):
+        stats, disk, pool = make_stack(capacity=1)
+        a, b = disk.allocate_page(), disk.allocate_page()
+        disk.write_page(a, "a0")
+        disk.write_page(b, "b0")
+        pool.write(a, "a1")     # dirty frame for a
+        pool.read(b)            # evicts a, forcing the write-back
+        assert disk.peek(a) == "a1"
+        assert stats.dirty_evictions == 1
+
+    def test_lru_eviction_order(self):
+        _, disk, pool = make_stack(capacity=2)
+        a, b, c = (disk.allocate_page() for _ in range(3))
+        for page, value in ((a, "a"), (b, "b"), (c, "c")):
+            disk.write_page(page, value)
+        pool.read(a)
+        pool.read(b)
+        pool.read(a)          # a is now most recently used
+        pool.read(c)          # evicts b
+        assert set(pool.resident_pages()) == {a, c}
+
+    def test_flush_writes_all_dirty_frames(self):
+        _, disk, pool = make_stack(capacity=4)
+        pages = [disk.allocate_page() for _ in range(3)]
+        for page in pages:
+            disk.write_page(page, "orig")
+            pool.write(page, f"new{page}")
+        written = pool.flush()
+        assert written == 3
+        for page in pages:
+            assert disk.peek(page) == f"new{page}"
+
+    def test_clear_empties_the_pool(self):
+        _, disk, pool = make_stack(capacity=4)
+        page = disk.allocate_page()
+        disk.write_page(page, "x")
+        pool.read(page)
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_discard_drops_dirty_frame_without_writeback(self):
+        _, disk, pool = make_stack(capacity=4)
+        page = disk.allocate_page()
+        disk.write_page(page, "original")
+        pool.write(page, "doomed")
+        pool.discard(page)
+        pool.flush()
+        assert disk.peek(page) == "original"
+
+    def test_negative_capacity_rejected(self):
+        stats = IOStatistics()
+        disk = DiskManager(stats=stats)
+        with pytest.raises(ValueError):
+            BufferPool(disk, capacity=-1)
+
+    def test_dirty_count(self):
+        _, disk, pool = make_stack(capacity=4)
+        page = disk.allocate_page()
+        disk.write_page(page, "x")
+        assert pool.dirty_count == 0
+        pool.write(page, "y")
+        assert pool.dirty_count == 1
+
+
+class TestSizing:
+    def test_for_percentage_computes_capacity(self):
+        stats = IOStatistics()
+        disk = DiskManager(stats=stats)
+        pool = BufferPool.for_percentage(disk, 10.0, database_pages=200, stats=stats)
+        assert pool.capacity == 20
+
+    def test_for_percentage_rounds_up_to_one_page(self):
+        stats = IOStatistics()
+        disk = DiskManager(stats=stats)
+        pool = BufferPool.for_percentage(disk, 1.0, database_pages=10, stats=stats)
+        assert pool.capacity == 1
+
+    def test_for_percentage_zero_disables_buffering(self):
+        stats = IOStatistics()
+        disk = DiskManager(stats=stats)
+        pool = BufferPool.for_percentage(disk, 0.0, database_pages=1000, stats=stats)
+        assert pool.capacity == 0
+
+    def test_for_percentage_negative_rejected(self):
+        disk = DiskManager()
+        with pytest.raises(ValueError):
+            BufferPool.for_percentage(disk, -1.0, database_pages=10)
+
+
+class TestAccessLog:
+    def test_accesses_recorded_when_log_attached(self):
+        _, disk, pool = make_stack(capacity=2)
+        page = disk.allocate_page()
+        disk.write_page(page, "x")
+        log = []
+        pool.access_log = log
+        pool.read(page)
+        pool.write(page, "y")
+        pool.access_log = None
+        pool.read(page)
+        assert log == [("read", page), ("write", page)]

@@ -1,0 +1,127 @@
+"""Tests for the binary node codec and its agreement with the page-size model."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.rtree import Entry, Node, RTree
+from repro.storage import BufferPool, DiskManager, IOStatistics, PageLayout
+from repro.storage.serialization import (
+    SerializationError,
+    deserialize_node,
+    serialize_node,
+    serialized_size,
+)
+
+from tests.conftest import SMALL_PAGE_SIZE, make_points
+
+
+def leaf_with(count, seed=3, page_id=7):
+    rng = random.Random(seed)
+    entries = [
+        Entry(Rect.from_point(Point(rng.random(), rng.random())), oid) for oid in range(count)
+    ]
+    return Node(page_id=page_id, level=0, entries=entries)
+
+
+class TestRoundTrip:
+    def test_leaf_round_trip_preserves_structure(self):
+        layout = PageLayout(page_size=SMALL_PAGE_SIZE)
+        node = leaf_with(8)
+        restored = deserialize_node(node.page_id, serialize_node(node, layout), layout)
+        assert restored.page_id == node.page_id
+        assert restored.level == node.level
+        assert [e.child for e in restored.entries] == [e.child for e in node.entries]
+        for original, copy in zip(node.entries, restored.entries):
+            assert copy.rect.as_tuple() == pytest.approx(original.rect.as_tuple(), rel=1e-6)
+
+    def test_internal_node_round_trip(self):
+        layout = PageLayout(page_size=SMALL_PAGE_SIZE)
+        node = Node(
+            page_id=3,
+            level=2,
+            entries=[Entry(Rect(0.1, 0.1, 0.4, 0.5), 11), Entry(Rect(0.5, 0.2, 0.9, 0.8), 12)],
+        )
+        restored = deserialize_node(3, serialize_node(node, layout), layout)
+        assert restored.level == 2
+        assert restored.child_ids() == [11, 12]
+
+    def test_parent_pointer_round_trip(self):
+        layout = PageLayout(page_size=SMALL_PAGE_SIZE)
+        node = leaf_with(3)
+        node.parent_page_id = 42
+        restored = deserialize_node(node.page_id, serialize_node(node, layout), layout)
+        assert restored.parent_page_id == 42
+
+    def test_missing_parent_pointer_round_trip(self):
+        layout = PageLayout(page_size=SMALL_PAGE_SIZE)
+        restored = deserialize_node(1, serialize_node(leaf_with(3), layout), layout)
+        assert restored.parent_page_id is None
+
+    def test_stored_mbr_round_trip(self):
+        layout = PageLayout(page_size=SMALL_PAGE_SIZE)
+        node = leaf_with(3)
+        node.stored_mbr = Rect(0.0, 0.0, 0.75, 0.75)
+        restored = deserialize_node(node.page_id, serialize_node(node, layout), layout)
+        assert restored.stored_mbr is not None
+        assert restored.stored_mbr.as_tuple() == pytest.approx((0.0, 0.0, 0.75, 0.75))
+
+    def test_empty_node_round_trip(self):
+        layout = PageLayout(page_size=SMALL_PAGE_SIZE)
+        node = Node(page_id=1, level=0)
+        restored = deserialize_node(1, serialize_node(node, layout), layout)
+        assert restored.entries == []
+
+
+class TestSizeModelAgreement:
+    def test_full_leaf_fits_in_its_page(self):
+        """The fan-out promised by PageLayout must be honoured by the codec."""
+        for page_size in (256, 512, 1024, 4096):
+            layout = PageLayout(page_size=page_size)
+            node = leaf_with(layout.leaf_capacity(), page_id=1)
+            image = serialize_node(node, layout)
+            assert len(image) <= page_size
+
+    def test_full_internal_node_fits_in_its_page(self):
+        layout = PageLayout(page_size=SMALL_PAGE_SIZE)
+        entries = [
+            Entry(Rect(0.0, 0.0, 0.1, 0.1), child) for child in range(layout.internal_capacity)
+        ]
+        node = Node(page_id=1, level=1, entries=entries)
+        assert len(serialize_node(node, layout)) <= SMALL_PAGE_SIZE
+
+    def test_overflowing_node_is_rejected(self):
+        layout = PageLayout(page_size=SMALL_PAGE_SIZE)
+        node = leaf_with(layout.leaf_capacity() * 3)
+        with pytest.raises(SerializationError):
+            serialize_node(node, layout)
+
+    def test_serialized_size_matches_encoding(self):
+        layout = PageLayout(page_size=1024)
+        node = leaf_with(17)
+        assert serialized_size(node, layout) == len(serialize_node(node, layout))
+
+    def test_truncated_image_rejected(self):
+        layout = PageLayout(page_size=SMALL_PAGE_SIZE)
+        image = serialize_node(leaf_with(5), layout)
+        with pytest.raises(SerializationError):
+            deserialize_node(1, image[: len(image) - 4], layout)
+        with pytest.raises(SerializationError):
+            deserialize_node(1, b"\x01\x02", layout)
+
+
+class TestWholeTreeSerialization:
+    def test_every_node_of_a_real_tree_serializes_within_its_page(self):
+        stats = IOStatistics()
+        disk = DiskManager(page_size=SMALL_PAGE_SIZE, stats=stats)
+        layout = PageLayout(page_size=SMALL_PAGE_SIZE)
+        tree = RTree(BufferPool(disk, 0, stats), layout=layout)
+        for oid, point in make_points(600):
+            tree.insert(oid, point)
+        for node, _parent in tree.iter_nodes():
+            image = serialize_node(node, layout)
+            assert len(image) <= SMALL_PAGE_SIZE
+            restored = deserialize_node(node.page_id, image, layout)
+            assert restored.child_ids() == node.child_ids()
+            assert restored.level == node.level

@@ -1,0 +1,80 @@
+"""Unit tests for :class:`repro.storage.stats.IOStatistics`."""
+
+import pytest
+
+from repro.storage import IOStatistics
+
+
+class TestCounters:
+    def test_counters_start_at_zero(self):
+        stats = IOStatistics()
+        assert stats.total_physical_io == 0
+        assert stats.total_logical_io == 0
+        assert stats.hit_ratio == 0.0
+
+    def test_total_physical_io_includes_hash_probes(self):
+        stats = IOStatistics(physical_reads=3, physical_writes=2, hash_index_reads=4)
+        assert stats.total_physical_io == 9
+
+    def test_hit_ratio(self):
+        stats = IOStatistics(logical_reads=10, buffer_hits=4)
+        assert stats.hit_ratio == pytest.approx(0.4)
+
+    def test_bump_labelled_counter(self):
+        stats = IOStatistics()
+        stats.bump("splits")
+        stats.bump("splits", 2)
+        assert stats.extra["splits"] == 3
+
+
+class TestSnapshotAndDelta:
+    def test_snapshot_is_independent_copy(self):
+        stats = IOStatistics(physical_reads=1)
+        snap = stats.snapshot()
+        stats.physical_reads += 5
+        assert snap.physical_reads == 1
+
+    def test_snapshot_copies_extra_counters(self):
+        stats = IOStatistics()
+        stats.bump("splits")
+        snap = stats.snapshot()
+        stats.bump("splits")
+        assert snap.extra["splits"] == 1
+
+    def test_delta_since(self):
+        stats = IOStatistics(physical_reads=2, physical_writes=1)
+        before = stats.snapshot()
+        stats.physical_reads += 3
+        stats.hash_index_reads += 1
+        delta = stats.delta_since(before)
+        assert delta.physical_reads == 3
+        assert delta.physical_writes == 0
+        assert delta.hash_index_reads == 1
+        assert delta.total_physical_io == 4
+
+    def test_delta_of_extra_counters(self):
+        stats = IOStatistics()
+        stats.bump("splits", 2)
+        before = stats.snapshot()
+        stats.bump("splits", 3)
+        stats.bump("merges", 1)
+        delta = stats.delta_since(before)
+        assert delta.extra == {"splits": 3, "merges": 1}
+
+
+class TestResetAndExport:
+    def test_reset_zeroes_everything(self):
+        stats = IOStatistics(physical_reads=5, logical_writes=2)
+        stats.bump("splits")
+        stats.reset()
+        assert stats.physical_reads == 0
+        assert stats.logical_writes == 0
+        assert stats.extra == {}
+
+    def test_as_dict_contains_core_and_extra_keys(self):
+        stats = IOStatistics(physical_reads=1, physical_writes=2, hash_index_reads=3)
+        stats.bump("splits", 7)
+        exported = stats.as_dict()
+        assert exported["physical_reads"] == 1
+        assert exported["total_physical_io"] == 6
+        assert exported["splits"] == 7

@@ -1,0 +1,110 @@
+"""Tests for summary-assisted window queries (Section 3.2)."""
+
+import random
+
+from repro.geometry import Rect
+from repro.rtree import RTree
+from repro.storage import BufferPool, DiskManager, IOStatistics, PageLayout
+from repro.summary import SummaryStructure, summary_guided_range_query
+
+from tests.conftest import SMALL_PAGE_SIZE, make_points
+
+
+def setup(count=600):
+    stats = IOStatistics()
+    disk = DiskManager(page_size=SMALL_PAGE_SIZE, stats=stats)
+    tree = RTree(BufferPool(disk, 0, stats), layout=PageLayout(page_size=SMALL_PAGE_SIZE))
+    points = dict(make_points(count))
+    for oid, point in points.items():
+        tree.insert(oid, point)
+    summary = SummaryStructure.build_from_tree(tree)
+    return tree, summary, points, stats
+
+
+def random_windows(count, seed=6, max_side=0.3):
+    rng = random.Random(seed)
+    windows = []
+    for _ in range(count):
+        cx, cy = rng.random(), rng.random()
+        w, h = rng.uniform(0, max_side), rng.uniform(0, max_side)
+        windows.append(
+            Rect(max(0, cx - w / 2), max(0, cy - h / 2), min(1, cx + w / 2), min(1, cy + h / 2))
+        )
+    return windows
+
+
+class TestCorrectness:
+    def test_results_match_plain_range_query(self):
+        tree, summary, _points, _ = setup()
+        for window in random_windows(40):
+            assert sorted(summary_guided_range_query(tree, summary, window)) == sorted(
+                tree.range_query(window)
+            )
+
+    def test_results_match_brute_force(self):
+        tree, summary, points, _ = setup(count=400)
+        for window in random_windows(25, seed=9):
+            expected = sorted(oid for oid, p in points.items() if window.contains_point(p))
+            assert sorted(summary_guided_range_query(tree, summary, window)) == expected
+
+    def test_disjoint_window_returns_nothing_without_io(self):
+        tree, summary, _points, stats = setup()
+        before = stats.physical_reads
+        result = summary_guided_range_query(tree, summary, Rect(2.0, 2.0, 3.0, 3.0))
+        assert result == []
+        assert stats.physical_reads == before  # pruned entirely in memory
+
+    def test_root_leaf_tree_falls_back_to_plain_query(self):
+        stats = IOStatistics()
+        disk = DiskManager(page_size=SMALL_PAGE_SIZE, stats=stats)
+        tree = RTree(BufferPool(disk, 0, stats), layout=PageLayout(page_size=SMALL_PAGE_SIZE))
+        for oid, point in make_points(4):
+            tree.insert(oid, point)
+        summary = SummaryStructure.build_from_tree(tree)
+        window = Rect.unit()
+        assert sorted(summary_guided_range_query(tree, summary, window)) == sorted(
+            tree.range_query(window)
+        )
+
+    def test_consistent_after_updates(self):
+        tree, summary, points, _ = setup(count=300)
+        # Move half of the objects via delete+insert and re-check equivalence.
+        rng = random.Random(12)
+        for oid in list(points)[:150]:
+            tree.delete(oid, points[oid])
+            from repro.geometry import Point
+
+            new_point = Point(rng.random(), rng.random())
+            tree.insert(oid, new_point)
+            points[oid] = new_point
+        for window in random_windows(20, seed=3):
+            expected = sorted(oid for oid, p in points.items() if window.contains_point(p))
+            assert sorted(summary_guided_range_query(tree, summary, window)) == expected
+
+
+class TestIOBehaviour:
+    def test_summary_query_reads_no_upper_internal_nodes(self):
+        """For trees of height >= 3 the summary-guided query must read fewer
+        (or equal) pages than the plain top-down query, because internal
+        levels above the leaf-parents are resolved in memory."""
+        tree, summary, _points, stats = setup(count=900)
+        assert tree.height >= 3
+        total_plain = 0
+        total_guided = 0
+        for window in random_windows(30, seed=4, max_side=0.4):
+            before = stats.physical_reads
+            tree.range_query(window)
+            total_plain += stats.physical_reads - before
+
+            before = stats.physical_reads
+            summary_guided_range_query(tree, summary, window)
+            total_guided += stats.physical_reads - before
+        assert total_guided <= total_plain
+        assert total_guided < total_plain  # strictly better in aggregate
+
+    def test_summary_query_never_writes(self):
+        tree, summary, _points, stats = setup()
+        before = stats.physical_writes
+        for window in random_windows(10):
+            summary_guided_range_query(tree, summary, window)
+        assert stats.physical_writes == before

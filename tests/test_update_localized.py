@@ -1,0 +1,137 @@
+"""Tests for LBU — the Localized Bottom-Up Update (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.rtree import RTree
+from repro.secondary import ObjectHashIndex
+from repro.storage import BufferPool, DiskManager, IOStatistics, PageLayout
+from repro.update import LocalizedBottomUpUpdate, UpdateOutcome
+
+from tests.conftest import build_index
+
+
+class TestConstruction:
+    def test_requires_parent_pointers(self):
+        stats = IOStatistics()
+        disk = DiskManager(page_size=256, stats=stats)
+        tree = RTree(
+            BufferPool(disk, 0, stats),
+            layout=PageLayout(page_size=256),
+            store_parent_pointers=False,
+        )
+        hash_index = ObjectHashIndex.build_from_tree(tree)
+        with pytest.raises(ValueError):
+            LocalizedBottomUpUpdate(tree, hash_index)
+
+    def test_index_config_builds_lbu_with_parent_pointers(self):
+        index = build_index("LBU")
+        assert index.tree.store_parent_pointers
+        assert index.config.needs_parent_pointers
+
+
+class TestUpdateOutcomes:
+    def test_tiny_move_is_in_place(self):
+        index = build_index("LBU", num_objects=300)
+        oid = 5
+        p = index.position_of(oid)
+        outcome = index.update(oid, Point(min(1, p.x + 1e-9), p.y))
+        assert outcome == UpdateOutcome.IN_PLACE
+
+    def test_cross_space_move_is_top_down(self):
+        index = build_index("LBU", num_objects=300)
+        oid = 5
+        p = index.position_of(oid)
+        outcome = index.update(oid, Point(1.0 - p.x, 1.0 - p.y))
+        assert outcome == UpdateOutcome.TOP_DOWN
+
+    def test_moderate_moves_use_extension_or_siblings(self):
+        index = build_index("LBU", num_objects=500, seed=2)
+        rng = random.Random(10)
+        for _ in range(800):
+            oid = rng.randrange(500)
+            p = index.position_of(oid)
+            index.update(oid, Point(
+                min(1, max(0, p.x + rng.uniform(-0.05, 0.05))),
+                min(1, max(0, p.y + rng.uniform(-0.05, 0.05))),
+            ))
+        counts = index.strategy.outcome_counts
+        assert counts[UpdateOutcome.EXTENDED] + counts[UpdateOutcome.SIBLING_SHIFT] > 0
+        assert counts[UpdateOutcome.IN_PLACE] > 0
+
+    def test_extension_is_bounded_by_epsilon(self):
+        """With epsilon 0 no update may be classified as EXTENDED."""
+        index = build_index("LBU", num_objects=400)
+        index.strategy.params = index.strategy.params.with_overrides(epsilon=0.0)
+        rng = random.Random(3)
+        for _ in range(400):
+            oid = rng.randrange(400)
+            p = index.position_of(oid)
+            index.update(oid, Point(
+                min(1, max(0, p.x + rng.uniform(-0.05, 0.05))),
+                min(1, max(0, p.y + rng.uniform(-0.05, 0.05))),
+            ))
+        assert index.strategy.outcome_counts[UpdateOutcome.EXTENDED] == 0
+
+    def test_larger_epsilon_extends_more(self):
+        small = build_index("LBU", num_objects=400, seed=9)
+        large = build_index("LBU", num_objects=400, seed=9)
+        small.strategy.params = small.strategy.params.with_overrides(epsilon=0.001)
+        large.strategy.params = large.strategy.params.with_overrides(epsilon=0.05)
+        rng_a, rng_b = random.Random(2), random.Random(2)
+        for _ in range(500):
+            for index, rng in ((small, rng_a), (large, rng_b)):
+                oid = rng.randrange(400)
+                p = index.position_of(oid)
+                index.update(oid, Point(
+                    min(1, max(0, p.x + rng.uniform(-0.03, 0.03))),
+                    min(1, max(0, p.y + rng.uniform(-0.03, 0.03))),
+                ))
+        assert (
+            large.strategy.outcome_counts[UpdateOutcome.EXTENDED]
+            > small.strategy.outcome_counts[UpdateOutcome.EXTENDED]
+        )
+
+
+class TestCorrectnessUnderLoad:
+    def test_structure_hash_and_queries_stay_correct(self):
+        index = build_index("LBU", num_objects=400, seed=4)
+        rng = random.Random(8)
+        positions = {oid: index.position_of(oid) for oid in range(400)}
+        for _ in range(1200):
+            oid = rng.randrange(400)
+            step = rng.choice([0.005, 0.05, 0.3])
+            new = Point(
+                min(1, max(0, positions[oid].x + rng.uniform(-step, step))),
+                min(1, max(0, positions[oid].y + rng.uniform(-step, step))),
+            )
+            index.update(oid, new)
+            positions[oid] = new
+        index.validate()
+        for window in (Rect(0.1, 0.1, 0.4, 0.5), Rect(0.5, 0.2, 0.9, 0.9), Rect.unit()):
+            expected = sorted(o for o, p in positions.items() if window.contains_point(p))
+            assert sorted(index.range_query(window)) == expected
+
+    def test_lbu_updates_cost_less_io_than_td_on_local_moves(self):
+        lbu = build_index("LBU", num_objects=400, seed=6, buffer_percent=0.0)
+        td = build_index("TD", num_objects=400, seed=6, buffer_percent=0.0)
+        rng_a, rng_b = random.Random(1), random.Random(1)
+        for _ in range(500):
+            for index, rng in ((lbu, rng_a), (td, rng_b)):
+                oid = rng.randrange(400)
+                p = index.position_of(oid)
+                index.update(oid, Point(
+                    min(1, max(0, p.x + rng.uniform(-0.01, 0.01))),
+                    min(1, max(0, p.y + rng.uniform(-0.01, 0.01))),
+                ))
+        assert lbu.stats.total_physical_io < td.stats.total_physical_io
+
+    def test_objects_never_lost(self):
+        index = build_index("LBU", num_objects=300, seed=12)
+        rng = random.Random(13)
+        for _ in range(900):
+            oid = rng.randrange(300)
+            index.update(oid, Point(rng.random(), rng.random()))
+        assert sorted(index.range_query(Rect.unit())) == list(range(300))

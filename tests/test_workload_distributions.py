@@ -1,0 +1,88 @@
+"""Tests for the initial-distribution generators."""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.workload import (
+    gaussian_positions,
+    initial_positions,
+    skewed_positions,
+    uniform_positions,
+)
+
+
+UNIT = Rect.unit()
+
+
+class TestCommonContracts:
+    @pytest.mark.parametrize("name", ["uniform", "gaussian", "skewed"])
+    def test_positions_stay_in_unit_square(self, name):
+        for point in initial_positions(name, 500, seed=3):
+            assert UNIT.contains_point(point)
+
+    @pytest.mark.parametrize("name", ["uniform", "gaussian", "skewed"])
+    def test_requested_count_is_produced(self, name):
+        assert len(initial_positions(name, 321, seed=1)) == 321
+
+    @pytest.mark.parametrize("name", ["uniform", "gaussian", "skewed"])
+    def test_same_seed_same_positions(self, name):
+        assert initial_positions(name, 50, seed=9) == initial_positions(name, 50, seed=9)
+
+    @pytest.mark.parametrize("name", ["uniform", "gaussian", "skewed"])
+    def test_different_seeds_differ(self, name):
+        assert initial_positions(name, 50, seed=1) != initial_positions(name, 50, seed=2)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            initial_positions("zipf", 10)
+
+    def test_skew_alias(self):
+        assert len(initial_positions("skew", 10, seed=0)) == 10
+
+    def test_random_instance_can_be_passed(self):
+        rng = random.Random(42)
+        points = uniform_positions(10, rng)
+        assert len(points) == 10
+
+
+class TestShapes:
+    def test_uniform_spreads_over_all_quadrants(self):
+        points = uniform_positions(2000, seed=5)
+        quadrants = {(p.x > 0.5, p.y > 0.5) for p in points}
+        assert len(quadrants) == 4
+
+    def test_gaussian_concentrates_near_the_center(self):
+        points = gaussian_positions(2000, seed=5)
+        near_center = sum(1 for p in points if 0.25 <= p.x <= 0.75 and 0.25 <= p.y <= 0.75)
+        assert near_center / len(points) > 0.8
+
+    def test_skewed_concentrates_near_the_origin(self):
+        points = skewed_positions(2000, seed=5)
+        # With the default exponent 3, P(x <= 0.3) = 0.3^(1/3) per axis, so
+        # roughly 45 % of the points land in the origin-corner square — far
+        # above the 9 % a uniform distribution would put there.
+        near_origin = sum(1 for p in points if p.x <= 0.3 and p.y <= 0.3)
+        assert near_origin / len(points) > 0.35
+
+    def test_skewed_leaves_most_space_empty(self):
+        """The paper notes queries are cheap on the skewed distribution
+        because most of the space is empty."""
+        points = skewed_positions(2000, seed=7)
+        far_corner = sum(1 for p in points if p.x > 0.7 and p.y > 0.7)
+        assert far_corner / len(points) < 0.02
+
+    def test_gaussian_spread_controlled_by_sigma(self):
+        tight = gaussian_positions(1000, seed=3, sigma=0.05)
+        wide = gaussian_positions(1000, seed=3, sigma=0.3)
+
+        def spread(points):
+            mean_x = sum(p.x for p in points) / len(points)
+            return sum((p.x - mean_x) ** 2 for p in points) / len(points)
+
+        assert spread(tight) < spread(wide)
+
+    def test_skew_exponent_must_be_positive(self):
+        with pytest.raises(ValueError):
+            skewed_positions(10, exponent=0.0)
