@@ -17,6 +17,17 @@ Typical usage::
     hits = index.range_query(Rect(0.2, 0.2, 0.4, 0.5))
     print(index.stats.as_dict())                  # disk I/O so far
 
+High-rate ingestion should prefer the batch entry points, which group
+pending updates by leaf page and execute each group with one leaf
+read/write (see :mod:`repro.update.batch`)::
+
+    result = index.update_many([(42, Point(0.31, 0.40)), (7, Point(0.8, 0.1))])
+    result = index.apply([
+        ("update", 42, Point(0.32, 0.40)),
+        ("range_query", Rect(0.2, 0.2, 0.4, 0.5)),
+    ])
+    print(result.describe())                      # per-batch I/O snapshot
+
 The facade tracks each object's current position so callers only supply the
 new position on update (the strategies internally need the old one to apply
 the distance-threshold optimisation and to fall back to top-down deletion).
@@ -24,7 +35,7 @@ the distance-threshold optimisation and to fall back to top-down deletion).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import IndexConfig
 from repro.geometry import Point, Rect
@@ -36,7 +47,15 @@ from repro.secondary import ObjectHashIndex
 from repro.storage import BufferPool, DiskManager, IOStatistics, PageLayout
 from repro.summary import SummaryStructure
 from repro.update import UpdateOutcome, make_strategy
-from repro.update.base import UpdateStrategy
+from repro.update.base import BatchUpdate, UpdateStrategy
+from repro.update.batch import (
+    BatchExecutor,
+    BatchResult,
+    DeleteOp,
+    InsertOp,
+    Operation,
+    QueryOp,
+)
 
 
 class MovingObjectIndex:
@@ -75,6 +94,13 @@ class MovingObjectIndex:
             summary=self.summary,
             use_summary_for_queries=self.config.use_summary_for_queries,
         )
+        self.batch = BatchExecutor(
+            self.tree,
+            self.strategy,
+            self.hash_index,
+            buffer=self.buffer,
+            stats=self.stats,
+        )
         self._positions: Dict[int, Point] = {}
 
     # ------------------------------------------------------------------
@@ -105,13 +131,10 @@ class MovingObjectIndex:
     def configure_buffer(self, percent: Optional[float] = None) -> None:
         """(Re)size the buffer pool as a percentage of the current database size."""
         percent = self.config.buffer_percent if percent is None else percent
-        database_pages = len(self.disk)
         self.buffer.clear()
-        self.buffer.capacity = 0
-        resized = BufferPool.for_percentage(
-            self.disk, percent, database_pages, stats=self.stats
+        self.buffer.capacity = BufferPool.capacity_for_percentage(
+            percent, len(self.disk)
         )
-        self.buffer.capacity = resized.capacity
 
     # ------------------------------------------------------------------
     # Data operations
@@ -143,6 +166,97 @@ class MovingObjectIndex:
         """Object ids whose positions fall inside *window*."""
         return self.strategy.range_query(window)
 
+    # ------------------------------------------------------------------
+    # Batch operations (group-by-leaf execution, repro.update.batch)
+    # ------------------------------------------------------------------
+    def update_many(
+        self, updates: Iterable[Tuple[int, Point]]
+    ) -> BatchResult:
+        """Move many existing objects in one batch.
+
+        Pending moves are grouped by their current leaf page and each group
+        is executed with a single leaf read/write, which is substantially
+        cheaper than one :meth:`update` call per object whenever objects
+        share leaves (see ``benchmarks/bench_batch_throughput.py``).  The
+        final index contents and all query answers are identical to applying
+        the updates one by one, and the returned
+        :class:`~repro.update.batch.BatchResult` carries a per-batch
+        :class:`IOStatistics` snapshot.
+        """
+        return self.batch.execute(self._update_ops(updates))
+
+    def apply(self, operations: Iterable[Tuple]) -> BatchResult:
+        """Execute a mixed operation stream with batched updates.
+
+        Each operation is a tuple: ``("update", oid, new_location)``,
+        ``("insert", oid, location)``, ``("delete", oid)`` or
+        ``("range_query", window)`` (``"query"`` is accepted as an alias).
+        Runs of consecutive updates are batched by leaf; inserts, deletes
+        and queries are barriers that flush pending updates first, so the
+        stream observes exactly the sequential semantics.  Query answers are
+        collected in order in ``result.queries``.
+        """
+        return self.batch.execute(self._parse_operations(operations))
+
+    def _update_ops(
+        self, updates: Iterable[Tuple[int, Point]]
+    ) -> List[BatchUpdate]:
+        # Parse against an overlay and commit only when the whole stream is
+        # valid, so a bad operation mid-stream (unknown oid, duplicate
+        # insert) leaves the position map consistent with the tree.
+        moved: Dict[int, Point] = {}
+        ops: List[BatchUpdate] = []
+        for oid, new_location in updates:
+            old_location = moved.get(oid, self._positions.get(oid))
+            if old_location is None:
+                raise KeyError(f"object {oid} is not in the index")
+            ops.append(BatchUpdate(oid, old_location, new_location))
+            moved[oid] = new_location
+        self._positions.update(moved)
+        return ops
+
+    def _parse_operations(self, operations: Iterable[Tuple]) -> List[Operation]:
+        # Same overlay discipline as _update_ops: ``None`` marks a pending
+        # delete, and nothing touches self._positions until parsing succeeds.
+        overlay: Dict[int, Optional[Point]] = {}
+
+        def position_of(oid: int) -> Optional[Point]:
+            return overlay[oid] if oid in overlay else self._positions.get(oid)
+
+        parsed: List[Operation] = []
+        for op in operations:
+            kind = op[0]
+            if kind == "update":
+                _, oid, new_location = op
+                old_location = position_of(oid)
+                if old_location is None:
+                    raise KeyError(f"object {oid} is not in the index")
+                parsed.append(BatchUpdate(oid, old_location, new_location))
+                overlay[oid] = new_location
+            elif kind == "insert":
+                _, oid, location = op
+                if position_of(oid) is not None:
+                    raise ValueError(f"object {oid} already exists; use update")
+                parsed.append(InsertOp(oid, location))
+                overlay[oid] = location
+            elif kind == "delete":
+                _, oid = op
+                location = position_of(oid)
+                if location is not None:
+                    parsed.append(DeleteOp(oid, location))
+                    overlay[oid] = None
+            elif kind in ("range_query", "query"):
+                _, window = op
+                parsed.append(QueryOp(window))
+            else:
+                raise ValueError(f"unknown batch operation kind {kind!r}")
+        for oid, location in overlay.items():
+            if location is None:
+                self._positions.pop(oid, None)
+            else:
+                self._positions[oid] = location
+        return parsed
+
     def knn(self, point: Point, k: int) -> List[Tuple[float, int]]:
         """The *k* objects nearest to *point* as ``(distance, oid)`` pairs."""
         return self.tree.knn(point, k)
@@ -168,6 +282,15 @@ class MovingObjectIndex:
     def io_snapshot(self) -> IOStatistics:
         """A copy of the current I/O counters."""
         return self.stats.snapshot()
+
+    def refresh_summary(self) -> None:
+        """Bulk-rebuild the summary structure from the live tree (GBU only).
+
+        The observer protocol keeps the summary incrementally consistent, so
+        this is a recovery/bulk-load hook, not part of normal operation.
+        """
+        if self.summary is not None:
+            self.summary.rebuild_from_tree()
 
     def validate(self, check_min_fill: bool = False) -> dict:
         """Run the full structural validation; returns tree statistics."""

@@ -121,12 +121,7 @@ def load_index(path: Union[str, Path]) -> MovingObjectIndex:
         for entry in leaf.entries:
             index.hash_index._leaf_of[entry.child] = leaf.page_id
     if index.summary is not None:
-        index.summary.table = type(index.summary.table)()
-        index.summary.leaf_bits = type(index.summary.leaf_bits)()
-        for node, _parent in index.tree.iter_nodes():
-            index.summary._record_node(node)
-        index.summary.root_page_id = index.tree.root_page_id
-        index.summary.height = index.tree.height
+        index.summary.rebuild_from_tree()
 
     # Object positions are rebuilt from the restored leaf entries rather than
     # from the checkpoint's position table: the binary codec stores

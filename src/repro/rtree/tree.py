@@ -19,6 +19,10 @@ The public surface is intentionally close to the paper's description:
 * low-level node accessors (:meth:`read_node`, :meth:`write_node`, ...) used
   by the bottom-up strategies, which by design manipulate leaves and their
   siblings directly.
+* group primitives (:meth:`remove_entries`, :meth:`add_entries`,
+  :meth:`adjust_upward`) used by the batch update engine
+  (:mod:`repro.update.batch`) to mutate a leaf and its siblings in bulk and
+  then fix every affected ancestor MBR in one deferred pass.
 
 Levels are numbered from the leaves (leaf level = 0, root level =
 ``height - 1``), matching the way the paper's Algorithm 3 ascends the tree.
@@ -351,6 +355,100 @@ class RTree:
             if child.parent_page_id != parent.page_id:
                 child.parent_page_id = parent.page_id
                 self.write_node(child)
+
+    # ------------------------------------------------------------------
+    # Group primitives (batch update engine)
+    # ------------------------------------------------------------------
+    def remove_entries(self, node: Node, children: Iterable[int]) -> List[Entry]:
+        """Remove several entries from an in-memory *node*; return them.
+
+        This is a pure node mutation: no write is issued, no condensing
+        happens, and :attr:`size` is untouched — the batch executor moves
+        entries between leaves (size-neutral) and issues one deferred write
+        per touched node.  The caller is responsible for keeping the node at
+        or above its minimum fill.  Raises ``LookupError`` when any of
+        *children* is absent or repeated, leaving the node unchanged in that
+        case.
+        """
+        ids = list(children)
+        if len(set(ids)) != len(ids):
+            raise LookupError(f"duplicate entry ids in removal from node {node.page_id}")
+        missing = [child for child in ids if node.find_entry(child) is None]
+        if missing:
+            raise LookupError(f"entries {missing} not found in node {node.page_id}")
+        return [node.remove_entry(child) for child in ids]
+
+    def add_entries(self, node: Node, entries: Sequence[Entry]) -> None:
+        """Add several entries to an in-memory *node* (no write issued).
+
+        Raises ``ValueError`` when the node would exceed its capacity; the
+        node is left unchanged in that case.
+        """
+        capacity = self.capacity_for_level(node.level)
+        if len(node.entries) + len(entries) > capacity:
+            raise ValueError(
+                f"adding {len(entries)} entries would overflow node "
+                f"{node.page_id} (capacity {capacity}, has {len(node.entries)})"
+            )
+        for entry in entries:
+            node.add_entry(entry)
+
+    def adjust_upward(
+        self,
+        parent: Node,
+        children: Sequence[Node],
+        ancestor_path: Sequence[int] = (),
+    ) -> bool:
+        """One deferred ancestor-MBR adjustment pass for a batch group.
+
+        Refreshes *parent*'s entry for every node in *children* to that
+        child's :meth:`~repro.rtree.node.Node.effective_mbr` and writes the
+        parent once if anything changed — instead of one parent read/write
+        per update, the way the per-operation paths pay for it.
+
+        When the refresh *enlarged* the parent's own MBR, the enlargement is
+        propagated lazily along *ancestor_path* (page ids strictly above the
+        parent, root first), reading each ancestor only while containment is
+        actually violated.  Bottom-up strategies bound their extensions by
+        the parent MBR, so in the common case the pass stops at the parent
+        without touching — or charging — any ancestor page.
+
+        Returns ``True`` when the parent was written.
+        """
+        before = parent.mbr() if parent.entries else None
+        changed = False
+        for child in children:
+            entry = parent.find_entry(child.page_id)
+            if entry is None:
+                raise LookupError(
+                    f"node {child.page_id} not found in parent {parent.page_id}"
+                )
+            target = child.effective_mbr()
+            if entry.rect != target:
+                entry.rect = target
+                changed = True
+        if not changed:
+            return False
+        self.write_node(parent)
+
+        needed = parent.mbr()
+        if before is not None and before.contains_rect(needed):
+            return True  # the parent MBR did not grow: ancestors still cover it
+        current = parent
+        for page_id in reversed(list(ancestor_path)):
+            ancestor = self.read_node(page_id)
+            ancestor_entry = ancestor.find_entry(current.page_id)
+            if ancestor_entry is None:
+                raise LookupError(
+                    f"node {current.page_id} not found in ancestor {page_id}"
+                )
+            if ancestor_entry.rect.contains_rect(needed):
+                break
+            ancestor_entry.rect = ancestor_entry.rect.union(needed)
+            self.write_node(ancestor)
+            current = ancestor
+            needed = current.mbr()
+        return True
 
     # ------------------------------------------------------------------
     # Deletion

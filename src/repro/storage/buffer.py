@@ -51,6 +51,10 @@ class BufferPool:
         # page_id -> payload; insertion order is LRU order (oldest first).
         self._frames: "OrderedDict[int, Any]" = OrderedDict()
         self._dirty: set = set()
+        # page_id -> pin count; pinned pages are exempt from eviction (the
+        # batch executor pins a group's leaf so interleaved reads cannot push
+        # it out of the pool mid-group).
+        self._pins: dict = {}
         # Optional access trace: when set to a list, every logical access is
         # appended as ("read" | "write", page_id).  The concurrency simulator
         # uses it to learn which pages an operation touched so it can derive
@@ -59,6 +63,24 @@ class BufferPool:
 
     # -- sizing helpers -----------------------------------------------------
     @classmethod
+    def capacity_for_percentage(
+        cls, percent_of_database: float, database_pages: int
+    ) -> int:
+        """Pool capacity (in pages) for a buffer of *percent_of_database* %.
+
+        This is the paper's buffer sizing rule ("buffer that is 1 % of the
+        database size") as a pure computation: the capacity is rounded down,
+        and a non-zero percentage on a non-empty database always yields at
+        least one page.
+        """
+        if percent_of_database < 0:
+            raise ValueError("percent_of_database must be non-negative")
+        capacity = int(database_pages * percent_of_database / 100.0)
+        if percent_of_database > 0 and database_pages > 0:
+            capacity = max(capacity, 1)
+        return capacity
+
+    @classmethod
     def for_percentage(
         cls,
         disk: DiskManager,
@@ -66,18 +88,8 @@ class BufferPool:
         database_pages: int,
         stats: Optional[IOStatistics] = None,
     ) -> "BufferPool":
-        """Create a pool sized as *percent_of_database* % of *database_pages*.
-
-        This mirrors the paper's buffer sizing rule ("buffer that is 1 % of
-        the database size").  The resulting capacity is rounded down; a
-        non-zero percentage on a non-empty database always yields capacity of
-        at least one page.
-        """
-        if percent_of_database < 0:
-            raise ValueError("percent_of_database must be non-negative")
-        capacity = int(database_pages * percent_of_database / 100.0)
-        if percent_of_database > 0 and database_pages > 0:
-            capacity = max(capacity, 1)
+        """Create a pool sized as *percent_of_database* % of *database_pages*."""
+        capacity = cls.capacity_for_percentage(percent_of_database, database_pages)
         return cls(disk, capacity=capacity, stats=stats)
 
     # -- core API -----------------------------------------------------------
@@ -115,6 +127,27 @@ class BufferPool:
             self._admit(page_id, payload)
         self._dirty.add(page_id)
 
+    def pin(self, page_id: int) -> None:
+        """Exempt *page_id* from eviction until a matching :meth:`unpin`.
+
+        Pins nest (a pin count is kept per page).  While pages are pinned the
+        pool may temporarily exceed its capacity: when every frame is pinned,
+        admission stops evicting rather than deadlock, and the excess frames
+        are reclaimed by later admissions once the pins are released.
+        """
+        self._pins[page_id] = self._pins.get(page_id, 0) + 1
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin on *page_id* (no-op when the page is not pinned)."""
+        count = self._pins.get(page_id, 0)
+        if count <= 1:
+            self._pins.pop(page_id, None)
+        else:
+            self._pins[page_id] = count - 1
+
+    def is_pinned(self, page_id: int) -> bool:
+        return page_id in self._pins
+
     def discard(self, page_id: int) -> None:
         """Drop *page_id* from the pool without writing it back.
 
@@ -149,15 +182,23 @@ class BufferPool:
             self._frames[page_id] = payload
             return
         while len(self._frames) >= self.capacity:
-            self._evict_one()
+            if not self._evict_one():
+                break  # every frame is pinned; run over capacity for now
         self._frames[page_id] = payload
 
-    def _evict_one(self) -> None:
-        victim_id, payload = self._frames.popitem(last=False)
+    def _evict_one(self) -> bool:
+        """Evict the least recently used unpinned frame; ``False`` if none."""
+        victim_id = next(
+            (page_id for page_id in self._frames if page_id not in self._pins), None
+        )
+        if victim_id is None:
+            return False
+        payload = self._frames.pop(victim_id)
         if victim_id in self._dirty:
             self.disk.write_page(victim_id, payload)
             self._dirty.discard(victim_id)
             self.stats.dirty_evictions += 1
+        return True
 
     # -- introspection ----------------------------------------------------------
     def __len__(self) -> int:

@@ -53,10 +53,28 @@ class SummaryStructure(TreeObserver):
         measured phase, exactly like the secondary hash index).
         """
         summary = cls(tree)
-        for node, _parent in tree.iter_nodes():
-            summary._record_node(node)
+        summary.rebuild_from_tree()
         tree.register_observer(summary)
         return summary
+
+    def rebuild_from_tree(self) -> None:
+        """Bulk refresh: re-derive the whole summary from the live tree.
+
+        One uncharged traversal replaces the direct access table and the
+        leaf bit vector wholesale, which also drops any entry for a node no
+        longer in the tree.  This is how the summary is bootstrapped and how
+        it can be re-synchronised after bulk operations that bypass the
+        observer protocol (the incremental observer events keep it
+        consistent during normal and batch execution, so calling this is
+        never *required* there — it is the recovery and bulk-load path).
+        Maintenance counters restart from zero, as after a fresh bootstrap.
+        """
+        self.table = DirectAccessTable()
+        self.leaf_bits = LeafBitVector()
+        self.root_page_id = self.tree.root_page_id
+        self.height = self.tree.height
+        for node, _parent in self.tree.iter_nodes():
+            self._record_node(node)
 
     # ------------------------------------------------------------------
     # TreeObserver interface

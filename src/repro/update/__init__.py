@@ -23,9 +23,22 @@ observation that ~82 % of its updates on uniform data degrade to top-down.
 
 All strategies implement :class:`~repro.update.base.UpdateStrategy` and are
 constructed by :func:`~repro.update.factory.make_strategy`.
+
+Beyond the per-operation strategies, :mod:`repro.update.batch` provides a
+group-by-leaf batch execution engine: operation streams are grouped by
+target leaf page and each group is applied through the strategy's
+``apply_group`` hook with one leaf read/write plus one deferred
+ancestor-MBR adjustment pass, instead of one full traversal per update.
 """
 
-from repro.update.base import UpdateOutcome, UpdateStrategy
+from repro.update.base import BatchUpdate, UpdateOutcome, UpdateStrategy
+from repro.update.batch import (
+    BatchExecutor,
+    BatchResult,
+    DeleteOp,
+    InsertOp,
+    QueryOp,
+)
 from repro.update.factory import make_strategy, strategy_names
 from repro.update.generalized import GeneralizedBottomUpUpdate
 from repro.update.localized import LocalizedBottomUpUpdate
@@ -34,6 +47,12 @@ from repro.update.params import TuningParameters
 from repro.update.topdown import TopDownUpdate
 
 __all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "BatchUpdate",
+    "DeleteOp",
+    "InsertOp",
+    "QueryOp",
     "UpdateOutcome",
     "UpdateStrategy",
     "TuningParameters",

@@ -16,11 +16,20 @@ structure (Section 3.2).
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.geometry import Point, Rect
+from repro.rtree.node import Node
 from repro.rtree.tree import RTree
 from repro.storage.stats import IOStatistics
+
+
+class BatchUpdate(NamedTuple):
+    """One pending request of a batch: move *oid* from *old_location* to *new_location*."""
+
+    oid: int
+    old_location: Point
+    new_location: Point
 
 
 class UpdateOutcome(enum.Enum):
@@ -54,8 +63,7 @@ class UpdateStrategy:
     def update(self, oid: int, old_location: Point, new_location: Point) -> UpdateOutcome:
         """Move object *oid* from *old_location* to *new_location*."""
         outcome = self._update(oid, old_location, new_location)
-        self.outcome_counts[outcome] += 1
-        self.update_count += 1
+        self.record_outcome(outcome)
         return outcome
 
     def _update(self, oid: int, old_location: Point, new_location: Point) -> UpdateOutcome:
@@ -74,8 +82,81 @@ class UpdateStrategy:
         return self.tree.range_query(window)
 
     # ------------------------------------------------------------------
+    # Batch execution (group-by-leaf, repro.update.batch)
+    # ------------------------------------------------------------------
+    def apply_group(
+        self, leaf_page_id: int, group: Sequence[BatchUpdate]
+    ) -> List[BatchUpdate]:
+        """Apply a group of pending updates that all live in one leaf.
+
+        The default hook amortises the paper's dominant update class over the
+        whole group: the leaf is read **once**, every group member whose new
+        position stays inside the leaf's effective MBR is carried out in
+        place, and the leaf is written back **once** — where the
+        per-operation path pays one leaf read and one leaf write for each of
+        them.  Strategies override this to also absorb their cheap non-local
+        classes (ε-extension, sibling shifting) at group granularity.
+
+        Returns the *residual* sub-list of updates the group pass could not
+        absorb; the batch executor replays those through the ordinary
+        per-operation :meth:`update` path, which preserves the sequential
+        semantics of the batch.
+        """
+        leaf = self.tree.read_node(leaf_page_id)
+        residuals, dirty = self._apply_in_place(leaf, group)
+        if dirty:
+            self.tree.write_node(leaf)
+        self._charge_batch_probes(len(group) - len(residuals))
+        return residuals
+
+    def _apply_in_place(
+        self, leaf: Node, group: Sequence[BatchUpdate]
+    ) -> Tuple[List[BatchUpdate], bool]:
+        """In-place sweep over *group*; returns (residuals, leaf_dirty).
+
+        The containment check uses the leaf MBR as it was when the group pass
+        started: in-place moves of point entries can only shrink the tight
+        bound, so the initial effective MBR remains a valid bound for every
+        member of the group (and is itself contained in the parent's entry).
+        """
+        mbr = leaf.effective_mbr() if leaf.entries else None
+        residuals: List[BatchUpdate] = []
+        dirty = False
+        for request in group:
+            entry = leaf.find_entry(request.oid)
+            if entry is not None and mbr is not None and mbr.contains_point(
+                request.new_location
+            ):
+                entry.rect = Rect.from_point(request.new_location)
+                dirty = True
+                self.record_outcome(UpdateOutcome.IN_PLACE)
+            else:
+                residuals.append(request)
+        return residuals, dirty
+
+    def _charge_batch_probes(self, count: int) -> None:
+        """Charge one secondary-index probe per batch-absorbed update.
+
+        The batch planner groups updates with uncharged main-memory peeks,
+        but the paper's cost model (Section 4.2) charges bottom-up strategies
+        one I/O per object located through the hash index — an update carried
+        out by a group pass must pay the same probe its per-operation
+        counterpart would.  Residual updates are *not* charged here: they are
+        replayed through :meth:`update`, which performs (and charges) its own
+        lookup.  TD owns no hash index and stays uncharged.
+        """
+        hash_index = getattr(self, "hash_index", None)
+        if count > 0 and hash_index is not None and hash_index.charge_io:
+            self.stats.hash_index_reads += count
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    def record_outcome(self, outcome: UpdateOutcome) -> None:
+        """Count one completed update (used by both per-op and batch paths)."""
+        self.outcome_counts[outcome] += 1
+        self.update_count += 1
+
     def outcome_fractions(self) -> Dict[str, float]:
         """Fraction of updates per outcome (empty dict before any update)."""
         if self.update_count == 0:

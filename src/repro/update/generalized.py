@@ -26,7 +26,7 @@ GBU also answers window queries through the summary structure
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.geometry import Point, Rect
 from repro.rtree.node import Entry, Node
@@ -34,7 +34,7 @@ from repro.rtree.tree import RTree
 from repro.secondary import ObjectHashIndex
 from repro.storage.stats import IOStatistics
 from repro.summary import SummaryStructure, summary_guided_range_query
-from repro.update.base import UpdateOutcome, UpdateStrategy
+from repro.update.base import BatchUpdate, UpdateOutcome, UpdateStrategy
 from repro.update.params import TuningParameters
 
 
@@ -110,6 +110,166 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
 
         # Neither a local extension nor a sibling shift worked: ascend.
         return self._ascend_and_reinsert(leaf, oid, old_location, new_location)
+
+    # ------------------------------------------------------------------
+    # Batch execution (group-by-leaf)
+    # ------------------------------------------------------------------
+    def apply_group(
+        self, leaf_page_id: int, group: Sequence[BatchUpdate]
+    ) -> List[BatchUpdate]:
+        """Group pass: every summary-guided class at group granularity.
+
+        Mirrors Algorithm 2 but executes each class once per *group* instead
+        of once per update:
+
+        1. the shared in-place sweep (one leaf read for the whole group);
+        2. **batched iExtendMBR** — the directional extension grows a single
+           running MBR towards each escaping position, bounded by the parent
+           MBR taken from the direct access table, so k extensions cost the
+           same leaf write as one;
+        3. **batched sibling shifting** — escapees are routed to non-full
+           siblings (bit vector, no disk probe), each chosen sibling is read
+           and written once regardless of how many objects it absorbs
+           (:meth:`RTree.add_entries` / :meth:`RTree.remove_entries`);
+        4. one deferred ancestor-MBR pass (:meth:`RTree.adjust_upward`)
+           refreshes the parent's entries for the leaf and every touched
+           sibling with a single parent write.
+
+        Piggybacking is not attempted here: the group pass already moves
+        every movable object of the leaf in bulk, which is the same
+        redistribution piggybacking approximates one update at a time.
+        Updates that none of the classes absorb (root-MBR escapes, underflow
+        hazards, ascents) are returned as residuals for the per-operation
+        path.
+        """
+        leaf = self.tree.read_node(leaf_page_id)
+        residuals, dirty = self._apply_in_place(leaf, group)
+
+        parent_entry = self.summary.parent_entry_of_leaf(leaf_page_id)
+        parent_mbr = parent_entry.mbr if parent_entry is not None else None
+        parent_node: Optional[Node] = None
+        touched: List[Node] = [leaf]
+        needs_adjust = False  # in-place-only groups never touch the parent
+
+        # 2. Batched directional extension.
+        if residuals and leaf.entries:
+            running = leaf.effective_mbr()
+            still: List[BatchUpdate] = []
+            extended = False
+            for request in residuals:
+                entry = leaf.find_entry(request.oid)
+                if entry is None:
+                    still.append(request)
+                    continue
+                candidate = running.extended_towards(
+                    request.new_location, self.params.epsilon, bound=parent_mbr
+                )
+                if candidate.contains_point(request.new_location):
+                    entry.rect = Rect.from_point(request.new_location)
+                    running = candidate
+                    extended = True
+                    self.record_outcome(UpdateOutcome.EXTENDED)
+                else:
+                    still.append(request)
+            if extended:
+                leaf.stored_mbr = running
+                dirty = True
+                needs_adjust = True
+            residuals = still
+
+        # 3. Batched sibling shifting (bit vector plans, one read per sibling).
+        if residuals and parent_entry is not None:
+            candidates = [
+                page
+                for page in parent_entry.child_page_ids
+                if page != leaf.page_id and not self.summary.is_leaf_full(page)
+            ]
+            if candidates:
+                parent_node = self.tree.read_node(parent_entry.page_id)
+                residuals, shifted = self._shift_group(
+                    leaf, parent_node, candidates, residuals
+                )
+                dirty = dirty or bool(shifted)
+                needs_adjust = needs_adjust or bool(shifted)
+                touched.extend(shifted)
+
+        if dirty:
+            self.tree.write_node(leaf)
+
+        # 4. One deferred ancestor-MBR adjustment pass (only when an
+        # extension or shift actually changed an effective MBR: a purely
+        # in-place group must not pay parent I/O the per-op path never pays).
+        if needs_adjust and parent_entry is not None:
+            if parent_node is None:
+                parent_node = self.tree.read_node(parent_entry.page_id)
+            self.tree.adjust_upward(
+                parent_node,
+                touched,
+                ancestor_path=self.summary.path_from_root(parent_entry.page_id),
+            )
+
+        self._charge_batch_probes(len(group) - len(residuals))
+        return residuals
+
+    def _shift_group(
+        self,
+        leaf: Node,
+        parent_node: Node,
+        candidates: Sequence[int],
+        requests: Sequence[BatchUpdate],
+    ) -> Tuple[List[BatchUpdate], List[Node]]:
+        """Move as many *requests* as possible into sibling leaves in bulk.
+
+        Returns ``(residuals, touched_siblings)``.  Each chosen sibling is
+        read once, receives every object routed to it with one
+        :meth:`RTree.add_entries`, and is written once.  The source leaf is
+        never drained below its minimum fill, and sibling MBRs never grow:
+        objects are routed only to siblings whose parent entry already
+        contains the new position.
+        """
+        removable = len(leaf.entries) - self.tree.min_leaf_entries
+        candidate_set = frozenset(candidates)
+        siblings: Dict[int, Node] = {}
+        planned: Dict[int, int] = {}  # sibling page -> objects routed so far
+        moves: Dict[int, List[BatchUpdate]] = {}
+        residuals: List[BatchUpdate] = []
+        for request in requests:
+            if removable <= 0 or leaf.find_entry(request.oid) is None:
+                residuals.append(request)
+                continue
+            target: Optional[int] = None
+            for child_entry in parent_node.entries:
+                page = child_entry.child
+                if page not in candidate_set or page == leaf.page_id:
+                    continue
+                if not child_entry.rect.contains_point(request.new_location):
+                    continue
+                if page not in siblings:
+                    siblings[page] = self.tree.read_node(page)
+                    planned[page] = 0
+                room = self.tree.leaf_capacity - len(siblings[page].entries)
+                if planned[page] < room:
+                    target = page
+                    break
+            if target is None:
+                residuals.append(request)
+                continue
+            moves.setdefault(target, []).append(request)
+            planned[target] += 1
+            removable -= 1
+
+        touched: List[Node] = []
+        for page, routed in moves.items():
+            sibling = siblings[page]
+            entries = self.tree.remove_entries(leaf, [r.oid for r in routed])
+            for entry, request in zip(entries, routed):
+                entry.rect = Rect.from_point(request.new_location)
+            self.tree.add_entries(sibling, entries)
+            self.tree.write_node(sibling)
+            touched.append(sibling)
+            for _ in routed:
+                self.record_outcome(UpdateOutcome.SIBLING_SHIFT)
+        return residuals, touched
 
     # ------------------------------------------------------------------
     # iExtendMBR (Algorithm 4)

@@ -20,14 +20,14 @@ main weakness (Section 3.1 and the discussion of Figure 5).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.geometry import Point, Rect
 from repro.rtree.node import Node
 from repro.rtree.tree import RTree
 from repro.secondary import ObjectHashIndex
 from repro.storage.stats import IOStatistics
-from repro.update.base import UpdateOutcome, UpdateStrategy
+from repro.update.base import BatchUpdate, UpdateOutcome, UpdateStrategy
 from repro.update.params import TuningParameters
 
 
@@ -118,6 +118,54 @@ class LocalizedBottomUpUpdate(UpdateStrategy):
         self.tree.insert(oid, new_location)
         self.tree.size -= 1  # insert() counts a new object; this one was only moved
         return UpdateOutcome.TOP_DOWN
+
+    # ------------------------------------------------------------------
+    # Batch execution (group-by-leaf)
+    # ------------------------------------------------------------------
+    def apply_group(
+        self, leaf_page_id: int, group: Sequence[BatchUpdate]
+    ) -> List[BatchUpdate]:
+        """Group pass: shared in-place sweep plus **one** ε-enlargement.
+
+        The per-operation path reads the parent (through the leaf's parent
+        pointer) and enlarges the leaf MBR once per escaping update; the
+        group pass reads the parent once, enlarges once, and absorbs every
+        group member the enlarged MBR covers — then issues a single leaf
+        write and a single deferred parent-MBR adjustment.  Sibling shifts
+        and top-down repairs stay per-operation (they are the rare classes)
+        and are returned as residuals.
+        """
+        leaf = self.tree.read_node(leaf_page_id)
+        residuals, dirty = self._apply_in_place(leaf, group)
+
+        if residuals and leaf.entries and leaf.parent_page_id is not None:
+            parent = self.tree.read_node(leaf.parent_page_id)
+            parent_entry = parent.find_entry(leaf.page_id)
+            if parent_entry is not None:
+                enlarged = leaf.effective_mbr().expanded(self.params.epsilon)
+                if parent.mbr().contains_rect(enlarged):
+                    still: List[BatchUpdate] = []
+                    extended = False
+                    for request in residuals:
+                        entry = leaf.find_entry(request.oid)
+                        if entry is not None and enlarged.contains_point(
+                            request.new_location
+                        ):
+                            entry.rect = Rect.from_point(request.new_location)
+                            extended = True
+                            self.record_outcome(UpdateOutcome.EXTENDED)
+                        else:
+                            still.append(request)
+                    if extended:
+                        leaf.stored_mbr = enlarged
+                        dirty = True
+                        self.tree.adjust_upward(parent, [leaf])
+                    residuals = still
+
+        if dirty:
+            self.tree.write_node(leaf)
+        self._charge_batch_probes(len(group) - len(residuals))
+        return residuals
 
     # ------------------------------------------------------------------
     # Helpers

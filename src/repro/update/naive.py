@@ -10,6 +10,10 @@ simple strategy leaves about 82 % of the updates top-down, which motivates
 both the ε-enlargement/sibling ideas of LBU and ultimately GBU.  The strategy
 is included so that observation can be reproduced (see
 ``benchmarks/bench_naive_fallback.py``).
+
+Under the batch engine NAIVE inherits the base group pass unchanged — it is
+exactly this strategy's "update in place or give up" rule applied at group
+granularity, with one hash probe charged per absorbed update.
 """
 
 from __future__ import annotations

@@ -8,6 +8,12 @@ which to insert the entry for the new object" (Section 3).
 The strategy therefore costs two descents per update: the delete descent may
 follow several partial paths because sibling MBRs overlap, and both the
 delete and the insert may trigger node splits and re-insertion of entries.
+
+Under the batch engine TD inherits the base group pass: updates grouped on
+one leaf are carried out in place with a single leaf read/write, and only
+the escapees pay the two traversals — the batch planner locates leaves
+through the facade's in-memory hash index without charging probes, since
+per-operation TD never pays for secondary-index access.
 """
 
 from __future__ import annotations

@@ -16,7 +16,7 @@ depends on the previous one through the movement model).
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 from repro.geometry import Point, Rect
 from repro.workload.distributions import initial_positions
@@ -25,6 +25,20 @@ from repro.workload.queries import QueryWorkload
 from repro.workload.spec import WorkloadSpec
 
 UpdateRequest = Tuple[int, Point, Point]  # (oid, old_position, new_position)
+
+
+def _chunks(items: Iterable, batch_size: int) -> Iterator[List]:
+    """Yield *items* in lists of *batch_size* (the last one may be shorter)."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    batch: List = []
+    for item in items:
+        batch.append(item)
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
 
 
 class WorkloadGenerator:
@@ -78,6 +92,22 @@ class WorkloadGenerator:
             yield oid, old, new
 
     # ------------------------------------------------------------------
+    # Batched update stream (batch execution engine)
+    # ------------------------------------------------------------------
+    def update_batches(
+        self, batch_size: int, count: int = None
+    ) -> Iterator[List[UpdateRequest]]:
+        """Yield the update stream chopped into lists of *batch_size*.
+
+        The concatenation of the yielded batches is exactly the sequence
+        :meth:`updates` would produce from the same generator state (the
+        last batch may be shorter), so per-operation and batched executions
+        of one spec consume byte-identical workloads — the property the
+        batch-vs-per-op benchmark relies on.
+        """
+        return _chunks(self.updates(count), batch_size)
+
+    # ------------------------------------------------------------------
     # Query stream
     # ------------------------------------------------------------------
     def queries(self, count: int = None) -> Iterator[Rect]:
@@ -106,3 +136,26 @@ class WorkloadGenerator:
                 yield "update", next(update_stream)
             else:
                 yield "query", self._queries.next_window()
+
+    def mixed_operation_batches(
+        self, count: int, update_fraction: float, batch_size: int
+    ) -> Iterator[List[Tuple]]:
+        """The :meth:`mixed_operations` stream chopped into *batch_size* lists.
+
+        Items are re-shaped into the tuples
+        :meth:`~repro.core.index.MovingObjectIndex.apply` consumes —
+        ``("update", oid, new_position)`` and ``("range_query", window)`` —
+        and batches respect the stream order, so feeding each batch to
+        ``apply`` (queries act as barriers) yields the same query answers as
+        driving the unbatched stream through per-op calls.
+        """
+
+        def reshape() -> Iterator[Tuple]:
+            for kind, payload in self.mixed_operations(count, update_fraction):
+                if kind == "update":
+                    oid, _old, new = payload
+                    yield "update", oid, new
+                else:
+                    yield "range_query", payload
+
+        return _chunks(reshape(), batch_size)

@@ -1,0 +1,346 @@
+"""Unit tests for the batch execution machinery and its new primitives.
+
+Covers the layers the batch engine crosses: the buffer pool's pin/unpin and
+pure capacity sizing, the R-tree group primitives
+(``remove_entries``/``add_entries``/``adjust_upward``), the executor's
+coalescing/grouping/barrier behaviour and per-batch I/O snapshots, the
+facade entry points, the summary structure's bulk refresh, and the workload
+generator's batched stream mode.
+"""
+
+import pytest
+
+from repro.core import IndexConfig, MovingObjectIndex
+from repro.geometry import Point, Rect
+from repro.rtree.node import Entry
+from repro.storage import BufferPool, DiskManager, IOStatistics
+from repro.update import BatchUpdate, UpdateOutcome
+from repro.workload import WorkloadGenerator, WorkloadSpec
+
+from tests.conftest import SMALL_PAGE_SIZE, build_index, make_points
+
+
+class TestCapacityForPercentage:
+    def test_pure_computation(self):
+        assert BufferPool.capacity_for_percentage(1.0, 1000) == 10
+        assert BufferPool.capacity_for_percentage(0.0, 1000) == 0
+        assert BufferPool.capacity_for_percentage(10.0, 55) == 5
+
+    def test_rounds_down_but_never_to_zero_when_requested(self):
+        assert BufferPool.capacity_for_percentage(1.0, 50) == 1
+        assert BufferPool.capacity_for_percentage(1.0, 0) == 0
+
+    def test_rejects_negative_percentage(self):
+        with pytest.raises(ValueError):
+            BufferPool.capacity_for_percentage(-1.0, 100)
+
+    def test_for_percentage_uses_the_same_rule(self, disk):
+        pool = BufferPool.for_percentage(disk, 2.0, 250)
+        assert pool.capacity == BufferPool.capacity_for_percentage(2.0, 250)
+
+    def test_configure_buffer_matches_classmethod(self):
+        index = build_index("TD", num_objects=300)
+        index.configure_buffer(5.0)
+        assert index.buffer.capacity == BufferPool.capacity_for_percentage(
+            5.0, len(index.disk)
+        )
+
+
+class TestBufferPinning:
+    def make_pool(self, capacity=2):
+        stats = IOStatistics()
+        disk = DiskManager(page_size=SMALL_PAGE_SIZE, stats=stats)
+        pages = [disk.allocate_page() for _ in range(4)]
+        for page in pages:
+            disk.write_page(page, f"payload-{page}")
+        return BufferPool(disk, capacity=capacity, stats=stats), pages
+
+    def test_pinned_page_survives_eviction_pressure(self):
+        pool, pages = self.make_pool(capacity=1)
+        pool.read(pages[0])
+        pool.pin(pages[0])
+        pool.read(pages[1])  # would normally evict pages[0]
+        assert pages[0] in pool.resident_pages()
+        pool.unpin(pages[0])
+        pool.read(pages[2])  # now pages[0] is evictable again
+        assert pages[0] not in pool.resident_pages()
+
+    def test_pool_may_run_over_capacity_while_pinned(self):
+        pool, pages = self.make_pool(capacity=1)
+        pool.read(pages[0])
+        pool.pin(pages[0])
+        pool.read(pages[1])
+        assert len(pool) == 2  # over capacity, by design
+        pool.unpin(pages[0])
+        pool.read(pages[2])
+        assert len(pool) <= 2
+
+    def test_pins_nest(self):
+        pool, pages = self.make_pool()
+        pool.pin(pages[0])
+        pool.pin(pages[0])
+        pool.unpin(pages[0])
+        assert pool.is_pinned(pages[0])
+        pool.unpin(pages[0])
+        assert not pool.is_pinned(pages[0])
+
+    def test_unpin_of_unpinned_page_is_a_noop(self):
+        pool, pages = self.make_pool()
+        pool.unpin(pages[0])
+        assert not pool.is_pinned(pages[0])
+
+
+class TestTreeGroupPrimitives:
+    def test_remove_and_add_entries_move_objects_between_leaves(self, populated_tree):
+        tree = populated_tree
+        leaves = list(tree.leaf_nodes())
+        source = next(leaf for leaf in leaves if len(leaf.entries) >= 3)
+        target = next(
+            leaf
+            for leaf in leaves
+            if leaf.page_id != source.page_id
+            and len(leaf.entries) + 2 <= tree.leaf_capacity
+        )
+        moved_ids = [entry.child for entry in source.entries[:2]]
+        before = tree.size
+        removed = tree.remove_entries(source, moved_ids)
+        assert [entry.child for entry in removed] == moved_ids
+        tree.add_entries(target, removed)
+        assert tree.size == before  # moves are size-neutral
+        assert all(target.find_entry(oid) is not None for oid in moved_ids)
+
+    def test_remove_entries_is_atomic_on_missing_ids(self, populated_tree):
+        tree = populated_tree
+        leaf = next(iter(tree.leaf_nodes()))
+        count = len(leaf.entries)
+        present = leaf.entries[0].child
+        with pytest.raises(LookupError):
+            tree.remove_entries(leaf, [present, 10**9])
+        assert len(leaf.entries) == count
+
+    def test_add_entries_refuses_overflow(self, populated_tree):
+        tree = populated_tree
+        leaf = next(iter(tree.leaf_nodes()))
+        room = tree.leaf_capacity - len(leaf.entries)
+        extra = [
+            Entry(Rect.from_point(Point(0.5, 0.5)), 10**6 + i) for i in range(room + 1)
+        ]
+        with pytest.raises(ValueError):
+            tree.add_entries(leaf, extra)
+        assert len(leaf.entries) + room == tree.leaf_capacity
+
+    def test_adjust_upward_writes_parent_once_per_pass(self, populated_tree):
+        tree = populated_tree
+        root = tree.read_node(tree.root_page_id)
+        assert not root.is_leaf
+        parent_entry = root.entries[0]
+        parent = tree.read_node(parent_entry.child)
+        if parent.is_leaf:
+            pytest.skip("tree too shallow for this check")
+        child = tree.read_node(parent.entries[0].child)
+        # Shrink the child to a single entry: its MBR tightens.
+        child.entries = child.entries[:1]
+        tree.write_node(child)
+        writes_before = tree.disk.stats.logical_writes
+        assert tree.adjust_upward(parent, [child]) is True
+        assert tree.disk.stats.logical_writes == writes_before + 1
+        refreshed = tree.read_node(parent.page_id)
+        assert refreshed.find_entry(child.page_id).rect == child.effective_mbr()
+
+    def test_adjust_upward_no_change_no_write(self, populated_tree):
+        tree = populated_tree
+        root = tree.read_node(tree.root_page_id)
+        parent = tree.read_node(root.entries[0].child)
+        if parent.is_leaf:
+            pytest.skip("tree too shallow for this check")
+        child = tree.read_node(parent.entries[0].child)
+        parent.find_entry(child.page_id).rect = child.effective_mbr()
+        writes_before = tree.disk.stats.logical_writes
+        assert tree.adjust_upward(parent, [child]) in (True, False)
+        # A second pass over unchanged children must not write at all.
+        writes_before = tree.disk.stats.logical_writes
+        assert tree.adjust_upward(parent, [child]) is False
+        assert tree.disk.stats.logical_writes == writes_before
+
+
+class TestBatchExecutor:
+    def test_coalesces_repeated_updates_of_one_object(self):
+        index = build_index("GBU", num_objects=200)
+        final = Point(0.42, 0.42)
+        result = index.update_many([(5, Point(0.1, 0.1)), (5, Point(0.9, 0.9)), (5, final)])
+        assert result.updates == 3
+        assert result.coalesced == 2
+        assert index.position_of(5) == final
+        assert sorted(index.range_query(Rect.from_point(final)))[0:1] == [5]
+
+    def test_groups_never_outnumber_touched_leaves(self):
+        index = build_index("GBU", num_objects=400)
+        moves = []
+        for oid in range(0, 200):
+            position = index.position_of(oid)
+            moves.append((oid, Point(position.x, position.y)))  # no-op moves
+        result = index.update_many(moves)
+        distinct_leaves = {index.hash_index.peek(oid) for oid, _ in moves}
+        assert result.groups <= len(distinct_leaves)
+        assert result.residuals == 0
+        assert result.largest_group >= 2
+
+    def test_per_batch_io_snapshot_is_a_delta(self):
+        index = build_index("GBU", num_objects=300)
+        first = index.update_many(
+            [(oid, Point(0.5, 0.5)) for oid in range(20)]
+        )
+        global_before = index.stats.snapshot()
+        second = index.update_many(
+            [(oid, Point(0.51, 0.51)) for oid in range(20)]
+        )
+        assert second.io.logical_reads <= index.stats.logical_reads
+        delta = index.stats.delta_since(global_before)
+        assert second.io.physical_reads == delta.physical_reads
+        assert second.io.logical_writes == delta.logical_writes
+        assert first.io.total_physical_io >= 0
+
+    def test_update_many_rejects_unknown_object(self):
+        index = build_index("TD", num_objects=50)
+        with pytest.raises(KeyError):
+            index.update_many([(10**9, Point(0.5, 0.5))])
+
+    def test_rejected_batch_leaves_positions_untouched(self):
+        """A parse error mid-stream must not desync the position map."""
+        index = build_index("TD", num_objects=50)
+        before = index.position_of(1)
+        with pytest.raises(KeyError):
+            index.update_many([(1, Point(0.77, 0.77)), (10**9, Point(0.5, 0.5))])
+        assert index.position_of(1) == before
+        with pytest.raises(ValueError):
+            index.apply(
+                [("update", 1, Point(0.77, 0.77)), ("insert", 2, Point(0.1, 0.1))]
+            )
+        assert index.position_of(1) == before
+        index.validate()
+
+    def test_apply_rejects_unknown_kind(self):
+        index = build_index("TD", num_objects=50)
+        with pytest.raises(ValueError):
+            index.apply([("compact",)])
+
+    def test_apply_insert_then_update_then_delete(self):
+        index = build_index("NAIVE", num_objects=60)
+        size = len(index)
+        result = index.apply(
+            [
+                ("insert", 900, Point(0.3, 0.3)),
+                ("update", 900, Point(0.35, 0.35)),
+                ("range_query", Rect(0.3, 0.3, 0.4, 0.4)),
+                ("delete", 900),
+                ("range_query", Rect(0.3, 0.3, 0.4, 0.4)),
+            ]
+        )
+        assert result.inserts == 1
+        assert result.deletes == 1
+        assert 900 in result.queries[0]
+        assert 900 not in result.queries[1]
+        assert len(index) == size
+        index.validate()
+
+    def test_delete_of_absent_object_is_skipped(self):
+        index = build_index("TD", num_objects=40)
+        result = index.apply([("delete", 10**9)])
+        assert result.deletes == 0
+
+    def test_outcome_counters_cover_batched_updates(self):
+        index = build_index("GBU", num_objects=300)
+        spec = WorkloadSpec(
+            num_objects=300, num_updates=400, num_queries=0, max_distance=0.02, seed=11
+        )
+        generator = WorkloadGenerator(spec)
+        result = index.update_many(
+            [(oid, new) for oid, _old, new in generator.updates()]
+        )
+        applied = result.updates - result.coalesced
+        assert index.strategy.update_count == applied
+        assert sum(index.strategy.outcome_counts.values()) == applied
+        assert index.strategy.outcome_counts[UpdateOutcome.IN_PLACE] > 0
+
+    def test_batchupdate_namedtuple_shape(self):
+        request = BatchUpdate(3, Point(0.1, 0.2), Point(0.3, 0.4))
+        assert request.oid == 3
+        assert request.new_location == Point(0.3, 0.4)
+
+
+class TestSummaryBulkRefresh:
+    def test_rebuild_matches_incremental_maintenance(self):
+        index = build_index("GBU", num_objects=400)
+        spec = WorkloadSpec(
+            num_objects=400, num_updates=600, num_queries=0, max_distance=0.08, seed=2
+        )
+        generator = WorkloadGenerator(spec)
+        index.update_many([(oid, new) for oid, _old, new in generator.updates()])
+        assert index.summary.consistency_errors() == []
+        index.refresh_summary()
+        assert index.summary.consistency_errors() == []
+        assert index.summary.root_page_id == index.tree.root_page_id
+
+    def test_rebuild_repairs_a_corrupted_summary(self):
+        index = build_index("GBU", num_objects=300)
+        index.summary.leaf_bits.set_fullness(10**6, True)  # stale garbage
+        assert index.summary.consistency_errors() != []
+        index.refresh_summary()
+        assert index.summary.consistency_errors() == []
+
+    def test_refresh_summary_is_a_noop_without_summary(self):
+        index = build_index("TD", num_objects=50)
+        index.refresh_summary()  # must not raise
+
+
+class TestGeneratorBatchedStream:
+    def test_batches_concatenate_to_the_sequential_stream(self):
+        spec = WorkloadSpec(num_objects=100, num_updates=250, num_queries=0, seed=5)
+        sequential = list(WorkloadGenerator(spec).updates())
+        batches = list(WorkloadGenerator(spec).update_batches(64))
+        assert [len(batch) for batch in batches] == [64, 64, 64, 58]
+        flattened = [request for batch in batches for request in batch]
+        assert flattened == sequential
+
+    def test_batch_size_must_be_positive(self):
+        spec = WorkloadSpec(num_objects=10, num_updates=10, num_queries=0)
+        with pytest.raises(ValueError):
+            list(WorkloadGenerator(spec).update_batches(0))
+
+    def test_mixed_operation_batches_preserve_order(self):
+        spec = WorkloadSpec(num_objects=100, num_updates=300, num_queries=100, seed=9)
+        sequential = list(WorkloadGenerator(spec).mixed_operations(200, 0.5))
+        batches = list(
+            WorkloadGenerator(spec).mixed_operation_batches(200, 0.5, batch_size=33)
+        )
+        expected = [
+            ("update", payload[0], payload[2])
+            if kind == "update"
+            else ("range_query", payload)
+            for kind, payload in sequential
+        ]
+        assert [item for batch in batches for item in batch] == expected
+
+    def test_mixed_operation_batches_feed_apply(self):
+        """The documented integration: batches go straight into apply()."""
+        spec = WorkloadSpec(
+            num_objects=200, num_updates=300, num_queries=100, max_distance=0.05, seed=6
+        )
+        per_op = build_index("GBU", num_objects=200, seed=6)
+        batched = build_index("GBU", num_objects=200, seed=6)
+        sequential_answers = []
+        for kind, payload in WorkloadGenerator(spec).mixed_operations(250, 0.6):
+            if kind == "update":
+                oid, _old, new = payload
+                per_op.update(oid, new)
+            else:
+                sequential_answers.append(sorted(per_op.range_query(payload)))
+        batch_answers = []
+        for batch in WorkloadGenerator(spec).mixed_operation_batches(
+            250, 0.6, batch_size=40
+        ):
+            result = batched.apply(batch)
+            batch_answers.extend(sorted(answer) for answer in result.queries)
+        assert batch_answers == sequential_answers
+        per_op.validate()
+        batched.validate()
