@@ -1,0 +1,31 @@
+"""Contention sweep — throughput vs. number of clients on the online engine.
+
+Shape to reproduce: adding virtual clients raises throughput for every
+strategy until lock contention saturates the schedule; the bottom-up
+strategies, whose updates take fewer exclusive granules, stay above the
+top-down baseline at every client count (the Section 3.2.2 argument made
+measurable by online lock-scope prediction).
+
+The conflict-aware batch scheduling counterpart (serial vs. concurrent
+makespan of one Gaussian batch) runs through the ``batch_throughput`` figure
+of the CLI registry: ``rtree-bottomup-bench batch_throughput``.
+"""
+
+from repro.bench.reporting import pivot_by_strategy
+
+
+def test_contention_sweep(figure_runner):
+    rows = figure_runner("contention_sweep")
+    throughput = pivot_by_strategy(rows, "throughput")
+    client_counts = sorted(throughput)
+
+    # More clients never hurt: the engine's all-or-nothing acquisition has
+    # no lock thrashing, so throughput is monotone up to saturation noise.
+    for strategy in ("TD", "LBU", "GBU"):
+        assert throughput[client_counts[-1]][strategy] >= throughput[client_counts[0]][strategy]
+
+    # Bottom-up updates lock fewer exclusive granules, so under many clients
+    # the bottom-up strategies sustain a higher transaction rate than TD.
+    most = client_counts[-1]
+    assert throughput[most]["LBU"] >= throughput[most]["TD"]
+    assert throughput[most]["GBU"] >= throughput[most]["TD"]

@@ -15,8 +15,8 @@ system stack:
   bottom-up, localized bottom-up (LBU, Algorithm 1) and generalized
   bottom-up (GBU, Algorithm 2);
 * :mod:`repro.workload` — GSTD-style moving-object workload generation;
-* :mod:`repro.concurrency` — Dynamic Granular Locking and the throughput
-  simulator;
+* :mod:`repro.concurrency` — Dynamic Granular Locking and the online
+  concurrent operation engine (deterministic multi-client scheduling);
 * :mod:`repro.cost` — the analytical cost model of Section 4;
 * :mod:`repro.bench` — the experiment harness reproducing every figure;
 * :mod:`repro.core` — the :class:`~repro.core.index.MovingObjectIndex`

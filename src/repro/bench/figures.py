@@ -26,6 +26,10 @@ The experiments and their paper counterparts:
 ``fig6_buffers``      Figures 6(g)-(h) — effect of buffer size
 ``fig7_scalability``  Figure 7 — effect of dataset size
 ``fig8_throughput``   Figure 8 — throughput vs. update fraction under DGL
+``contention_sweep``  Section 3.2.2 — throughput vs. number of clients on the
+                      online engine (lock-scope contention made visible)
+``batch_throughput``  beyond paper — conflict-aware batch group scheduling
+                      vs. serial group execution
 ``cost_model``        Section 4 — analytical vs. measured bottom-up cost
 ``naive_fallback``    Section 3.1 — fraction of naive bottom-up updates that
                       degrade to top-down
@@ -47,6 +51,7 @@ from repro.concurrency.throughput import ThroughputExperiment, run_throughput
 from repro.core.config import IndexConfig
 from repro.core.index import MovingObjectIndex
 from repro.cost.model import BottomUpCostModel, TopDownCostModel, TreeShape
+from repro.update.base import BatchUpdate
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.spec import WorkloadSpec
 
@@ -391,6 +396,120 @@ def _run_fig8_throughput(scale: float, seed: Optional[int]) -> List[MetricRow]:
 
 
 # ---------------------------------------------------------------------------
+# Contention sweep: throughput vs. number of clients on the online engine
+# ---------------------------------------------------------------------------
+
+CONTENTION_CLIENT_COUNTS = (1, 4, 16, 50)
+CONTENTION_UPDATE_FRACTION = 0.75
+
+
+def _run_contention_sweep(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    """Sweep the number of virtual clients at a fixed update-heavy mix.
+
+    Every point runs **online**: the engine deals the generator's mixed
+    stream over the clients (one stream per client), each operation predicts
+    its granule lock scope and executes for real, so the sweep exposes how
+    each strategy's lock footprint limits its scaling — the Section 3.2.2
+    argument the record/replay pipeline could not show.
+    """
+    rows: List[MetricRow] = []
+    seed = 1 if seed is None else seed
+    num_objects = max(1_000, int(8_000 * scale))
+    num_operations = max(200, int(1_000 * scale))
+    for clients in CONTENTION_CLIENT_COUNTS:
+        for strategy in DEFAULT_STRATEGIES:
+            spec = WorkloadSpec(
+                num_objects=num_objects,
+                num_updates=0,
+                num_queries=0,
+                seed=seed,
+                query_max_side=THROUGHPUT_QUERY_SIDE,
+            )
+            generator = WorkloadGenerator(spec)
+            index = MovingObjectIndex(IndexConfig(strategy=strategy))
+            index.load(generator.initial_objects())
+            session = index.engine(num_clients=clients)
+            result = session.run_mixed(
+                generator, num_operations, CONTENTION_UPDATE_FRACTION
+            )
+            rows.append(
+                MetricRow(
+                    x_label="num_clients",
+                    x_value=clients,
+                    strategy=strategy,
+                    throughput=result.throughput,
+                    extras={
+                        "lock_waits": float(result.lock_waits),
+                        "utilisation": result.utilisation,
+                    },
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Conflict-aware batch scheduling vs. serial group execution
+# ---------------------------------------------------------------------------
+
+BATCH_SCHEDULING_CLIENTS = 16
+BATCH_SCHEDULING_STRATEGIES = ("TD", "NAIVE", "LBU", "GBU")
+
+
+def _run_batch_throughput(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    """Makespan of one Gaussian update batch: serial groups vs. the engine.
+
+    The same batch is planned into group-by-leaf buckets twice; the serial
+    run drains them on one virtual client (the PR 1 pipeline's semantics),
+    the concurrent run schedules non-conflicting groups in parallel under
+    their ``group_lock_scope()`` granule sets.  Concurrent makespan must be
+    strictly lower whenever at least two groups are disjoint.
+    """
+    rows: List[MetricRow] = []
+    seed = 1 if seed is None else seed
+    num_objects = max(1_000, int(4_000 * scale))
+    num_updates = max(1_000, int(10_000 * scale))
+    for strategy in BATCH_SCHEDULING_STRATEGIES:
+        spec = WorkloadSpec(
+            num_objects=num_objects,
+            num_updates=num_updates,
+            num_queries=0,
+            distribution="gaussian",
+            seed=seed,
+        )
+        makespans: Dict[str, float] = {}
+        lock_waits = 0
+        for label, clients in (("serial", 1), ("concurrent", BATCH_SCHEDULING_CLIENTS)):
+            generator = WorkloadGenerator(spec)
+            index = MovingObjectIndex(IndexConfig(strategy=strategy))
+            index.load(generator.initial_objects())
+            operations = [
+                BatchUpdate(oid, old, new) for oid, old, new in generator.updates()
+            ]
+            result = index.engine(num_clients=clients).engine.run_batch(operations)
+            makespans[label] = result.makespan
+            if label == "concurrent":
+                lock_waits = result.schedule.lock_waits
+        concurrent = makespans["concurrent"]
+        rows.append(
+            MetricRow(
+                x_label="strategy",
+                x_value=strategy,
+                strategy=strategy,
+                throughput=(num_updates / concurrent) if concurrent > 0 else 0.0,
+                extras={
+                    "serial_makespan": makespans["serial"],
+                    "concurrent_makespan": concurrent,
+                    "speedup": (makespans["serial"] / concurrent)
+                    if concurrent > 0
+                    else 0.0,
+                    "lock_waits": float(lock_waits),
+                },
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Section 4: analytical cost model vs. measurement
 # ---------------------------------------------------------------------------
 
@@ -582,6 +701,24 @@ _register(FigureDefinition(
     x_label="update fraction",
     runner=_run_fig8_throughput,
     expected_shape="TD/LBU throughput falls as updates dominate; GBU rises and stays above TD.",
+))
+_register(FigureDefinition(
+    key="contention_sweep",
+    title="Throughput vs. number of concurrent clients (online engine)",
+    paper_reference="Section 3.2.2",
+    x_label="number of clients",
+    runner=_run_contention_sweep,
+    notes="Online multi-client streams; every operation predicts and acquires its DGL lock scope.",
+    expected_shape="Throughput grows with clients until contention saturates; GBU >= LBU >= TD throughout.",
+))
+_register(FigureDefinition(
+    key="batch_throughput",
+    title="Conflict-aware batch scheduling vs. serial group execution",
+    paper_reference="beyond paper",
+    x_label="strategy",
+    runner=_run_batch_throughput,
+    notes="Group-by-leaf buckets scheduled as concurrent virtual operations under group_lock_scope().",
+    expected_shape="Concurrent makespan strictly below serial for every strategy.",
 ))
 _register(FigureDefinition(
     key="cost_model",

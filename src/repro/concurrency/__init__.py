@@ -1,4 +1,4 @@
-"""Concurrency control and the throughput experiment.
+"""Concurrency control and the online operation engine.
 
 Section 3.2.2 of the paper argues that bottom-up updates fit naturally into
 Dynamic Granular Locking (DGL, Chakrabarti & Mehrotra): the lockable granules
@@ -11,21 +11,41 @@ clients and varying update/query mixes (Figure 8).
 This package provides:
 
 * :mod:`repro.concurrency.locks` — a generic multi-granularity lock manager
-  (S / X / IS / IX modes, FIFO queuing);
-* :mod:`repro.concurrency.dgl` — the DGL protocol layer that maps index
-  operations to granule lock requests;
-* :mod:`repro.concurrency.simulator` — a deterministic discrete-event
-  simulator of N concurrent clients (real OS threads would be serialised by
-  the Python interpreter's global lock and distort the measurement; the
-  simulator charges each operation its measured I/O cost and models lock
-  waits explicitly — see DESIGN.md, "Substitutions");
-* :mod:`repro.concurrency.throughput` — the end-to-end throughput experiment
-  used for Figure 8.
+  (S / X / IS / IX modes);
+* :mod:`repro.concurrency.dgl` — the DGL protocol layer: granule identities
+  (leaf pages, the external granule, the coarse tree granule), lock-request
+  records, and the derivation of lock sets from observed page accesses;
+* :mod:`repro.concurrency.scheduler` — the deterministic logical-clock
+  scheduler of N virtual clients (real OS threads would be serialised by
+  the Python interpreter's global lock and distort the measurement);
+* :mod:`repro.concurrency.engine` — the online operation engine: live
+  operations predict their lock scope through the strategies'
+  ``lock_scope()`` hooks, execute for real under the scheduler, and block
+  on conflict; shared by single operations, conflict-aware batch group
+  scheduling, and multi-client session streams;
+* :mod:`repro.concurrency.throughput` — the end-to-end throughput
+  experiment used for Figure 8, driving the engine.
 """
 
-from repro.concurrency.dgl import DGLProtocol, GranuleLockRequest
+from repro.concurrency.dgl import (
+    EXTERNAL_GRANULE,
+    TREE_GRANULE,
+    DGLProtocol,
+    GranuleLockRequest,
+    merge_requests,
+)
+from repro.concurrency.engine import (
+    BatchScheduleResult,
+    ConcurrentSession,
+    OnlineOperationEngine,
+)
 from repro.concurrency.locks import LockManager, LockMode
-from repro.concurrency.simulator import OperationTrace, ThroughputResult, ThroughputSimulator
+from repro.concurrency.scheduler import (
+    ClientReport,
+    OperationScheduler,
+    ScheduleResult,
+    VirtualOperation,
+)
 from repro.concurrency.throughput import ThroughputExperiment, run_throughput
 
 __all__ = [
@@ -33,9 +53,16 @@ __all__ = [
     "LockMode",
     "DGLProtocol",
     "GranuleLockRequest",
-    "OperationTrace",
-    "ThroughputResult",
-    "ThroughputSimulator",
+    "merge_requests",
+    "EXTERNAL_GRANULE",
+    "TREE_GRANULE",
+    "OperationScheduler",
+    "ScheduleResult",
+    "ClientReport",
+    "VirtualOperation",
+    "OnlineOperationEngine",
+    "ConcurrentSession",
+    "BatchScheduleResult",
     "ThroughputExperiment",
     "run_throughput",
 ]

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Set, Tuple
 
-from repro.concurrency.locks import LockMode
+from repro.concurrency.locks import LockMode, strongest_mode
 
 #: The identifier of the single external granule.  A finer decomposition of
 #: the uncovered space is possible, but one external granule is the
@@ -33,6 +33,12 @@ from repro.concurrency.locks import LockMode
 #: leaf MBRs — which are exactly the operations the paper expects to be rare
 #: and expensive.
 EXTERNAL_GRANULE = "external"
+
+#: The coarse whole-tree granule used for intention tagging: operations take
+#: IS/IX here on their way down, mirroring DGL's lightweight marking of the
+#: path, and it is what makes a hypothetical tree-wide operation (e.g. a
+#: rebuild) conflict with everything.
+TREE_GRANULE = "tree"
 
 
 @dataclass(frozen=True)
@@ -64,7 +70,7 @@ class DGLProtocol:
     leaf_pages: Set[int] = field(default_factory=set)
     lock_internal_as_intention: bool = True
 
-    TREE_GRANULE = "tree"
+    TREE_GRANULE = TREE_GRANULE
 
     # ------------------------------------------------------------------
     # Granule bookkeeping
@@ -128,3 +134,22 @@ class DGLProtocol:
     def as_pairs(requests: Sequence[GranuleLockRequest]) -> List[Tuple[object, LockMode]]:
         """Convert requests to the ``(resource, mode)`` pairs the lock manager takes."""
         return [(request.granule, request.mode) for request in requests]
+
+
+def merge_requests(requests: Iterable[GranuleLockRequest]) -> List[GranuleLockRequest]:
+    """Collapse duplicate granules to a single request in the strongest mode.
+
+    Lock-scope predictions are assembled from several independent clauses
+    (the object's leaf, shift candidates, the insert target, ...) that can
+    name the same granule more than once; the lock manager would tolerate
+    the duplicates, but a canonical merged set keeps scope sizes meaningful
+    for contention accounting.  Order of first appearance is preserved, so
+    merged scopes are deterministic.
+    """
+    merged: "dict[object, LockMode]" = {}
+    for request in requests:
+        held = merged.get(request.granule)
+        merged[request.granule] = (
+            request.mode if held is None else strongest_mode(held, request.mode)
+        )
+    return [GranuleLockRequest(granule, mode) for granule, mode in merged.items()]

@@ -1,0 +1,390 @@
+"""Online concurrent operation engine.
+
+:class:`OnlineOperationEngine` is the execution layer the ROADMAP's
+heavy-traffic north star asks for: virtual clients draw operations from a
+live workload stream, each operation *predicts* its DGL granule lock scope
+through the owning strategy's ``lock_scope()`` hook, acquires the locks
+online through the :class:`~repro.concurrency.locks.LockManager`, executes
+for real against the index under a deterministic logical clock, and blocks
+and retries on conflict.  Throughput therefore emerges from actual
+interleavings — a top-down update that locks every leaf its descent may
+visit stalls its neighbours, a bottom-up update that locks one leaf granule
+does not — instead of from replaying a fixed single-threaded trace.
+
+The engine is shared by every operation path:
+
+* **single operations / mixed streams** — :meth:`OnlineOperationEngine.run`
+  (one shared stream) and :meth:`OnlineOperationEngine.run_streams` (one
+  stream per client, see
+  :meth:`~repro.workload.generator.WorkloadGenerator.client_streams`);
+* **batches** — :meth:`OnlineOperationEngine.run_batch` partitions a batch
+  into group-by-leaf buckets via the PR 1 batch executor, derives each
+  group's granule lock set from the strategy's ``group_lock_scope()`` hook,
+  and schedules non-conflicting groups as concurrent virtual operations
+  (conflict-aware batch scheduling);
+* **multi-client facades** — :class:`ConcurrentSession`, returned by
+  :meth:`repro.core.index.MovingObjectIndex.engine`, queues per-client work
+  and reports per-client physical I/O through the buffer pool's client
+  accounting.
+
+Everything is deterministic: the scheduler's event order is total, lock
+scopes are pure functions of the live tree, and no wall-clock time enters
+the model — the same seed always produces the identical makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.concurrency.dgl import DGLProtocol
+from repro.concurrency.scheduler import (
+    OperationScheduler,
+    ScheduleResult,
+    VirtualOperation,
+)
+from repro.geometry import Point, Rect
+
+if TYPE_CHECKING:  # imported lazily to keep the package import-cycle free
+    from repro.core.index import MovingObjectIndex
+    from repro.storage.buffer import ClientIOCounters
+    from repro.update.base import BatchUpdate
+    from repro.update.batch import BatchResult
+
+
+class _LiveOperation(VirtualOperation):
+    """A facade operation scheduled and executed online.
+
+    ``payload`` is normalised by the engine: ``("update", oid, new)``,
+    ``("insert", oid, location)``, ``("delete", oid)`` or
+    ``("query", window)``.  Lock scopes are recomputed from the live index
+    on every dispatch attempt; the update's *old* position is whatever the
+    index holds at that moment, which is exactly the online semantics — a
+    blocked update sees the positions its predecessors committed.
+    """
+
+    __slots__ = ("engine", "kind", "payload")
+
+    def __init__(self, engine: "OnlineOperationEngine", kind: str, payload: Tuple):
+        self.engine = engine
+        self.kind = kind
+        self.payload = payload
+
+    def lock_requests(self):
+        index = self.engine.index
+        strategy = index.strategy
+        if self.kind == "update":
+            oid, new_location = self.payload
+            old_location = index.position_of(oid)
+            if old_location is None:
+                requests = strategy.insert_lock_scope(new_location)
+            else:
+                requests = strategy.lock_scope(oid, old_location, new_location)
+        elif self.kind == "insert":
+            _oid, location = self.payload
+            requests = strategy.insert_lock_scope(location)
+        elif self.kind == "delete":
+            (oid,) = self.payload
+            location = index.position_of(oid)
+            if location is None:
+                return []  # nothing to delete, nothing to lock
+            requests = strategy.delete_lock_scope(oid, location)
+        else:  # query
+            (window,) = self.payload
+            requests = strategy.query_lock_scope(window)
+        return DGLProtocol.as_pairs(requests)
+
+    def execute(self, client: int) -> int:
+        index = self.engine.index
+        if self.kind == "update":
+            oid, new_location = self.payload
+            if oid in index:
+                work = lambda: index.update(oid, new_location)
+            else:
+                work = lambda: index.insert(oid, new_location)
+        elif self.kind == "insert":
+            oid, location = self.payload
+            work = lambda: index.insert(oid, location)
+        elif self.kind == "delete":
+            (oid,) = self.payload
+            work = lambda: index.delete(oid)
+        else:
+            (window,) = self.payload
+            work = lambda: index.range_query(window)
+        return self.engine.measure(client, work)
+
+
+class _GroupOperation(VirtualOperation):
+    """One group-by-leaf batch bucket scheduled as a virtual operation."""
+
+    __slots__ = ("engine", "leaf_page", "bucket", "result")
+    kind = "group"
+
+    def __init__(self, engine, leaf_page: int, bucket, result):
+        self.engine = engine
+        self.leaf_page = leaf_page
+        self.bucket = bucket
+        self.result = result
+
+    def lock_requests(self):
+        strategy = self.engine.index.strategy
+        return DGLProtocol.as_pairs(
+            strategy.group_lock_scope(self.leaf_page, self.bucket)
+        )
+
+    def execute(self, client: int) -> int:
+        executor = self.engine.index.batch
+        return self.engine.measure(
+            client,
+            lambda: executor.execute_group(self.leaf_page, self.bucket, self.result),
+        )
+
+
+class _ReplayOperation(VirtualOperation):
+    """A batch member with no indexed leaf, replayed per-operation."""
+
+    __slots__ = ("engine", "request", "result")
+    kind = "update"
+
+    def __init__(self, engine, request, result):
+        self.engine = engine
+        self.request = request
+        self.result = result
+
+    def lock_requests(self):
+        strategy = self.engine.index.strategy
+        return DGLProtocol.as_pairs(
+            strategy.lock_scope(
+                self.request.oid,
+                self.request.old_location,
+                self.request.new_location,
+            )
+        )
+
+    def execute(self, client: int) -> int:
+        executor = self.engine.index.batch
+        return self.engine.measure(
+            client, lambda: executor.replay(self.request, self.result)
+        )
+
+
+@dataclass
+class BatchScheduleResult:
+    """Conflict-aware batch execution: the schedule plus the batch outcome."""
+
+    schedule: ScheduleResult
+    batch: "BatchResult"
+
+    @property
+    def makespan(self) -> float:
+        return self.schedule.makespan
+
+    def describe(self) -> str:
+        return (
+            f"{self.batch.describe()} | makespan={self.schedule.makespan:.3f} "
+            f"clients={self.schedule.num_clients} "
+            f"lock_waits={self.schedule.lock_waits}"
+        )
+
+
+class OnlineOperationEngine:
+    """Schedules live index operations over N virtual clients under DGL."""
+
+    def __init__(
+        self,
+        index: "MovingObjectIndex",
+        num_clients: int = 50,
+        time_per_io: float = 0.01,
+        cpu_time_per_op: float = 0.001,
+    ) -> None:
+        self.index = index
+        self.scheduler = OperationScheduler(
+            num_clients=num_clients,
+            time_per_io=time_per_io,
+            cpu_time_per_op=cpu_time_per_op,
+        )
+
+    @property
+    def num_clients(self) -> int:
+        return self.scheduler.num_clients
+
+    # ------------------------------------------------------------------
+    # Execution paths
+    # ------------------------------------------------------------------
+    def run(self, operations: Iterable) -> ScheduleResult:
+        """Execute a shared operation stream over the engine's clients.
+
+        Accepts both the facade tuples of
+        :meth:`~repro.core.index.MovingObjectIndex.apply` — ``("update",
+        oid, new)``, ``("insert", oid, location)``, ``("delete", oid)``,
+        ``("range_query", window)`` — and the generator's
+        ``("update", (oid, old, new))`` / ``("query", window)`` items.
+        """
+        self.index.buffer.reset_client_io()
+        return self.scheduler.run(self._live_operations(operations))
+
+    def run_streams(self, streams: Sequence[Iterable]) -> ScheduleResult:
+        """Execute one operation stream per virtual client."""
+        self.index.buffer.reset_client_io()
+        return self.scheduler.run_streams(
+            [self._live_operations(stream) for stream in streams]
+        )
+
+    def run_batch(self, updates: Iterable["BatchUpdate"]) -> BatchScheduleResult:
+        """Conflict-aware scheduling of one update batch.
+
+        The batch executor plans the group-by-leaf buckets (coalescing
+        repeated updates of one object exactly as the serial path does);
+        each bucket becomes one virtual operation whose lock set is the
+        strategy's ``group_lock_scope()``.  Buckets with disjoint granule
+        sets execute concurrently, buckets sharing a granule (a shift target
+        sibling, for instance) serialise — so the batch's makespan reflects
+        its real conflict structure, and is strictly below serial execution
+        whenever at least two groups are disjoint.
+        """
+        from repro.update.batch import BatchResult  # local: avoids import cycle
+
+        executor = self.index.batch
+        plan = executor.plan(updates)
+        # Keep the facade's position map in step with what the batch will
+        # commit: every planned member eventually executes (group pass or
+        # replay), and the coalesced new_location is its final position.
+        # ConcurrentSession.update_many already did this via _update_ops;
+        # re-assigning the same final values is idempotent.
+        for bucket in plan.buckets.values():
+            for request in bucket:
+                self.index._positions[request.oid] = request.new_location
+        for request in plan.unindexed:
+            self.index._positions[request.oid] = request.new_location
+        result = BatchResult(updates=plan.requested, coalesced=plan.coalesced)
+        before = executor.stats.snapshot()
+        operations: List[VirtualOperation] = [
+            _ReplayOperation(self, request, result) for request in plan.unindexed
+        ]
+        operations.extend(
+            _GroupOperation(self, leaf_page, bucket, result)
+            for leaf_page, bucket in plan.buckets.items()
+        )
+        self.index.buffer.reset_client_io()
+        schedule = self.scheduler.run(iter(operations))
+        result.io = executor.stats.snapshot().delta_since(before)
+        return BatchScheduleResult(schedule=schedule, batch=result)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def measure(self, client: int, work) -> int:
+        """Run *work* attributing its physical I/O to *client*; return the count."""
+        buffer = self.index.buffer
+        stats = self.index.stats
+        before = stats.total_physical_io
+        buffer.set_active_client(client)
+        try:
+            work()
+        finally:
+            buffer.set_active_client(None)
+        return stats.total_physical_io - before
+
+    def _live_operations(self, operations: Iterable) -> Iterator[_LiveOperation]:
+        for operation in operations:
+            yield self._normalise(operation)
+
+    def _normalise(self, operation: Tuple) -> _LiveOperation:
+        kind = operation[0]
+        if kind == "update":
+            if len(operation) == 2:  # generator item: ("update", (oid, old, new))
+                oid, _old, new_location = operation[1]
+            else:  # facade tuple: ("update", oid, new)
+                _, oid, new_location = operation
+            return _LiveOperation(self, "update", (oid, new_location))
+        if kind == "insert":
+            _, oid, location = operation
+            return _LiveOperation(self, "insert", (oid, location))
+        if kind == "delete":
+            _, oid = operation
+            return _LiveOperation(self, "delete", (oid,))
+        if kind in ("query", "range_query"):
+            window = operation[1]
+            if not isinstance(window, Rect):
+                raise TypeError(f"query operand must be a Rect, got {window!r}")
+            return _LiveOperation(self, "query", (window,))
+        raise ValueError(f"unknown engine operation kind {kind!r}")
+
+
+class ConcurrentSession:
+    """Multi-client facade over the online engine.
+
+    Obtained from :meth:`repro.core.index.MovingObjectIndex.engine`::
+
+        session = index.engine(num_clients=50)
+        session.submit(0, ("update", 42, Point(0.3, 0.4)))
+        session.submit(1, ("range_query", Rect(0.2, 0.2, 0.4, 0.5)))
+        result = session.run()            # deterministic ScheduleResult
+        print(result.throughput, session.client_io())
+
+    Work queued with :meth:`submit` is per-client; :meth:`run` drains every
+    queue under the scheduler.  :meth:`run_mixed` and :meth:`update_many`
+    are the streaming and batch shortcuts used by the benchmarks.
+    """
+
+    def __init__(self, engine: OnlineOperationEngine) -> None:
+        self.engine = engine
+        self._queues: Dict[int, List[Tuple]] = {}
+
+    @property
+    def index(self) -> "MovingObjectIndex":
+        return self.engine.index
+
+    @property
+    def num_clients(self) -> int:
+        return self.engine.num_clients
+
+    # ------------------------------------------------------------------
+    def submit(self, client: int, *operations: Tuple) -> "ConcurrentSession":
+        """Queue facade operation tuples on *client*'s stream."""
+        if not 0 <= client < self.num_clients:
+            raise ValueError(
+                f"client {client} out of range (0..{self.num_clients - 1})"
+            )
+        self._queues.setdefault(client, []).extend(operations)
+        return self
+
+    def pending(self) -> int:
+        """Operations queued and not yet run."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    def run(self) -> ScheduleResult:
+        """Execute every queued per-client stream; queues are consumed."""
+        streams = [
+            self._queues.get(client, []) for client in range(self.num_clients)
+        ]
+        self._queues = {}
+        return self.engine.run_streams(streams)
+
+    def run_shared(self, operations: Iterable) -> ScheduleResult:
+        """Execute a shared stream (clients draw operations in order)."""
+        return self.engine.run(operations)
+
+    def run_mixed(
+        self, generator, num_operations: int, update_fraction: float
+    ) -> ScheduleResult:
+        """Execute a generator's mixed stream dealt over this session's clients."""
+        streams = generator.client_streams(
+            self.num_clients, num_operations, update_fraction
+        )
+        return self.engine.run_streams(streams)
+
+    def update_many(
+        self, updates: Iterable[Tuple[int, Point]]
+    ) -> BatchScheduleResult:
+        """Batch counterpart of :meth:`MovingObjectIndex.update_many`.
+
+        The same group-by-leaf execution, but non-conflicting groups run as
+        concurrent virtual operations instead of draining serially.
+        """
+        operations = self.index._update_ops(updates)
+        return self.engine.run_batch(operations)
+
+    def client_io(self) -> Dict[int, "ClientIOCounters"]:
+        """Physical I/O attributed to each client during the last run."""
+        return self.index.buffer.client_io_table()

@@ -3,8 +3,8 @@
 A small but complete lock manager supporting the classic multi-granularity
 modes (IS, IX, S, X), a standard compatibility matrix, FIFO wait queues and
 per-holder bookkeeping.  It is deliberately free of threads: callers (the
-DGL protocol layer and the discrete-event simulator) decide *when* a waiting
-request is retried, which keeps simulated runs deterministic.
+DGL protocol layer and the discrete-event operation scheduler) decide *when*
+a waiting request is retried, which keeps scheduled runs deterministic.
 """
 
 from __future__ import annotations
@@ -57,7 +57,7 @@ class LockManager:
 
     Resources are arbitrary hashable identifiers (the DGL layer uses granule
     ids).  Owners are arbitrary hashable identifiers (client ids in the
-    simulator).  The manager is re-entrant: an owner holding a resource in
+    scheduler).  The manager is re-entrant: an owner holding a resource in
     some mode may upgrade it, and repeated requests for the same or weaker
     mode are no-ops.
     """
@@ -96,9 +96,9 @@ class LockManager:
     ) -> bool:
         """Atomically acquire every lock in *requests* or none of them.
 
-        All-or-nothing acquisition is how the simulator avoids having to model
-        deadlock detection: an operation either gets its full lock set and
-        runs, or it waits and retries when another operation releases.
+        All-or-nothing acquisition is how the scheduler avoids having to
+        model deadlock detection: an operation either gets its full lock set
+        and runs, or it waits and retries when another operation releases.
         """
         for resource, mode in requests:
             held = self._grants[resource].get(owner)
@@ -159,6 +159,11 @@ def _stronger_or_equal(held: LockMode, requested: LockMode) -> bool:
     return order[held] >= order[requested] and (held, requested) not in {
         (LockMode.SHARED, LockMode.INTENTION_EXCLUSIVE),
     }
+
+
+def strongest_mode(held: LockMode, requested: LockMode) -> LockMode:
+    """The weakest mode that dominates both arguments (public helper)."""
+    return _strongest(held, requested)
 
 
 def _strongest(held, requested: LockMode) -> LockMode:

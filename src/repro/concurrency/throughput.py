@@ -1,31 +1,33 @@
-"""End-to-end throughput experiment (Figure 8).
+"""End-to-end throughput experiment (Figure 8), on the online engine.
 
 The experiment measures operations per second for a mixed workload of window
 queries and updates under DGL locking with many concurrent clients, for each
-update strategy.  It proceeds in two phases:
+update strategy.  Operations are **executed online**: virtual clients draw
+from the generator's mixed stream, every operation predicts its granule lock
+scope through the strategy's ``lock_scope()`` hook, acquires the locks, runs
+for real against the index on a deterministic logical clock, and blocks on
+conflict — see :mod:`repro.concurrency.engine`.  Throughput is the number of
+operations divided by the resulting makespan.
 
-1. **Recording phase** — the mixed operation stream is executed once against
-   the index (single-threaded).  For every operation we record its physical
-   I/O count (from the shared :class:`~repro.storage.stats.IOStatistics`) and
-   the set of leaf granules it touched (from the buffer pool's access log),
-   from which the DGL layer derives its lock requests.
-2. **Simulation phase** — the recorded traces are replayed by the
-   :class:`~repro.concurrency.simulator.ThroughputSimulator` over *N* virtual
-   clients; the reported throughput is operations divided by the simulated
-   makespan.
-
-See DESIGN.md ("Substitutions") for why a simulation replaces real threads.
+This replaces the earlier two-phase record-then-replay pipeline, in which
+every operation was executed once single-threaded and its trace replayed:
+there, interleavings could never affect outcomes, the batch engine was
+invisible to the concurrency layer, and the lock sets were observations
+rather than predictions.  With the engine, the same scheduler serves single
+operations, batches and multi-client streams.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, Optional
 
-from repro.concurrency.dgl import DGLProtocol
-from repro.concurrency.simulator import OperationTrace, ThroughputResult, ThroughputSimulator
-from repro.core.index import MovingObjectIndex
-from repro.workload.generator import WorkloadGenerator
+from repro.concurrency.engine import OnlineOperationEngine
+from repro.concurrency.scheduler import ScheduleResult
+
+if TYPE_CHECKING:  # avoid import cycles; both arrive as arguments
+    from repro.core.index import MovingObjectIndex
+    from repro.workload.generator import WorkloadGenerator
 
 
 @dataclass
@@ -45,63 +47,21 @@ class ThroughputExperiment:
             raise ValueError("update_fraction must be in [0, 1]")
 
 
-def record_traces(
-    index: MovingObjectIndex,
-    generator: WorkloadGenerator,
-    experiment: ThroughputExperiment,
-) -> List[OperationTrace]:
-    """Execute the mixed stream once and capture per-operation traces."""
-    protocol = DGLProtocol(
-        leaf_pages={leaf.page_id for leaf in index.tree.leaf_nodes()}
-    )
-    traces: List[OperationTrace] = []
-    buffer = index.buffer
-
-    for kind, payload in generator.mixed_operations(
-        experiment.num_operations, experiment.update_fraction
-    ):
-        access_log: list = []
-        buffer.access_log = access_log
-        before = index.stats.total_physical_io
-        if kind == "update":
-            oid, _old, new = payload
-            index.update(oid, new)
-        else:
-            index.range_query(payload)
-        io_cost = index.stats.total_physical_io - before
-        buffer.access_log = None
-
-        reads = [page for access, page in access_log if access == "read"]
-        writes = [page for access, page in access_log if access == "write"]
-        # Keep the protocol's view of which pages are leaves current: updates
-        # may have split leaves or created new ones.
-        for leaf in _new_leaves(index, protocol):
-            protocol.register_leaf(leaf)
-        if kind == "update":
-            requests = protocol.requests_for_update(reads, writes)
-        else:
-            requests = protocol.requests_for_query(reads)
-        traces.append(OperationTrace(kind=kind, physical_io=io_cost, lock_requests=requests))
-    return traces
-
-
-def _new_leaves(index: MovingObjectIndex, protocol: DGLProtocol) -> List[int]:
-    """Leaf pages present in the tree but unknown to the protocol yet."""
-    current = {leaf.page_id for leaf in index.tree.leaf_nodes()}
-    return [page for page in current if not protocol.is_leaf_granule(page)]
-
-
 def run_throughput(
-    index: MovingObjectIndex,
-    generator: WorkloadGenerator,
+    index: "MovingObjectIndex",
+    generator: "WorkloadGenerator",
     experiment: Optional[ThroughputExperiment] = None,
-) -> ThroughputResult:
-    """Record the mixed stream on *index* and simulate its concurrent execution."""
+) -> ScheduleResult:
+    """Execute the mixed stream on *index* online, over N virtual clients."""
     experiment = experiment if experiment is not None else ThroughputExperiment()
-    traces = record_traces(index, generator, experiment)
-    simulator = ThroughputSimulator(
+    engine = OnlineOperationEngine(
+        index,
         num_clients=experiment.num_clients,
         time_per_io=experiment.time_per_io,
         cpu_time_per_op=experiment.cpu_time_per_op,
     )
-    return simulator.run(traces)
+    return engine.run(
+        generator.mixed_operations(
+            experiment.num_operations, experiment.update_fraction
+        )
+    )

@@ -28,6 +28,15 @@ read/write (see :mod:`repro.update.batch`)::
     ])
     print(result.describe())                      # per-batch I/O snapshot
 
+Multi-client workloads run through the online concurrent operation engine
+(:meth:`MovingObjectIndex.engine`): virtual clients acquire DGL granule
+locks predicted by the strategy's ``lock_scope()`` hook and execute against
+the index on a deterministic logical clock::
+
+    session = index.engine(num_clients=50)
+    session.submit(0, ("update", 42, Point(0.33, 0.40)))
+    print(session.run().throughput)
+
 The facade tracks each object's current position so callers only supply the
 new position on update (the strategies internally need the old one to apply
 the distance-threshold optimisation and to fall back to top-down deletion).
@@ -37,6 +46,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.concurrency.engine import ConcurrentSession, OnlineOperationEngine
 from repro.core.config import IndexConfig
 from repro.geometry import Point, Rect
 from repro.rtree.bulk import bulk_load_str
@@ -260,6 +270,35 @@ class MovingObjectIndex:
     def knn(self, point: Point, k: int) -> List[Tuple[float, int]]:
         """The *k* objects nearest to *point* as ``(distance, oid)`` pairs."""
         return self.tree.knn(point, k)
+
+    # ------------------------------------------------------------------
+    # Concurrent execution (online engine, repro.concurrency.engine)
+    # ------------------------------------------------------------------
+    def engine(
+        self,
+        num_clients: int = 50,
+        time_per_io: float = 0.01,
+        cpu_time_per_op: float = 0.001,
+    ) -> ConcurrentSession:
+        """Open a multi-client session over the online operation engine.
+
+        Virtual clients execute operations concurrently under DGL granule
+        locking on a deterministic logical clock: each operation predicts
+        its lock scope through the strategy's ``lock_scope()`` hook, blocks
+        on conflict, and runs for real when its locks are granted.  The
+        session exposes per-client queues (:meth:`ConcurrentSession.submit`
+        / ``run``), shared and generator-driven streams, and conflict-aware
+        batch scheduling (:meth:`ConcurrentSession.update_many`), all
+        measured with per-client physical-I/O attribution.
+        """
+        return ConcurrentSession(
+            OnlineOperationEngine(
+                self,
+                num_clients=num_clients,
+                time_per_io=time_per_io,
+                cpu_time_per_op=cpu_time_per_op,
+            )
+        )
 
     def position_of(self, oid: int) -> Optional[Point]:
         """Last recorded position of *oid* (``None`` if absent)."""

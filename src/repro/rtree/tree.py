@@ -120,8 +120,13 @@ class RTree:
         self.observers.node_written(node)
 
     def peek_node(self, page_id: int) -> Node:
-        """Read a node without charging I/O (tests and validators only)."""
-        return self.disk.peek(page_id)
+        """Read a node without charging I/O (planning, tests and validators).
+
+        Reads through the buffer pool so write-back frames that have not
+        reached the disk yet are seen — lock-scope prediction runs against
+        the live tree, not the possibly stale on-disk image.
+        """
+        return self.buffer.peek(page_id)
 
     def _allocate_node(self, level: int) -> Node:
         node = Node(page_id=self.disk.allocate_page(), level=level)
@@ -666,6 +671,50 @@ class RTree:
         if not root.entries:
             return None
         return root.mbr()
+
+    # ------------------------------------------------------------------
+    # Lock-scope planning (used by the concurrent operation engine)
+    # ------------------------------------------------------------------
+    def predict_visited_leaves(self, rect: Rect) -> List[int]:
+        """Leaf pages a top-down search for *rect* would visit (no I/O charged).
+
+        Mirrors the descent criterion of both :meth:`range_query` and the
+        delete-side FindLeaf: a child is entered when its entry rectangle
+        intersects *rect*, so the returned pages are exactly the leaf
+        granules such an operation must lock under DGL.  Planning uses
+        uncharged peeks — granule prediction is main-memory work, like DGL's
+        own granule table.
+        """
+        pages: List[int] = []
+        stack = [self.root_page_id]
+        while stack:
+            node = self.peek_node(stack.pop())
+            if node.is_leaf:
+                pages.append(node.page_id)
+            else:
+                for entry in node.entries:
+                    if entry.rect.intersects(rect):
+                        stack.append(entry.child)
+        return sorted(pages)
+
+    def predict_insert_leaf(
+        self, rect: Rect, start_page_id: Optional[int] = None
+    ) -> int:
+        """Leaf page a top-down insert of *rect* would descend to (no I/O charged).
+
+        Replays the ChooseLeaf criterion over uncharged peeks, starting at
+        the root (or at *start_page_id*, for GBU's bounded ascent which
+        re-inserts below an ancestor).  The prediction is exact at the moment
+        it is made; a concurrent split can of course reroute the real insert,
+        which is why engine lock scopes are recomputed on every dispatch
+        attempt.
+        """
+        node = self.peek_node(
+            self.root_page_id if start_page_id is None else start_page_id
+        )
+        while not node.is_leaf:
+            node = self.peek_node(self._choose_subtree(node, rect).child)
+        return node.page_id
 
     def __len__(self) -> int:
         return self.size

@@ -15,10 +15,27 @@ paper measures.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Optional
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.storage.disk import DiskManager
 from repro.storage.stats import IOStatistics
+
+#: One entry of an access trace: ``("read" | "write", page_id)``.
+AccessRecord = Tuple[str, int]
+
+
+@dataclass
+class ClientIOCounters:
+    """Physical page transfers attributed to one client of the pool."""
+
+    physical_reads: int = 0
+    physical_writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.physical_reads + self.physical_writes
 
 
 class BufferPool:
@@ -55,11 +72,70 @@ class BufferPool:
         # batch executor pins a group's leaf so interleaved reads cannot push
         # it out of the pool mid-group).
         self._pins: dict = {}
-        # Optional access trace: when set to a list, every logical access is
-        # appended as ("read" | "write", page_id).  The concurrency simulator
-        # uses it to learn which pages an operation touched so it can derive
-        # the operation's lock set; leaving it at None has zero overhead.
-        self.access_log: Optional[list] = None
+        # Scoped access trace (see logged_accesses()); None in steady state.
+        self._access_log: Optional[List[AccessRecord]] = None
+        # Per-client physical-I/O attribution (see set_active_client()).
+        self._active_client: Optional[Hashable] = None
+        self._client_io: Dict[Hashable, ClientIOCounters] = {}
+
+    # -- access tracing -------------------------------------------------------
+    @contextmanager
+    def logged_accesses(self) -> Iterator[List[AccessRecord]]:
+        """Record every logical access made inside the ``with`` block.
+
+        Yields the list the accesses are appended to, as
+        ``("read" | "write", page_id)`` tuples.  Recording is strictly scoped:
+        the log is detached when the block exits (normally or via an
+        exception), so a trace can never keep growing into a steady-state
+        run.  Blocks nest; each one sees only its own accesses.
+        """
+        log: List[AccessRecord] = []
+        previous = self._access_log
+        self._access_log = log
+        try:
+            yield log
+        finally:
+            self._access_log = previous
+
+    @property
+    def is_logging_accesses(self) -> bool:
+        """``True`` while inside a :meth:`logged_accesses` block."""
+        return self._access_log is not None
+
+    # -- per-client accounting ------------------------------------------------
+    def set_active_client(self, client: Optional[Hashable]) -> None:
+        """Attribute subsequent physical transfers to *client*.
+
+        The concurrent operation engine brackets each operation's execution
+        with ``set_active_client(client_id)`` / ``set_active_client(None)``
+        so every virtual client's share of the physical I/O is accounted.
+        Write-backs caused by eviction are charged to the client whose
+        admission triggered them (they would not have happened at that moment
+        otherwise).  With no active client the accounting has no overhead.
+        """
+        self._active_client = client
+
+    def client_io(self, client: Hashable) -> ClientIOCounters:
+        """Counters attributed to *client* (zeros when it never ran)."""
+        return self._client_io.get(client, ClientIOCounters())
+
+    def client_io_table(self) -> Dict[Hashable, ClientIOCounters]:
+        """Copy of the per-client attribution table."""
+        return {client: ClientIOCounters(c.physical_reads, c.physical_writes)
+                for client, c in self._client_io.items()}
+
+    def reset_client_io(self) -> None:
+        """Drop all per-client attribution (start of an engine run)."""
+        self._client_io.clear()
+
+    def _charge_client(self, reads: int = 0, writes: int = 0) -> None:
+        if self._active_client is None:
+            return
+        counters = self._client_io.get(self._active_client)
+        if counters is None:
+            counters = self._client_io[self._active_client] = ClientIOCounters()
+        counters.physical_reads += reads
+        counters.physical_writes += writes
 
     # -- sizing helpers -----------------------------------------------------
     @classmethod
@@ -96,13 +172,14 @@ class BufferPool:
     def read(self, page_id: int) -> Any:
         """Return the payload of *page_id*, reading from disk on a miss."""
         self.stats.logical_reads += 1
-        if self.access_log is not None:
-            self.access_log.append(("read", page_id))
+        if self._access_log is not None:
+            self._access_log.append(("read", page_id))
         if self.capacity > 0 and page_id in self._frames:
             self.stats.buffer_hits += 1
             self._frames.move_to_end(page_id)
             return self._frames[page_id]
         payload = self.disk.read_page(page_id)
+        self._charge_client(reads=1)
         self._admit(page_id, payload)
         return payload
 
@@ -115,10 +192,11 @@ class BufferPool:
         algorithms phrase this as "write out leaf node".
         """
         self.stats.logical_writes += 1
-        if self.access_log is not None:
-            self.access_log.append(("write", page_id))
+        if self._access_log is not None:
+            self._access_log.append(("write", page_id))
         if self.capacity == 0:
             self.disk.write_page(page_id, payload)
+            self._charge_client(writes=1)
             return
         if page_id in self._frames:
             self._frames.move_to_end(page_id)
@@ -126,6 +204,19 @@ class BufferPool:
         else:
             self._admit(page_id, payload)
         self._dirty.add(page_id)
+
+    def peek(self, page_id: int) -> Any:
+        """Uncharged read: the buffered frame when resident, else the disk copy.
+
+        Under write-back caching the freshest version of a dirty page lives
+        only in the pool, so planning and validation code that bypasses the
+        I/O accounting must still look here first — peeking the disk alone
+        would return a stale (or not-yet-materialised) payload.  Never
+        counts I/O and never disturbs LRU order.
+        """
+        if page_id in self._frames:
+            return self._frames[page_id]
+        return self.disk.peek(page_id)
 
     def pin(self, page_id: int) -> None:
         """Exempt *page_id* from eviction until a matching :meth:`unpin`.
@@ -196,6 +287,7 @@ class BufferPool:
         payload = self._frames.pop(victim_id)
         if victim_id in self._dirty:
             self.disk.write_page(victim_id, payload)
+            self._charge_client(writes=1)
             self._dirty.discard(victim_id)
             self.stats.dirty_evictions += 1
         return True

@@ -29,6 +29,13 @@ group-by-leaf batch execution engine: operation streams are grouped by
 target leaf page and each group is applied through the strategy's
 ``apply_group`` hook with one leaf read/write plus one deferred
 ancestor-MBR adjustment pass, instead of one full traversal per update.
+
+For concurrent execution, every strategy also predicts the DGL granule
+lock footprint of its operations (``lock_scope`` / ``query_lock_scope`` /
+``group_lock_scope``): the top-down baseline locks every leaf its descents
+may visit, the bottom-up strategies lock only the object's leaf, candidate
+shift siblings and the adjusted ancestors — the Section 3.2.2 asymmetry
+the online engine (:mod:`repro.concurrency.engine`) schedules against.
 """
 
 from repro.update.base import BatchUpdate, UpdateOutcome, UpdateStrategy

@@ -18,6 +18,13 @@ from __future__ import annotations
 import enum
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+from repro.concurrency.dgl import (
+    EXTERNAL_GRANULE,
+    TREE_GRANULE,
+    GranuleLockRequest,
+    merge_requests,
+)
+from repro.concurrency.locks import LockMode
 from repro.geometry import Point, Rect
 from repro.rtree.node import Node
 from repro.rtree.tree import RTree
@@ -148,6 +155,94 @@ class UpdateStrategy:
         hash_index = getattr(self, "hash_index", None)
         if count > 0 and hash_index is not None and hash_index.charge_io:
             self.stats.hash_index_reads += count
+
+    # ------------------------------------------------------------------
+    # Lock-scope prediction (DGL, concurrency engine)
+    # ------------------------------------------------------------------
+    def lock_scope(
+        self, oid: int, old_location: Point, new_location: Point
+    ) -> List[GranuleLockRequest]:
+        """Predict the DGL granules this update must lock before it runs.
+
+        The base implementation is the **top-down** scope (used verbatim by
+        TD and by every bottom-up fallback): the delete descent may follow
+        every subtree whose region covers the old position, so all leaves a
+        FindLeaf search would visit are locked exclusively, plus the leaf the
+        insert descent would choose for the new position — Section 3.2.2's
+        observation that top-down updates lock many, widely spread granules.
+        Bottom-up strategies override this with their far smaller scope (the
+        object's leaf, possibly a sibling, possibly the adjusted ancestor).
+
+        Prediction is made from uncharged peeks at dispatch time and is
+        recomputed on every retry, so scopes track the live tree.
+        """
+        requests = [
+            GranuleLockRequest(page, LockMode.EXCLUSIVE)
+            for page in self.tree.predict_visited_leaves(Rect.from_point(old_location))
+        ]
+        requests.extend(self.insert_lock_scope(new_location))
+        return merge_requests(requests)
+
+    def query_lock_scope(self, window: Rect) -> List[GranuleLockRequest]:
+        """Shared locks on every leaf granule a window query will visit."""
+        requests = [
+            GranuleLockRequest(page, LockMode.SHARED)
+            for page in self.tree.predict_visited_leaves(window)
+        ]
+        requests.append(
+            GranuleLockRequest(TREE_GRANULE, LockMode.INTENTION_SHARED)
+        )
+        return requests
+
+    def insert_lock_scope(self, location: Point) -> List[GranuleLockRequest]:
+        """Exclusive lock on the predicted insert target leaf.
+
+        When the location falls outside the root MBR the insert grows the
+        covered space, so the external granule is locked too — DGL's phantom
+        protection for the uncovered region.
+        """
+        rect = Rect.from_point(location)
+        requests = [
+            GranuleLockRequest(
+                self.tree.predict_insert_leaf(rect), LockMode.EXCLUSIVE
+            )
+        ]
+        root_mbr = self.tree.root_mbr()
+        if root_mbr is None or not root_mbr.contains_point(location):
+            requests.append(GranuleLockRequest(EXTERNAL_GRANULE, LockMode.EXCLUSIVE))
+        requests.append(
+            GranuleLockRequest(TREE_GRANULE, LockMode.INTENTION_EXCLUSIVE)
+        )
+        return requests
+
+    def delete_lock_scope(self, oid: int, location: Point) -> List[GranuleLockRequest]:
+        """Exclusive locks on every leaf the delete's FindLeaf may visit."""
+        requests = [
+            GranuleLockRequest(page, LockMode.EXCLUSIVE)
+            for page in self.tree.predict_visited_leaves(Rect.from_point(location))
+        ]
+        requests.append(
+            GranuleLockRequest(TREE_GRANULE, LockMode.INTENTION_EXCLUSIVE)
+        )
+        return requests
+
+    def group_lock_scope(
+        self, leaf_page_id: int, group: Sequence[BatchUpdate]
+    ) -> List[GranuleLockRequest]:
+        """Granules a group-by-leaf batch pass over *leaf_page_id* locks.
+
+        The base group pass reads and rewrites only the leaf itself, so the
+        scope is one exclusive leaf granule; strategies whose group pass
+        also adjusts the parent entry or shifts objects into siblings extend
+        it.  Residual members are replayed per-operation by the batch
+        executor inside the same scheduled slot — a deliberate timing-model
+        approximation (their fallback I/O is charged to the group's
+        duration, their extra granules are not contended for separately).
+        """
+        return [
+            GranuleLockRequest(leaf_page_id, LockMode.EXCLUSIVE),
+            GranuleLockRequest(TREE_GRANULE, LockMode.INTENTION_EXCLUSIVE),
+        ]
 
     # ------------------------------------------------------------------
     # Reporting

@@ -87,6 +87,26 @@ Operation = Union[BatchUpdate, InsertOp, DeleteOp, QueryOp]
 
 
 @dataclass
+class BatchPlan:
+    """Group-by-leaf partitioning of one update batch.
+
+    ``buckets`` maps each target leaf page to its pending updates in stream
+    order; the buckets' granule lock sets are what the concurrent engine
+    schedules against each other (conflict-aware batch scheduling), and the
+    serial path drains them front to back.  Planning is main-memory work:
+    leaves are resolved through uncharged hash-index peeks.
+    """
+
+    buckets: "OrderedDict[int, List[BatchUpdate]]"
+    #: Members with no indexed leaf yet (replayed through the per-op path).
+    unindexed: List[BatchUpdate]
+    #: Updates submitted, before coalescing.
+    requested: int
+    #: Updates superseded by a later update to the same object.
+    coalesced: int
+
+
+@dataclass
 class BatchResult:
     """What one batch execution did, and what it cost.
 
@@ -199,23 +219,30 @@ class BatchExecutor:
         return result
 
     # ------------------------------------------------------------------
-    # Internals
+    # Planning (shared by the serial drain and the concurrent engine)
     # ------------------------------------------------------------------
-    def _flush(
-        self, pending: "OrderedDict[int, BatchUpdate]", result: BatchResult
-    ) -> None:
-        """Drain *pending*, one leaf group at a time.
+    def plan(self, updates: Iterable[BatchUpdate]) -> BatchPlan:
+        """Coalesce *updates* per object and bucket them by current leaf.
 
-        Pending updates are bucketed by leaf once (O(batch) peeks), then
-        each bucket is re-verified against the live hash index immediately
-        before it runs: a residual replay may have restructured the tree and
-        moved members of later buckets, so mismatched members are re-routed
-        to their current leaf's bucket (appending a fresh bucket when that
-        leaf's turn has already passed) instead of being applied to a page
-        they no longer live on.
+        Repeated updates of one object collapse onto the earliest slot,
+        keeping the first old position and the latest new one — identical to
+        the coalescing :meth:`execute` performs inline.  Leaves are resolved
+        with uncharged peeks; the paper's per-probe charge is paid at
+        execution time by the strategies themselves.
         """
-        if not pending:
-            return
+        pending: "OrderedDict[int, BatchUpdate]" = OrderedDict()
+        requested = 0
+        coalesced = 0
+        for op in updates:
+            requested += 1
+            previous = pending.get(op.oid)
+            if previous is not None:
+                pending[op.oid] = BatchUpdate(
+                    op.oid, previous.old_location, op.new_location
+                )
+                coalesced += 1
+            else:
+                pending[op.oid] = op
         buckets: "OrderedDict[int, List[BatchUpdate]]" = OrderedDict()
         unindexed: List[BatchUpdate] = []
         for request in pending.values():
@@ -224,35 +251,74 @@ class BatchExecutor:
                 unindexed.append(request)
             else:
                 buckets.setdefault(leaf_page, []).append(request)
-        pending.clear()
-        for request in unindexed:
-            # Not indexed (yet): the per-operation path inserts it.
-            self._replay(request, result)
+        return BatchPlan(
+            buckets=buckets,
+            unindexed=unindexed,
+            requested=requested,
+            coalesced=coalesced,
+        )
 
+    def execute_group(
+        self,
+        leaf_page: int,
+        bucket: List[BatchUpdate],
+        result: BatchResult,
+        reroute: Optional["OrderedDict[int, List[BatchUpdate]]"] = None,
+    ) -> None:
+        """Re-verify *bucket* against the live hash index and run the group pass.
+
+        A residual replay (or, under the engine, a concurrently scheduled
+        group) may have restructured the tree and moved members since the
+        bucket was planned, so each member's leaf is re-resolved immediately
+        before the pass.  Mismatched members are re-routed into *reroute*
+        when given (the serial drain appends them to their current leaf's
+        bucket) and replayed per-operation otherwise (the engine path, where
+        sibling buckets may already have executed).
+        """
+        group: List[BatchUpdate] = []
+        for request in bucket:
+            current = self.hash_index.peek(request.oid)
+            if current == leaf_page:
+                group.append(request)
+            elif current is None:
+                self.replay(request, result)
+            elif reroute is not None:
+                reroute.setdefault(current, []).append(request)
+            else:
+                self.replay(request, result)
+        if not group:
+            return
+        result.groups += 1
+        result.largest_group = max(result.largest_group, len(group))
+        self.buffer.pin(leaf_page)
+        try:
+            residuals = self.strategy.apply_group(leaf_page, group)
+        finally:
+            self.buffer.unpin(leaf_page)
+        for request in residuals:
+            self.replay(request, result)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _flush(
+        self, pending: "OrderedDict[int, BatchUpdate]", result: BatchResult
+    ) -> None:
+        """Drain *pending*, one leaf group at a time (serial execution)."""
+        if not pending:
+            return
+        plan = self.plan(pending.values())
+        pending.clear()
+        for request in plan.unindexed:
+            # Not indexed (yet): the per-operation path inserts it.
+            self.replay(request, result)
+
+        buckets = plan.buckets
         while buckets:
             leaf_page, bucket = buckets.popitem(last=False)
-            group: List[BatchUpdate] = []
-            for request in bucket:
-                current = self.hash_index.peek(request.oid)
-                if current == leaf_page:
-                    group.append(request)
-                elif current is None:
-                    self._replay(request, result)
-                else:
-                    buckets.setdefault(current, []).append(request)
-            if not group:
-                continue
-            result.groups += 1
-            result.largest_group = max(result.largest_group, len(group))
-            self.buffer.pin(leaf_page)
-            try:
-                residuals = self.strategy.apply_group(leaf_page, group)
-            finally:
-                self.buffer.unpin(leaf_page)
-            for request in residuals:
-                self._replay(request, result)
+            self.execute_group(leaf_page, bucket, result, reroute=buckets)
 
-    def _replay(self, request: BatchUpdate, result: BatchResult) -> None:
+    def replay(self, request: BatchUpdate, result: BatchResult) -> None:
         """Run one update through the ordinary per-operation path."""
         self.strategy.update(
             request.oid, request.old_location, request.new_location

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.concurrency.dgl import TREE_GRANULE, GranuleLockRequest, merge_requests
+from repro.concurrency.locks import LockMode
 from repro.geometry import Point, Rect
 from repro.rtree.node import Entry, Node
 from repro.rtree.tree import RTree
@@ -270,6 +272,160 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
             for _ in routed:
                 self.record_outcome(UpdateOutcome.SIBLING_SHIFT)
         return residuals, touched
+
+    # ------------------------------------------------------------------
+    # Lock-scope prediction (concurrency engine)
+    # ------------------------------------------------------------------
+    def lock_scope(
+        self, oid: int, old_location: Point, new_location: Point
+    ) -> List[GranuleLockRequest]:
+        """Predict Algorithm 2's footprint entirely from the summary structure.
+
+        The decision ladder is replayed in memory (root check, in-place
+        containment, iExtendMBR feasibility, bit-vector sibling candidates,
+        FindParent ascent) and the scope of the first class that will fire
+        is returned: the leaf granule always, the parent granule with intent
+        when its entry is adjusted, candidate sibling granules exclusively
+        for a shift, and the ancestor path with intent plus the re-insert
+        target for an ascent.  Nothing here reads a page with charged I/O —
+        the same property that makes GBU's updates cheap makes its lock
+        scopes predictable.
+        """
+        root_mbr = self.summary.root_mbr()
+        if root_mbr is None or not root_mbr.contains_point(new_location):
+            return super().lock_scope(oid, old_location, new_location)
+        leaf_page = self.hash_index.peek(oid)
+        if leaf_page is None:
+            return self.insert_lock_scope(new_location)
+        leaf = self.tree.peek_node(leaf_page)
+        if leaf.find_entry(oid) is None:
+            return super().lock_scope(oid, old_location, new_location)
+
+        requests = [GranuleLockRequest(leaf_page, LockMode.EXCLUSIVE)]
+        tree_intention = GranuleLockRequest(
+            TREE_GRANULE, LockMode.INTENTION_EXCLUSIVE
+        )
+        if leaf.entries and leaf.effective_mbr().contains_point(new_location):
+            requests.append(tree_intention)
+            return merge_requests(requests)
+
+        parent_entry = self.summary.parent_entry_of_leaf(leaf_page)
+        parent_mbr = parent_entry.mbr if parent_entry is not None else None
+        if parent_entry is not None:
+            requests.append(
+                GranuleLockRequest(parent_entry.page_id, LockMode.INTENTION_EXCLUSIVE)
+            )
+
+        extend_ok = False
+        if leaf.entries:
+            candidate = leaf.effective_mbr().extended_towards(
+                new_location, self.params.epsilon, bound=parent_mbr
+            )
+            extend_ok = candidate.contains_point(new_location)
+
+        can_remove = len(leaf.entries) - 1 >= self.tree.min_leaf_entries
+        shift_candidates: List[int] = []
+        if parent_entry is not None and can_remove:
+            parent_node = self.tree.peek_node(parent_entry.page_id)
+            eligible = {
+                page
+                for page in parent_entry.child_page_ids
+                if page != leaf_page and not self.summary.is_leaf_full(page)
+            }
+            shift_candidates = [
+                entry.child
+                for entry in parent_node.entries
+                if entry.child in eligible
+                and entry.rect.contains_point(new_location)
+            ]
+
+        fast_mover = (
+            old_location.distance_to(new_location) > self.params.distance_threshold
+        )
+        shift_first = fast_mover and shift_candidates
+        if shift_first or (not extend_ok and shift_candidates):
+            requests.extend(
+                GranuleLockRequest(page, LockMode.EXCLUSIVE)
+                for page in shift_candidates
+            )
+        elif extend_ok:
+            pass  # leaf X + parent intent cover the directional extension
+        else:
+            # Neither local class applies: ascend (or repair top-down).
+            if not can_remove:
+                return super().lock_scope(oid, old_location, new_location)
+            requests.extend(self._ascent_lock_scope(leaf_page, new_location))
+        requests.append(tree_intention)
+        return merge_requests(requests)
+
+    def _ascent_lock_scope(
+        self, leaf_page: int, new_location: Point
+    ) -> List[GranuleLockRequest]:
+        """Granules of a FindParent ascent: the path with intent, the target X."""
+        level_threshold = self.params.level_threshold
+        if level_threshold is None:
+            level_threshold = max(self.tree.height - 1, 0)
+        if level_threshold < 1:
+            ancestor_page, ancestor_path = None, []
+        else:
+            ancestor_page, ancestor_path = self.summary.find_parent(
+                leaf_page, new_location, level_threshold=level_threshold
+            )
+        if ancestor_page is None:
+            ancestor_page, ancestor_path = self.tree.root_page_id, []
+        requests = [
+            GranuleLockRequest(page, LockMode.INTENTION_EXCLUSIVE)
+            for page in list(ancestor_path) + [ancestor_page]
+        ]
+        target = self.tree.predict_insert_leaf(
+            Rect.from_point(new_location), start_page_id=ancestor_page
+        )
+        requests.append(GranuleLockRequest(target, LockMode.EXCLUSIVE))
+        return requests
+
+    def group_lock_scope(
+        self, leaf_page_id: int, group: Sequence[BatchUpdate]
+    ) -> List[GranuleLockRequest]:
+        """Leaf X, parent intent, plus shift-candidate siblings for escapees.
+
+        The batched sibling-shift stage routes members whose new position
+        escapes the leaf into non-full siblings, so those sibling granules
+        are part of the group's footprint; the bit vector and the direct
+        access table supply them without disk probes, exactly as in the
+        per-operation path.
+        """
+        requests = super().group_lock_scope(leaf_page_id, group)
+        if not self.tree.disk.contains(leaf_page_id):
+            # Planned leaf dissolved before this group was dispatched; the
+            # members will be re-routed at execution time.
+            return requests
+        parent_entry = self.summary.parent_entry_of_leaf(leaf_page_id)
+        if parent_entry is None:
+            return merge_requests(requests)
+        requests.append(
+            GranuleLockRequest(parent_entry.page_id, LockMode.INTENTION_EXCLUSIVE)
+        )
+        leaf = self.tree.peek_node(leaf_page_id)
+        leaf_mbr = leaf.effective_mbr() if leaf.entries else None
+        escaping = [
+            request.new_location
+            for request in group
+            if leaf_mbr is None or not leaf_mbr.contains_point(request.new_location)
+        ]
+        if escaping:
+            parent_node = self.tree.peek_node(parent_entry.page_id)
+            eligible = {
+                page
+                for page in parent_entry.child_page_ids
+                if page != leaf_page_id and not self.summary.is_leaf_full(page)
+            }
+            requests.extend(
+                GranuleLockRequest(entry.child, LockMode.EXCLUSIVE)
+                for entry in parent_node.entries
+                if entry.child in eligible
+                and any(entry.rect.contains_point(location) for location in escaping)
+            )
+        return merge_requests(requests)
 
     # ------------------------------------------------------------------
     # iExtendMBR (Algorithm 4)

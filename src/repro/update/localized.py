@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.concurrency.dgl import TREE_GRANULE, GranuleLockRequest, merge_requests
+from repro.concurrency.locks import LockMode
 from repro.geometry import Point, Rect
 from repro.rtree.node import Node
 from repro.rtree.tree import RTree
@@ -166,6 +168,96 @@ class LocalizedBottomUpUpdate(UpdateStrategy):
             self.tree.write_node(leaf)
         self._charge_batch_probes(len(group) - len(residuals))
         return residuals
+
+    # ------------------------------------------------------------------
+    # Lock-scope prediction (concurrency engine)
+    # ------------------------------------------------------------------
+    def lock_scope(
+        self, oid: int, old_location: Point, new_location: Point
+    ) -> List[GranuleLockRequest]:
+        """Leaf, sibling-candidate and adjusted-parent granules only.
+
+        Follows Algorithm 1's ladder over uncharged peeks: an in-place
+        update locks just the object's leaf; an ε-enlargement additionally
+        intends on the parent granule (its entry rectangle is rewritten); a
+        sibling shift adds exclusive locks on the candidate sibling leaves
+        whose region covers the new position.  Only when every local class
+        is infeasible (root leaf, stale pointer, underflow hazard) does the
+        scope widen to the base top-down set — the paper's Section 3.2.2
+        asymmetry, expressed as lock footprints.
+        """
+        leaf_page = self.hash_index.peek(oid)
+        if leaf_page is None:
+            return self.insert_lock_scope(new_location)
+        leaf = self.tree.peek_node(leaf_page)
+        if leaf.find_entry(oid) is None:
+            return super().lock_scope(oid, old_location, new_location)
+
+        requests = [GranuleLockRequest(leaf_page, LockMode.EXCLUSIVE)]
+        tree_intention = GranuleLockRequest(
+            TREE_GRANULE, LockMode.INTENTION_EXCLUSIVE
+        )
+        if leaf.entries and leaf.effective_mbr().contains_point(new_location):
+            requests.append(tree_intention)
+            return merge_requests(requests)
+
+        if leaf.parent_page_id is None:
+            return super().lock_scope(oid, old_location, new_location)
+        parent = self.tree.peek_node(leaf.parent_page_id)
+        if parent.find_entry(leaf_page) is None:
+            return super().lock_scope(oid, old_location, new_location)
+        requests.append(
+            GranuleLockRequest(parent.page_id, LockMode.INTENTION_EXCLUSIVE)
+        )
+
+        enlarged = (
+            leaf.effective_mbr().expanded(self.params.epsilon)
+            if leaf.entries
+            else None
+        )
+        if (
+            enlarged is not None
+            and parent.mbr().contains_rect(enlarged)
+            and enlarged.contains_point(new_location)
+        ):
+            requests.append(tree_intention)
+            return merge_requests(requests)
+
+        if len(leaf.entries) - 1 < self.tree.min_leaf_entries:
+            return super().lock_scope(oid, old_location, new_location)
+
+        candidates = [
+            entry.child
+            for entry in parent.entries
+            if entry.child != leaf_page and entry.rect.contains_point(new_location)
+        ]
+        if candidates:
+            requests.extend(
+                GranuleLockRequest(page, LockMode.EXCLUSIVE) for page in candidates
+            )
+        else:
+            # Bottom-up removal followed by a root insert of the survivor.
+            requests.extend(self.insert_lock_scope(new_location))
+        requests.append(tree_intention)
+        return merge_requests(requests)
+
+    def group_lock_scope(
+        self, leaf_page_id: int, group: Sequence[BatchUpdate]
+    ) -> List[GranuleLockRequest]:
+        """Leaf exclusively, parent granule with intent (one shared ε-pass)."""
+        requests = super().group_lock_scope(leaf_page_id, group)
+        if not self.tree.disk.contains(leaf_page_id):
+            # The planned leaf was dissolved by an earlier group's residual
+            # replay; execution will re-route the members, so the base scope
+            # (the stale granule id plus the tree intent) is all that's left
+            # to lock.
+            return requests
+        leaf = self.tree.peek_node(leaf_page_id)
+        if leaf.parent_page_id is not None:
+            requests.append(
+                GranuleLockRequest(leaf.parent_page_id, LockMode.INTENTION_EXCLUSIVE)
+            )
+        return merge_requests(requests)
 
     # ------------------------------------------------------------------
     # Helpers

@@ -18,8 +18,10 @@ granularity, with one hash probe charged per absorbed update.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
+from repro.concurrency.dgl import TREE_GRANULE, GranuleLockRequest
+from repro.concurrency.locks import LockMode
 from repro.geometry import Point, Rect
 from repro.rtree.tree import RTree
 from repro.secondary import ObjectHashIndex
@@ -59,3 +61,31 @@ class NaiveBottomUpUpdate(UpdateStrategy):
             return UpdateOutcome.IN_PLACE
 
         return self._top_down_update(oid, old_location, new_location)
+
+    # ------------------------------------------------------------------
+    # Lock-scope prediction (concurrency engine)
+    # ------------------------------------------------------------------
+    def lock_scope(
+        self, oid: int, old_location: Point, new_location: Point
+    ) -> List[GranuleLockRequest]:
+        """One exclusive leaf granule when the update stays in place.
+
+        NAIVE has exactly two classes: in place (lock the object's leaf,
+        nothing else) or give up and go top-down (the base scope).  The
+        asymmetry against TD therefore appears only for the in-place share —
+        precisely the paper's point about why this strawman does not scale.
+        """
+        leaf_page = self.hash_index.peek(oid)
+        if leaf_page is None:
+            return self.insert_lock_scope(new_location)
+        leaf = self.tree.peek_node(leaf_page)
+        if (
+            leaf.find_entry(oid) is not None
+            and leaf.entries
+            and leaf.effective_mbr().contains_point(new_location)
+        ):
+            return [
+                GranuleLockRequest(leaf_page, LockMode.EXCLUSIVE),
+                GranuleLockRequest(TREE_GRANULE, LockMode.INTENTION_EXCLUSIVE),
+            ]
+        return super().lock_scope(oid, old_location, new_location)

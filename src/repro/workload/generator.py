@@ -137,6 +137,27 @@ class WorkloadGenerator:
             else:
                 yield "query", self._queries.next_window()
 
+    def client_streams(
+        self, num_clients: int, count: int, update_fraction: float
+    ) -> List[List[Tuple[str, object]]]:
+        """The mixed stream dealt round-robin onto *num_clients* client streams.
+
+        The concatenation of the streams, interleaved client by client, is
+        exactly the sequence :meth:`mixed_operations` would produce from the
+        same generator state, so a multi-client engine run consumes the
+        byte-identical workload a shared-stream run would — only the
+        assignment of operations to virtual clients differs.  Streams are
+        materialised lists: the engine draws from them as clients go idle.
+        """
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        streams: List[List[Tuple[str, object]]] = [[] for _ in range(num_clients)]
+        for position, operation in enumerate(
+            self.mixed_operations(count, update_fraction)
+        ):
+            streams[position % num_clients].append(operation)
+        return streams
+
     def mixed_operation_batches(
         self, count: int, update_fraction: float, batch_size: int
     ) -> Iterator[List[Tuple]]:

@@ -107,3 +107,30 @@ class TestThroughputFigure:
             if fraction == 0.0:
                 continue  # pure-query mixes are identical by construction
             assert values["GBU"] >= values["TD"]
+
+
+class TestContentionSweepFigure:
+    def test_throughput_scales_with_clients_for_every_strategy(self):
+        rows = get_figure("contention_sweep").run(scale=TINY, seed=5)
+        pivot = pivot_by_strategy(rows, "throughput")
+        client_counts = sorted(pivot)
+        assert client_counts[0] == 1
+        for strategy in ("TD", "LBU", "GBU"):
+            assert pivot[client_counts[-1]][strategy] >= pivot[1][strategy]
+
+    def test_lock_waits_appear_once_clients_contend(self):
+        rows = get_figure("contention_sweep").run(scale=TINY, seed=5)
+        waits = {
+            (row.x_value, row.strategy): row.extras["lock_waits"] for row in rows
+        }
+        assert all(value == 0 for (clients, _s), value in waits.items() if clients == 1)
+        assert any(value > 0 for (clients, _s), value in waits.items() if clients > 1)
+
+
+class TestBatchThroughputFigure:
+    def test_concurrent_scheduling_strictly_beats_serial(self):
+        rows = get_figure("batch_throughput").run(scale=TINY, seed=7)
+        assert {row.strategy for row in rows} == {"TD", "NAIVE", "LBU", "GBU"}
+        for row in rows:
+            assert row.extras["concurrent_makespan"] < row.extras["serial_makespan"]
+            assert row.extras["speedup"] > 1.0

@@ -151,3 +151,52 @@ class TestStatisticsAndIntegrity:
         index.load(make_points(100))
         index.update(0, Point(0.2, 0.2))
         assert index.stats.hash_index_reads == 0
+
+
+class TestKnnEdgeCases:
+    """Facade-level kNN edge cases: empty tree, k > population, ties."""
+
+    def test_knn_on_empty_index(self):
+        index = fresh_index()
+        assert index.knn(Point(0.5, 0.5), 3) == []
+
+    def test_knn_with_nonpositive_k(self):
+        index = fresh_index()
+        index.load(make_points(50))
+        assert index.knn(Point(0.5, 0.5), 0) == []
+        assert index.knn(Point(0.5, 0.5), -2) == []
+
+    def test_knn_k_larger_than_population_returns_everything(self):
+        index = fresh_index()
+        points = make_points(40)
+        index.load(points)
+        nearest = index.knn(Point(0.5, 0.5), 1_000)
+        assert len(nearest) == 40
+        assert {oid for _dist, oid in nearest} == {oid for oid, _p in points}
+        distances = [dist for dist, _oid in nearest]
+        assert distances == sorted(distances)
+
+    def test_knn_equidistant_tie_breaking_is_deterministic(self):
+        """Four candidates at the identical distance: the k cut must be the
+        same set, in the same order, on every run (ties break by oid)."""
+        index = fresh_index()
+        corners = [
+            (0, Point(0.4, 0.4)),
+            (1, Point(0.6, 0.4)),
+            (2, Point(0.4, 0.6)),
+            (3, Point(0.6, 0.6)),
+            (4, Point(0.9, 0.9)),  # strictly farther
+        ]
+        index.load(corners)
+        first = index.knn(Point(0.5, 0.5), 2)
+        second = index.knn(Point(0.5, 0.5), 2)
+        assert first == second
+        assert [oid for _dist, oid in first] == [0, 1]
+        assert first[0][0] == pytest.approx(first[1][0])
+
+    def test_knn_after_updates_reflects_new_positions(self):
+        index = fresh_index()
+        index.load(make_points(60))
+        index.update(7, Point(0.501, 0.501))
+        nearest = index.knn(Point(0.5, 0.5), 1)
+        assert nearest[0][1] == 7

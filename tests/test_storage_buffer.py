@@ -140,14 +140,104 @@ class TestSizing:
 
 
 class TestAccessLog:
-    def test_accesses_recorded_when_log_attached(self):
+    def test_accesses_recorded_only_inside_the_context(self):
         _, disk, pool = make_stack(capacity=2)
         page = disk.allocate_page()
         disk.write_page(page, "x")
-        log = []
-        pool.access_log = log
-        pool.read(page)
-        pool.write(page, "y")
-        pool.access_log = None
-        pool.read(page)
+        with pool.logged_accesses() as log:
+            pool.read(page)
+            pool.write(page, "y")
+        pool.read(page)  # after the block: not recorded
         assert log == [("read", page), ("write", page)]
+        assert not pool.is_logging_accesses
+
+    def test_log_detached_even_on_exception(self):
+        _, disk, pool = make_stack(capacity=2)
+        page = disk.allocate_page()
+        disk.write_page(page, "x")
+        with pytest.raises(RuntimeError):
+            with pool.logged_accesses():
+                pool.read(page)
+                raise RuntimeError("boom")
+        assert not pool.is_logging_accesses
+
+    def test_nested_logs_see_only_their_own_accesses(self):
+        _, disk, pool = make_stack(capacity=2)
+        first = disk.allocate_page()
+        second = disk.allocate_page()
+        disk.write_page(first, "a")
+        disk.write_page(second, "b")
+        with pool.logged_accesses() as outer:
+            pool.read(first)
+            with pool.logged_accesses() as inner:
+                pool.read(second)
+        assert outer == [("read", first)]
+        assert inner == [("read", second)]
+
+
+class TestClientIOAccounting:
+    def test_physical_io_attributed_to_active_client(self):
+        stats, disk, pool = make_stack(capacity=0)
+        page = disk.allocate_page()
+        pool.set_active_client("alice")
+        pool.write(page, "a")
+        pool.read(page)
+        pool.set_active_client(None)
+        pool.read(page)  # unattributed
+        alice = pool.client_io("alice")
+        assert alice.physical_reads == 1
+        assert alice.physical_writes == 1
+        assert alice.total == 2
+        assert stats.physical_reads == 2  # global counters unaffected
+
+    def test_buffer_hits_cost_clients_nothing(self):
+        _, disk, pool = make_stack(capacity=2)
+        page = disk.allocate_page()
+        disk.write_page(page, "a")
+        pool.set_active_client(7)
+        pool.read(page)  # miss: one physical read
+        pool.read(page)  # hit: free
+        pool.set_active_client(None)
+        assert pool.client_io(7).physical_reads == 1
+
+    def test_eviction_writeback_charged_to_evicting_client(self):
+        _, disk, pool = make_stack(capacity=1)
+        first = disk.allocate_page()
+        second = disk.allocate_page()
+        disk.write_page(first, "a")
+        disk.write_page(second, "b")
+        pool.set_active_client("writer")
+        pool.write(first, "a2")  # dirty frame
+        pool.set_active_client("evictor")
+        pool.read(second)  # evicts the dirty frame
+        pool.set_active_client(None)
+        assert pool.client_io("evictor").physical_writes == 1
+        assert pool.client_io("writer").physical_writes == 0
+
+    def test_reset_and_table_copy(self):
+        _, disk, pool = make_stack(capacity=0)
+        page = disk.allocate_page()
+        pool.set_active_client(1)
+        pool.write(page, "a")
+        pool.set_active_client(None)
+        table = pool.client_io_table()
+        assert table[1].physical_writes == 1
+        table[1].physical_writes = 99  # mutating the copy changes nothing
+        assert pool.client_io(1).physical_writes == 1
+        pool.reset_client_io()
+        assert pool.client_io(1).total == 0
+
+
+class TestPeek:
+    def test_peek_sees_writeback_frames_before_the_disk_does(self):
+        _, disk, pool = make_stack(capacity=2)
+        page = disk.allocate_page()
+        pool.write(page, "buffered-only")
+        assert disk.peek(page) is None  # write-back: not on disk yet
+        assert pool.peek(page) == "buffered-only"
+
+    def test_peek_falls_back_to_disk(self):
+        _, disk, pool = make_stack(capacity=2)
+        page = disk.allocate_page()
+        disk.write_page(page, "on-disk")
+        assert pool.peek(page) == "on-disk"

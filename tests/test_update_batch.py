@@ -344,3 +344,50 @@ class TestGeneratorBatchedStream:
         assert batch_answers == sequential_answers
         per_op.validate()
         batched.validate()
+
+
+class TestBatchPlan:
+    def test_plan_coalesces_and_buckets_by_leaf(self):
+        index = build_index("GBU", num_objects=200)
+        a, b = 3, 4
+        pos_a, pos_b = index.position_of(a), index.position_of(b)
+        plan = index.batch.plan(
+            [
+                BatchUpdate(a, pos_a, Point(0.31, 0.31)),
+                BatchUpdate(b, pos_b, Point(0.72, 0.72)),
+                BatchUpdate(a, Point(0.31, 0.31), Point(0.33, 0.33)),
+            ]
+        )
+        assert plan.requested == 3
+        assert plan.coalesced == 1
+        assert not plan.unindexed
+        members = [u for bucket in plan.buckets.values() for u in bucket]
+        assert len(members) == 2
+        coalesced_a = next(u for u in members if u.oid == a)
+        # Earliest old position, latest new position.
+        assert coalesced_a.old_location == pos_a
+        assert coalesced_a.new_location == Point(0.33, 0.33)
+        # Every member is bucketed under its current leaf page.
+        for leaf_page, bucket in plan.buckets.items():
+            for request in bucket:
+                assert index.hash_index.peek(request.oid) == leaf_page
+
+    def test_plan_routes_unknown_objects_to_unindexed(self):
+        index = build_index("GBU", num_objects=50)
+        plan = index.batch.plan(
+            [BatchUpdate(99_999, Point(0.1, 0.1), Point(0.2, 0.2))]
+        )
+        assert not plan.buckets
+        assert len(plan.unindexed) == 1
+
+    def test_plan_charges_no_io(self):
+        index = build_index("GBU", num_objects=200)
+        updates = [
+            BatchUpdate(oid, index.position_of(oid), Point(0.5, 0.5))
+            for oid in range(50)
+        ]
+        before = index.io_snapshot()
+        index.batch.plan(updates)
+        delta = index.io_snapshot().delta_since(before)
+        assert delta.total_physical_io == 0
+        assert delta.logical_reads == 0

@@ -111,3 +111,20 @@ class TestMixedOperations:
     def test_total_operation_count(self):
         generator = WorkloadGenerator(WorkloadSpec(num_objects=20, seed=8))
         assert len(list(generator.mixed_operations(64, update_fraction=0.5))) == 64
+
+
+class TestClientStreams:
+    def test_rejects_nonpositive_client_count(self):
+        generator = WorkloadGenerator(WorkloadSpec(num_objects=50, seed=1))
+        with pytest.raises(ValueError):
+            generator.client_streams(0, 10, 0.5)
+
+    def test_streams_partition_the_mixed_stream(self):
+        spec = WorkloadSpec(num_objects=100, num_updates=0, num_queries=0, seed=4)
+        shared = list(WorkloadGenerator(spec).mixed_operations(30, 0.5))
+        streams = WorkloadGenerator(spec).client_streams(7, 30, 0.5)
+        assert len(streams) == 7
+        dealt = []
+        for position in range(30):
+            dealt.append(streams[position % 7][position // 7])
+        assert dealt == shared
