@@ -17,6 +17,9 @@ system stack:
 * :mod:`repro.workload` — GSTD-style moving-object workload generation;
 * :mod:`repro.concurrency` — Dynamic Granular Locking and the online
   concurrent operation engine (deterministic multi-client scheduling);
+* :mod:`repro.shard` — the sharded index layer: spatial partition routing
+  over N independent shards, cross-shard migration, fan-out queries, and
+  per-shard lock namespaces under the engine;
 * :mod:`repro.cost` — the analytical cost model of Section 4;
 * :mod:`repro.bench` — the experiment harness reproducing every figure;
 * :mod:`repro.core` — the :class:`~repro.core.index.MovingObjectIndex`
@@ -32,8 +35,9 @@ Quick start::
     print(index.range_query(Rect(0.0, 0.0, 0.5, 0.5)))
 """
 
-from repro.core import IndexConfig, MovingObjectIndex
+from repro.core import IndexConfig, MovingObjectIndex, SpatialIndexFacade
 from repro.geometry import Point, Rect
+from repro.shard import GridPartitioner, ShardedIndex
 from repro.update import TuningParameters, UpdateOutcome
 
 __version__ = "1.0.0"
@@ -41,6 +45,9 @@ __version__ = "1.0.0"
 __all__ = [
     "IndexConfig",
     "MovingObjectIndex",
+    "SpatialIndexFacade",
+    "ShardedIndex",
+    "GridPartitioner",
     "Point",
     "Rect",
     "TuningParameters",

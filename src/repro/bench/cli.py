@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.bench.figures import all_figures, get_figure
@@ -52,6 +53,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None, help="write the report to this file as well"
     )
     parser.add_argument(
+        "--report-dir",
+        type=str,
+        default=None,
+        help=(
+            "also write one report file per figure (<key>.txt) into this "
+            "directory, creating it if needed — the per-figure layout CI "
+            "uploads as an inspectable artifact"
+        ),
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="append ASCII bar charts of the measured series to the report",
@@ -66,22 +77,42 @@ def list_figures() -> str:
     return "\n".join(lines)
 
 
-def run(figure_key: str, scale: float, seed: Optional[int], chart: bool = False) -> str:
-    """Run one experiment (or 'all') and return the rendered report."""
+def run(
+    figure_key: str,
+    scale: float,
+    seed: Optional[int],
+    chart: bool = False,
+    report_dir: Optional[str] = None,
+) -> str:
+    """Run one experiment (or 'all') and return the rendered report.
+
+    With *report_dir*, each figure's report is additionally written to
+    ``<report_dir>/<figure_key>.txt`` so individual figures can be inspected
+    (and uploaded as CI artifacts) without splitting the combined report.
+    """
     keys = [d.key for d in all_figures()] if figure_key == "all" else [figure_key]
+    directory: Optional[Path] = None
+    if report_dir is not None:
+        directory = Path(report_dir)
+        directory.mkdir(parents=True, exist_ok=True)
     reports: List[str] = []
     for key in keys:
         definition = get_figure(key)
         started = time.time()
         rows = definition.run(scale=scale, seed=seed)
         elapsed = time.time() - started
-        reports.append(render_figure_result(definition, rows))
+        rendered_figure = render_figure_result(definition, rows)
+        reports.append(rendered_figure)
         if chart:
             from repro.bench.plotting import chart_all_metrics
 
             rendered = chart_all_metrics(rows)
             if rendered:
                 reports.append(rendered)
+        if directory is not None:
+            (directory / f"{key}.txt").write_text(
+                rendered_figure + "\n", encoding="utf-8"
+            )
         reports.append(f"(wall clock: {elapsed:.1f}s at scale {scale:g})\n")
     return "\n".join(reports)
 
@@ -95,7 +126,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     try:
-        report = run(args.figure, scale=args.scale, seed=args.seed, chart=args.chart)
+        report = run(
+            args.figure,
+            scale=args.scale,
+            seed=args.seed,
+            chart=args.chart,
+            report_dir=args.report_dir,
+        )
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2

@@ -110,7 +110,7 @@ def run_experiment(
 
     update_phase = PhaseMetrics(
         operations=spec.num_updates,
-        physical_io=update_io.total_physical_io,
+        physical_io=update_io.total(),
         cpu_seconds=update_cpu,
         details={
             "physical_reads": update_io.physical_reads,
@@ -121,7 +121,7 @@ def run_experiment(
     )
     query_phase = PhaseMetrics(
         operations=spec.num_queries,
-        physical_io=query_io.total_physical_io,
+        physical_io=query_io.total(),
         cpu_seconds=query_cpu,
         details={
             "physical_reads": query_io.physical_reads,

@@ -33,11 +33,15 @@ from repro.concurrency.dgl import (
     DGLProtocol,
     GranuleLockRequest,
     merge_requests,
+    namespace_pairs,
 )
 from repro.concurrency.engine import (
     BatchScheduleResult,
     ConcurrentSession,
+    GroupOperation,
     OnlineOperationEngine,
+    PreparedBatch,
+    ReplayOperation,
 )
 from repro.concurrency.locks import LockManager, LockMode
 from repro.concurrency.scheduler import (
@@ -63,6 +67,10 @@ __all__ = [
     "OnlineOperationEngine",
     "ConcurrentSession",
     "BatchScheduleResult",
+    "GroupOperation",
+    "ReplayOperation",
+    "PreparedBatch",
+    "namespace_pairs",
     "ThroughputExperiment",
     "run_throughput",
 ]

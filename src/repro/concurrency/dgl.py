@@ -136,6 +136,23 @@ class DGLProtocol:
         return [(request.granule, request.mode) for request in requests]
 
 
+def namespace_pairs(
+    pairs: Sequence[Tuple[object, "LockMode"]], namespace: object
+) -> List[Tuple[object, "LockMode"]]:
+    """Qualify every granule with *namespace* (``None`` leaves them untouched).
+
+    A sharded index namespaces each shard's granules with the shard id, so
+    page ``17`` of shard 0 and page ``17`` of shard 3 — and likewise the two
+    shards' tree and external granules — are distinct lockable resources.
+    This is what makes operations on different shards conflict-free under a
+    single scheduler, while a migration that names granules from two shards
+    still locks both atomically.
+    """
+    if namespace is None:
+        return list(pairs)
+    return [((namespace, granule), mode) for granule, mode in pairs]
+
+
 def merge_requests(requests: Iterable[GranuleLockRequest]) -> List[GranuleLockRequest]:
     """Collapse duplicate granules to a single request in the strongest mode.
 

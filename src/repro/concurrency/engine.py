@@ -34,10 +34,10 @@ the model — the same seed always produces the identical makespan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.concurrency.dgl import DGLProtocol
+from repro.concurrency.dgl import DGLProtocol, namespace_pairs
 from repro.concurrency.scheduler import (
     OperationScheduler,
     ScheduleResult,
@@ -46,10 +46,10 @@ from repro.concurrency.scheduler import (
 from repro.geometry import Point, Rect
 
 if TYPE_CHECKING:  # imported lazily to keep the package import-cycle free
-    from repro.core.index import MovingObjectIndex
+    from repro.core.protocol import SpatialIndexFacade
     from repro.storage.buffer import ClientIOCounters
     from repro.update.base import BatchUpdate
-    from repro.update.batch import BatchResult
+    from repro.update.batch import BatchExecutor, BatchResult
 
 
 class _LiveOperation(VirtualOperation):
@@ -57,10 +57,12 @@ class _LiveOperation(VirtualOperation):
 
     ``payload`` is normalised by the engine: ``("update", oid, new)``,
     ``("insert", oid, location)``, ``("delete", oid)`` or
-    ``("query", window)``.  Lock scopes are recomputed from the live index
-    on every dispatch attempt; the update's *old* position is whatever the
-    index holds at that moment, which is exactly the online semantics — a
-    blocked update sees the positions its predecessors committed.
+    ``("query", window)``.  Lock scopes are predicted by the facade itself
+    (:meth:`~repro.core.protocol.SpatialIndexFacade.lock_requests_for`) and
+    recomputed from the live index on every dispatch attempt; the update's
+    *old* position is whatever the index holds at that moment, which is
+    exactly the online semantics — a blocked update sees the positions its
+    predecessors committed.
     """
 
     __slots__ = ("engine", "kind", "payload")
@@ -71,28 +73,7 @@ class _LiveOperation(VirtualOperation):
         self.payload = payload
 
     def lock_requests(self):
-        index = self.engine.index
-        strategy = index.strategy
-        if self.kind == "update":
-            oid, new_location = self.payload
-            old_location = index.position_of(oid)
-            if old_location is None:
-                requests = strategy.insert_lock_scope(new_location)
-            else:
-                requests = strategy.lock_scope(oid, old_location, new_location)
-        elif self.kind == "insert":
-            _oid, location = self.payload
-            requests = strategy.insert_lock_scope(location)
-        elif self.kind == "delete":
-            (oid,) = self.payload
-            location = index.position_of(oid)
-            if location is None:
-                return []  # nothing to delete, nothing to lock
-            requests = strategy.delete_lock_scope(oid, location)
-        else:  # query
-            (window,) = self.payload
-            requests = strategy.query_lock_scope(window)
-        return DGLProtocol.as_pairs(requests)
+        return self.engine.index.lock_requests_for(self.kind, self.payload)
 
     def execute(self, client: int) -> int:
         index = self.engine.index
@@ -114,58 +95,91 @@ class _LiveOperation(VirtualOperation):
         return self.engine.measure(client, work)
 
 
-class _GroupOperation(VirtualOperation):
-    """One group-by-leaf batch bucket scheduled as a virtual operation."""
+class GroupOperation(VirtualOperation):
+    """One group-by-leaf batch bucket scheduled as a virtual operation.
 
-    __slots__ = ("engine", "leaf_page", "bucket", "result")
+    Facades construct these in ``prepare_concurrent_batch``: a single index
+    hands every group to its one executor with no namespace; a sharded index
+    hands each group to the owning shard's executor and namespaces the lock
+    granules with the shard id, so group buckets of different shards never
+    conflict.
+    """
+
+    __slots__ = ("engine", "executor", "leaf_page", "bucket", "result", "namespace")
     kind = "group"
 
-    def __init__(self, engine, leaf_page: int, bucket, result):
+    def __init__(
+        self,
+        engine,
+        executor: "BatchExecutor",
+        leaf_page: int,
+        bucket,
+        result,
+        namespace=None,
+    ):
         self.engine = engine
+        self.executor = executor
         self.leaf_page = leaf_page
         self.bucket = bucket
         self.result = result
+        self.namespace = namespace
 
     def lock_requests(self):
-        strategy = self.engine.index.strategy
-        return DGLProtocol.as_pairs(
-            strategy.group_lock_scope(self.leaf_page, self.bucket)
+        pairs = DGLProtocol.as_pairs(
+            self.executor.strategy.group_lock_scope(self.leaf_page, self.bucket)
         )
+        return namespace_pairs(pairs, self.namespace)
 
     def execute(self, client: int) -> int:
-        executor = self.engine.index.batch
         return self.engine.measure(
             client,
-            lambda: executor.execute_group(self.leaf_page, self.bucket, self.result),
+            lambda: self.executor.execute_group(
+                self.leaf_page, self.bucket, self.result
+            ),
         )
 
 
-class _ReplayOperation(VirtualOperation):
+class ReplayOperation(VirtualOperation):
     """A batch member with no indexed leaf, replayed per-operation."""
 
-    __slots__ = ("engine", "request", "result")
+    __slots__ = ("engine", "executor", "request", "result", "namespace")
     kind = "update"
 
-    def __init__(self, engine, request, result):
+    def __init__(self, engine, executor: "BatchExecutor", request, result, namespace=None):
         self.engine = engine
+        self.executor = executor
         self.request = request
         self.result = result
+        self.namespace = namespace
 
     def lock_requests(self):
-        strategy = self.engine.index.strategy
-        return DGLProtocol.as_pairs(
-            strategy.lock_scope(
+        pairs = DGLProtocol.as_pairs(
+            self.executor.strategy.lock_scope(
                 self.request.oid,
                 self.request.old_location,
                 self.request.new_location,
             )
         )
+        return namespace_pairs(pairs, self.namespace)
 
     def execute(self, client: int) -> int:
-        executor = self.engine.index.batch
         return self.engine.measure(
-            client, lambda: executor.replay(self.request, self.result)
+            client, lambda: self.executor.replay(self.request, self.result)
         )
+
+
+@dataclass
+class PreparedBatch:
+    """A batch turned into schedulable work by a facade.
+
+    ``operations`` are handed to the scheduler as-is; ``finalize`` runs after
+    the schedule drains and is where the facade computes the batch's I/O
+    delta (a sharded facade merges the deltas of every shard's counters).
+    """
+
+    operations: List[VirtualOperation]
+    result: "BatchResult"
+    finalize: Callable[[], None] = field(default=lambda: None)
 
 
 @dataclass
@@ -188,11 +202,20 @@ class BatchScheduleResult:
 
 
 class OnlineOperationEngine:
-    """Schedules live index operations over N virtual clients under DGL."""
+    """Schedules live index operations over N virtual clients under DGL.
+
+    The engine is facade-generic: it drives anything implementing
+    :class:`~repro.core.protocol.SpatialIndexFacade` — lock scopes come from
+    the facade's ``lock_requests_for`` hook, batches from its
+    ``prepare_concurrent_batch`` hook, and per-client physical-I/O
+    attribution from its client-accounting hooks.  A sharded facade thereby
+    gets true multi-shard parallelism for free: its granules are namespaced
+    per shard, so only operations touching the same shard can ever conflict.
+    """
 
     def __init__(
         self,
-        index: "MovingObjectIndex",
+        index: "SpatialIndexFacade",
         num_clients: int = 50,
         time_per_io: float = 0.01,
         cpu_time_per_op: float = 0.001,
@@ -220,12 +243,12 @@ class OnlineOperationEngine:
         ``("range_query", window)`` — and the generator's
         ``("update", (oid, old, new))`` / ``("query", window)`` items.
         """
-        self.index.buffer.reset_client_io()
+        self.index.reset_client_io()
         return self.scheduler.run(self._live_operations(operations))
 
     def run_streams(self, streams: Sequence[Iterable]) -> ScheduleResult:
         """Execute one operation stream per virtual client."""
-        self.index.buffer.reset_client_io()
+        self.index.reset_client_io()
         return self.scheduler.run_streams(
             [self._live_operations(stream) for stream in streams]
         )
@@ -233,57 +256,35 @@ class OnlineOperationEngine:
     def run_batch(self, updates: Iterable["BatchUpdate"]) -> BatchScheduleResult:
         """Conflict-aware scheduling of one update batch.
 
-        The batch executor plans the group-by-leaf buckets (coalescing
-        repeated updates of one object exactly as the serial path does);
-        each bucket becomes one virtual operation whose lock set is the
-        strategy's ``group_lock_scope()``.  Buckets with disjoint granule
-        sets execute concurrently, buckets sharing a granule (a shift target
-        sibling, for instance) serialise — so the batch's makespan reflects
-        its real conflict structure, and is strictly below serial execution
-        whenever at least two groups are disjoint.
+        The facade plans the batch (coalescing repeated updates of one
+        object exactly as the serial path does) and hands back virtual
+        operations: group-by-leaf buckets whose lock set is the strategy's
+        ``group_lock_scope()``, per-operation replays for unindexed members,
+        and — on a sharded facade — cross-shard migrations that lock both
+        shards.  Operations with disjoint granule sets execute concurrently,
+        operations sharing a granule serialise — so the batch's makespan
+        reflects its real conflict structure, and is strictly below serial
+        execution whenever at least two groups are disjoint.
         """
-        from repro.update.batch import BatchResult  # local: avoids import cycle
-
-        executor = self.index.batch
-        plan = executor.plan(updates)
-        # Keep the facade's position map in step with what the batch will
-        # commit: every planned member eventually executes (group pass or
-        # replay), and the coalesced new_location is its final position.
-        # ConcurrentSession.update_many already did this via _update_ops;
-        # re-assigning the same final values is idempotent.
-        for bucket in plan.buckets.values():
-            for request in bucket:
-                self.index._positions[request.oid] = request.new_location
-        for request in plan.unindexed:
-            self.index._positions[request.oid] = request.new_location
-        result = BatchResult(updates=plan.requested, coalesced=plan.coalesced)
-        before = executor.stats.snapshot()
-        operations: List[VirtualOperation] = [
-            _ReplayOperation(self, request, result) for request in plan.unindexed
-        ]
-        operations.extend(
-            _GroupOperation(self, leaf_page, bucket, result)
-            for leaf_page, bucket in plan.buckets.items()
-        )
-        self.index.buffer.reset_client_io()
-        schedule = self.scheduler.run(iter(operations))
-        result.io = executor.stats.snapshot().delta_since(before)
-        return BatchScheduleResult(schedule=schedule, batch=result)
+        prepared = self.index.prepare_concurrent_batch(self, updates)
+        self.index.reset_client_io()
+        schedule = self.scheduler.run(iter(prepared.operations))
+        prepared.finalize()
+        return BatchScheduleResult(schedule=schedule, batch=prepared.result)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def measure(self, client: int, work) -> int:
         """Run *work* attributing its physical I/O to *client*; return the count."""
-        buffer = self.index.buffer
-        stats = self.index.stats
-        before = stats.total_physical_io
-        buffer.set_active_client(client)
+        index = self.index
+        before = index.total_physical_io()
+        index.set_active_client(client)
         try:
             work()
         finally:
-            buffer.set_active_client(None)
-        return stats.total_physical_io - before
+            index.set_active_client(None)
+        return index.total_physical_io() - before
 
     def _live_operations(self, operations: Iterable) -> Iterator[_LiveOperation]:
         for operation in operations:
@@ -332,7 +333,7 @@ class ConcurrentSession:
         self._queues: Dict[int, List[Tuple]] = {}
 
     @property
-    def index(self) -> "MovingObjectIndex":
+    def index(self) -> "SpatialIndexFacade":
         return self.engine.index
 
     @property
@@ -382,9 +383,9 @@ class ConcurrentSession:
         The same group-by-leaf execution, but non-conflicting groups run as
         concurrent virtual operations instead of draining serially.
         """
-        operations = self.index._update_ops(updates)
+        operations = self.index.parse_updates(updates)
         return self.engine.run_batch(operations)
 
     def client_io(self) -> Dict[int, "ClientIOCounters"]:
         """Physical I/O attributed to each client during the last run."""
-        return self.index.buffer.client_io_table()
+        return self.index.client_io_table()

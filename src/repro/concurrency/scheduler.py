@@ -77,6 +77,10 @@ class ScheduleResult:
     num_clients: int
     time_per_io: float
     clients: Dict[int, ClientReport] = field(default_factory=dict)
+    #: Executed operations grouped by their ``kind`` label ("update",
+    #: "query", "group", "migration", ...) — how sharded runs report their
+    #: cross-shard migration share without re-deriving it from the workload.
+    kinds: Dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -161,6 +165,7 @@ class OperationScheduler:
         total_busy = 0.0
         lock_waits = 0
         executed = 0
+        kinds: Dict[str, int] = {}
         clients = {client: ClientReport() for client in range(num_clients)}
 
         idle: List[int] = list(range(num_clients))
@@ -182,6 +187,8 @@ class OperationScheduler:
             report.physical_io += max(io_cost, 0)
             total_busy += duration
             executed += 1
+            kind = getattr(operation, "kind", "operation")
+            kinds[kind] = kinds.get(kind, 0) + 1
             return True
 
         while True:
@@ -230,4 +237,5 @@ class OperationScheduler:
             num_clients=num_clients,
             time_per_io=self.time_per_io,
             clients=clients,
+            kinds=kinds,
         )

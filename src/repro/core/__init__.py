@@ -15,5 +15,12 @@ reproduced as a single value.
 from repro.core.config import IndexConfig
 from repro.core.index import MovingObjectIndex
 from repro.core.persistence import load_index, save_index
+from repro.core.protocol import SpatialIndexFacade
 
-__all__ = ["IndexConfig", "MovingObjectIndex", "save_index", "load_index"]
+__all__ = [
+    "IndexConfig",
+    "MovingObjectIndex",
+    "SpatialIndexFacade",
+    "save_index",
+    "load_index",
+]

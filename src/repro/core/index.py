@@ -44,11 +44,19 @@ the distance-threshold optimisation and to fall back to top-down deletion).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.concurrency.engine import ConcurrentSession, OnlineOperationEngine
+from repro.concurrency.dgl import DGLProtocol
+from repro.concurrency.engine import (
+    GroupOperation,
+    PreparedBatch,
+    ReplayOperation,
+)
+from repro.concurrency.locks import LockMode
 from repro.core.config import IndexConfig
+from repro.core.protocol import SpatialIndexFacade
 from repro.geometry import Point, Rect
+from repro.storage.buffer import ClientIOCounters
 from repro.rtree.bulk import bulk_load_str
 from repro.rtree.split import make_split_strategy
 from repro.rtree.tree import RTree
@@ -61,14 +69,12 @@ from repro.update.base import BatchUpdate, UpdateStrategy
 from repro.update.batch import (
     BatchExecutor,
     BatchResult,
-    DeleteOp,
-    InsertOp,
     Operation,
-    QueryOp,
+    parse_operation_stream,
 )
 
 
-class MovingObjectIndex:
+class MovingObjectIndex(SpatialIndexFacade):
     """A complete moving-object index with a configurable update strategy."""
 
     def __init__(self, config: Optional[IndexConfig] = None) -> None:
@@ -193,7 +199,7 @@ class MovingObjectIndex:
         :class:`~repro.update.batch.BatchResult` carries a per-batch
         :class:`IOStatistics` snapshot.
         """
-        return self.batch.execute(self._update_ops(updates))
+        return self.batch.execute(self.parse_updates(updates))
 
     def apply(self, operations: Iterable[Tuple]) -> BatchResult:
         """Execute a mixed operation stream with batched updates.
@@ -208,9 +214,16 @@ class MovingObjectIndex:
         """
         return self.batch.execute(self._parse_operations(operations))
 
-    def _update_ops(
+    def parse_updates(
         self, updates: Iterable[Tuple[int, Point]]
     ) -> List[BatchUpdate]:
+        """Overlay-validate an ``(oid, new_position)`` stream into batch ops.
+
+        Raises ``KeyError`` on an unknown oid before anything executes; on
+        success the facade's position map is pre-committed to the stream's
+        final positions (every parsed op eventually executes, and batch
+        planning re-assigns the same values idempotently).
+        """
         # Parse against an overlay and commit only when the whole stream is
         # valid, so a bad operation mid-stream (unknown oid, duplicate
         # insert) leaves the position map consistent with the tree.
@@ -226,40 +239,9 @@ class MovingObjectIndex:
         return ops
 
     def _parse_operations(self, operations: Iterable[Tuple]) -> List[Operation]:
-        # Same overlay discipline as _update_ops: ``None`` marks a pending
+        # Same overlay discipline as parse_updates: ``None`` marks a pending
         # delete, and nothing touches self._positions until parsing succeeds.
-        overlay: Dict[int, Optional[Point]] = {}
-
-        def position_of(oid: int) -> Optional[Point]:
-            return overlay[oid] if oid in overlay else self._positions.get(oid)
-
-        parsed: List[Operation] = []
-        for op in operations:
-            kind = op[0]
-            if kind == "update":
-                _, oid, new_location = op
-                old_location = position_of(oid)
-                if old_location is None:
-                    raise KeyError(f"object {oid} is not in the index")
-                parsed.append(BatchUpdate(oid, old_location, new_location))
-                overlay[oid] = new_location
-            elif kind == "insert":
-                _, oid, location = op
-                if position_of(oid) is not None:
-                    raise ValueError(f"object {oid} already exists; use update")
-                parsed.append(InsertOp(oid, location))
-                overlay[oid] = location
-            elif kind == "delete":
-                _, oid = op
-                location = position_of(oid)
-                if location is not None:
-                    parsed.append(DeleteOp(oid, location))
-                    overlay[oid] = None
-            elif kind in ("range_query", "query"):
-                _, window = op
-                parsed.append(QueryOp(window))
-            else:
-                raise ValueError(f"unknown batch operation kind {kind!r}")
+        parsed, overlay = parse_operation_stream(operations, self._positions.get)
         for oid, location in overlay.items():
             if location is None:
                 self._positions.pop(oid, None)
@@ -272,33 +254,91 @@ class MovingObjectIndex:
         return self.tree.knn(point, k)
 
     # ------------------------------------------------------------------
-    # Concurrent execution (online engine, repro.concurrency.engine)
+    # Engine SPI (repro.core.protocol; sessions open via engine())
     # ------------------------------------------------------------------
-    def engine(
-        self,
-        num_clients: int = 50,
-        time_per_io: float = 0.01,
-        cpu_time_per_op: float = 0.001,
-    ) -> ConcurrentSession:
-        """Open a multi-client session over the online operation engine.
+    def lock_requests_for(
+        self, kind: str, payload: Tuple
+    ) -> List[Tuple[Hashable, LockMode]]:
+        """Predict one engine operation's DGL granule lock set.
 
-        Virtual clients execute operations concurrently under DGL granule
-        locking on a deterministic logical clock: each operation predicts
-        its lock scope through the strategy's ``lock_scope()`` hook, blocks
-        on conflict, and runs for real when its locks are granted.  The
-        session exposes per-client queues (:meth:`ConcurrentSession.submit`
-        / ``run``), shared and generator-driven streams, and conflict-aware
-        batch scheduling (:meth:`ConcurrentSession.update_many`), all
-        measured with per-client physical-I/O attribution.
+        Scopes come from the strategy's prediction hooks: a top-down update
+        locks every leaf its descents may visit, the bottom-up strategies
+        lock the object's leaf plus shift candidates and ancestor intents.
+        Recomputed on every dispatch attempt against the live tree.
         """
-        return ConcurrentSession(
-            OnlineOperationEngine(
-                self,
-                num_clients=num_clients,
-                time_per_io=time_per_io,
-                cpu_time_per_op=cpu_time_per_op,
-            )
+        strategy = self.strategy
+        if kind == "update":
+            oid, new_location = payload
+            old_location = self.position_of(oid)
+            if old_location is None:
+                requests = strategy.insert_lock_scope(new_location)
+            else:
+                requests = strategy.lock_scope(oid, old_location, new_location)
+        elif kind == "insert":
+            _oid, location = payload
+            requests = strategy.insert_lock_scope(location)
+        elif kind == "delete":
+            (oid,) = payload
+            location = self.position_of(oid)
+            if location is None:
+                return []  # nothing to delete, nothing to lock
+            requests = strategy.delete_lock_scope(oid, location)
+        elif kind == "query":
+            (window,) = payload
+            requests = strategy.query_lock_scope(window)
+        else:
+            raise ValueError(f"unknown engine operation kind {kind!r}")
+        return DGLProtocol.as_pairs(requests)
+
+    def prepare_concurrent_batch(self, engine, updates: Iterable) -> PreparedBatch:
+        """Plan one update batch as schedulable virtual operations.
+
+        The batch executor plans the group-by-leaf buckets (coalescing
+        repeated updates of one object exactly as the serial path does);
+        each bucket becomes one :class:`GroupOperation`, unindexed members
+        become :class:`ReplayOperation`\\ s.  The facade's position map is
+        pre-committed to the batch's final positions: every planned member
+        eventually executes, and the coalesced ``new_location`` is its final
+        position (``ConcurrentSession.update_many`` already did this via
+        ``parse_updates``; re-assigning the same final values is idempotent).
+        """
+        plan = self.batch.plan(updates)
+        for bucket in plan.buckets.values():
+            for request in bucket:
+                self._positions[request.oid] = request.new_location
+        for request in plan.unindexed:
+            self._positions[request.oid] = request.new_location
+        result = BatchResult(updates=plan.requested, coalesced=plan.coalesced)
+        operations: List = [
+            ReplayOperation(engine, self.batch, request, result)
+            for request in plan.unindexed
+        ]
+        operations.extend(
+            GroupOperation(engine, self.batch, leaf_page, bucket, result)
+            for leaf_page, bucket in plan.buckets.items()
         )
+        before = self.batch.stats.snapshot()
+
+        def finalize() -> None:
+            result.io = self.batch.stats.snapshot().delta_since(before)
+
+        return PreparedBatch(operations=operations, result=result, finalize=finalize)
+
+    def set_active_client(self, client: Optional[Hashable]) -> None:
+        """Attribute subsequent physical transfers to *client*."""
+        self.buffer.set_active_client(client)
+
+    def total_physical_io(self) -> int:
+        """Physical reads + writes + charged hash-index probes so far."""
+        return self.stats.total_physical_io
+
+    def reset_client_io(self) -> None:
+        """Drop per-client attribution (start of an engine run)."""
+        self.buffer.reset_client_io()
+
+    def client_io_table(self) -> Dict[Hashable, ClientIOCounters]:
+        """Per-client physical I/O attributed by the buffer pool."""
+        return self.buffer.client_io_table()
 
     def position_of(self, oid: int) -> Optional[Point]:
         """Last recorded position of *oid* (``None`` if absent)."""

@@ -1,18 +1,25 @@
-"""Saving and restoring a MovingObjectIndex.
+"""Saving and restoring an index (single or sharded).
 
 A monitoring service restarts; its index should not have to be rebuilt from a
 full scan of the object table.  This module provides a simple checkpoint
-format for :class:`~repro.core.index.MovingObjectIndex`: every R-tree node is
-written through the binary codec of :mod:`repro.storage.serialization`, along
-with the index configuration and the object-position table.  On load the
-R-tree pages are restored onto a fresh simulated disk and the secondary hash
-index and summary structure are re-bootstrapped from the tree (they are
-derived structures, exactly as the paper treats them).
+format for both facade implementations: every R-tree node is written through
+the binary codec of :mod:`repro.storage.serialization`, along with the index
+configuration and the object-position table.  On load the R-tree pages are
+restored onto a fresh simulated disk and the secondary hash index and
+summary structure are re-bootstrapped from the tree (they are derived
+structures, exactly as the paper treats them).
+
+A :class:`~repro.shard.index.ShardedIndex` checkpoints as one page-image
+section per shard plus the partitioner spec; its object directory is derived
+and is rebuilt from the restored shards.  :func:`save_index` and
+:func:`load_index` dispatch on the index kind, so persistence is part of the
+facade surface both implementations share.
 
 The checkpoint is a single JSON document with base64-encoded page images —
 deliberately boring and dependency-free; the interesting part is that a
 restored index passes full structural validation and answers queries
-identically to the original, which the test suite checks.
+identically to the original, which the test suite checks (including after a
+concurrent engine run over a sharded index).
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from __future__ import annotations
 import base64
 import json
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 from repro.core.config import IndexConfig
 from repro.core.index import MovingObjectIndex
@@ -31,8 +38,8 @@ from repro.update.params import TuningParameters
 FORMAT_VERSION = 1
 
 
-def save_index(index: MovingObjectIndex, path: Union[str, Path]) -> None:
-    """Write a checkpoint of *index* to *path*."""
+def _index_document(index: MovingObjectIndex) -> Dict:
+    """The checkpoint document body of one single-machine index."""
     index.buffer.flush()
     config = index.config
     pages = {}
@@ -40,8 +47,7 @@ def save_index(index: MovingObjectIndex, path: Union[str, Path]) -> None:
         image = serialize_node(node, index.layout)
         pages[str(node.page_id)] = base64.b64encode(image).decode("ascii")
 
-    document = {
-        "format_version": FORMAT_VERSION,
+    return {
         "config": {
             "page_size": config.page_size,
             "buffer_percent": config.buffer_percent,
@@ -68,17 +74,10 @@ def save_index(index: MovingObjectIndex, path: Union[str, Path]) -> None:
         "pages": pages,
         "positions": {str(oid): [p.x, p.y] for oid, p in index._positions.items()},
     }
-    Path(path).write_text(json.dumps(document), encoding="utf-8")
 
 
-def load_index(path: Union[str, Path]) -> MovingObjectIndex:
-    """Restore a :class:`MovingObjectIndex` from a checkpoint file."""
-    document = json.loads(Path(path).read_text(encoding="utf-8"))
-    if document.get("format_version") != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported checkpoint format {document.get('format_version')!r}"
-        )
-
+def _restore_index(document: Dict) -> MovingObjectIndex:
+    """Rebuild one single-machine index from its checkpoint document body."""
     config_data = dict(document["config"])
     params_data = config_data.pop("params")
     config = IndexConfig(params=TuningParameters(**params_data), **config_data)
@@ -139,3 +138,44 @@ def load_index(path: Union[str, Path]) -> MovingObjectIndex:
     index.configure_buffer()
     index.reset_statistics()
     return index
+
+
+def save_index(index, path: Union[str, Path]) -> None:
+    """Write a checkpoint of *index* (single or sharded) to *path*."""
+    from repro.shard.index import ShardedIndex  # local: avoids an import cycle
+
+    if isinstance(index, ShardedIndex):
+        document = {
+            "format_version": FORMAT_VERSION,
+            "kind": "sharded",
+            "partitioner": index.partitioner.to_spec(),
+            "shards": [_index_document(shard) for shard in index.shards],
+        }
+    else:
+        document = {"format_version": FORMAT_VERSION, **_index_document(index)}
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+
+
+def load_index(path: Union[str, Path]):
+    """Restore an index from a checkpoint file.
+
+    Returns a :class:`MovingObjectIndex` or a
+    :class:`~repro.shard.index.ShardedIndex`, depending on what was saved;
+    both come back with derived structures (hash indexes, summaries, the
+    shard directory) rebuilt and statistics reset.
+    """
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if document.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {document.get('format_version')!r}"
+        )
+
+    if document.get("kind") == "sharded":
+        from repro.shard.index import ShardedIndex
+        from repro.shard.partitioner import partitioner_from_spec
+
+        partitioner = partitioner_from_spec(document["partitioner"])
+        shards = [_restore_index(shard) for shard in document["shards"]]
+        return ShardedIndex.from_restored_shards(partitioner, shards)
+
+    return _restore_index(document)

@@ -1,0 +1,216 @@
+"""The common facade protocol of spatial index implementations.
+
+:class:`SpatialIndexFacade` is the contract every "complete index" in this
+repository satisfies: the single-machine
+:class:`~repro.core.index.MovingObjectIndex` and the spatially partitioned
+:class:`~repro.shard.index.ShardedIndex` are drop-in interchangeable anywhere
+a facade is consumed: the online concurrent operation engine, persistence,
+the examples, and the figure runners that drive both implementations program
+against this surface.  (Some single-index experiment code reaches deeper —
+``run_experiment`` reads per-strategy outcome counters and tree statistics
+that deliberately have no sharded aggregate.)
+
+The protocol has two halves:
+
+* the **data plane** — ``load`` / ``insert`` / ``update`` / ``delete`` /
+  ``range_query`` / ``knn`` plus the batch entry points ``update_many`` and
+  ``apply``, and the statistics/validation hooks;
+* the **engine SPI** — the hooks the
+  :class:`~repro.concurrency.engine.OnlineOperationEngine` needs to schedule
+  operations without knowing what kind of index it drives:
+  :meth:`lock_requests_for` (predict an operation's DGL granule lock set),
+  :meth:`prepare_concurrent_batch` (turn an update batch into schedulable
+  virtual operations), and the per-client physical-I/O attribution hooks.
+  A sharded index namespaces its granules per shard, which is exactly how
+  operations on different shards become conflict-free under one scheduler.
+
+:meth:`engine` is concrete: opening a multi-client session works identically
+for every implementation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.geometry import Point, Rect
+from repro.storage import IOStatistics
+
+if TYPE_CHECKING:  # typing only; avoids import cycles at runtime
+    from repro.concurrency.engine import ConcurrentSession, PreparedBatch
+    from repro.concurrency.locks import LockMode
+    from repro.storage.buffer import ClientIOCounters
+    from repro.update import UpdateOutcome
+    from repro.update.batch import BatchResult
+
+
+class SpatialIndexFacade(abc.ABC):
+    """Abstract surface shared by single and sharded moving-object indexes."""
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def load(self, objects: Iterable[Tuple[int, Point]], bulk: bool = True) -> None:
+        """Load the initial set of objects (construction, not measured)."""
+
+    # ------------------------------------------------------------------
+    # Data operations
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def insert(self, oid: int, location: Point) -> None:
+        """Insert a new object."""
+
+    @abc.abstractmethod
+    def update(self, oid: int, new_location: Point) -> "UpdateOutcome":
+        """Move an existing object to *new_location*."""
+
+    @abc.abstractmethod
+    def delete(self, oid: int) -> bool:
+        """Remove an object; ``True`` when it existed."""
+
+    @abc.abstractmethod
+    def range_query(self, window: Rect) -> List[int]:
+        """Object ids whose positions fall inside *window*."""
+
+    @abc.abstractmethod
+    def knn(self, point: Point, k: int) -> List[Tuple[float, int]]:
+        """The *k* objects nearest to *point* as ``(distance, oid)`` pairs."""
+
+    @abc.abstractmethod
+    def position_of(self, oid: int) -> Optional[Point]:
+        """Last recorded position of *oid* (``None`` if absent)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    @abc.abstractmethod
+    def __contains__(self, oid: int) -> bool: ...
+
+    # ------------------------------------------------------------------
+    # Batch operations
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def update_many(self, updates: Iterable[Tuple[int, Point]]) -> "BatchResult":
+        """Move many existing objects in one group-by-leaf batch."""
+
+    @abc.abstractmethod
+    def apply(self, operations: Iterable[Tuple]) -> "BatchResult":
+        """Execute a mixed operation stream with batched updates."""
+
+    @abc.abstractmethod
+    def parse_updates(self, updates: Iterable[Tuple[int, Point]]) -> List:
+        """Overlay-validate an ``(oid, new_position)`` stream into batch ops.
+
+        Raises ``KeyError`` on an unknown oid before anything executes —
+        this is the validation front door of both :meth:`update_many` and
+        :meth:`~repro.concurrency.engine.ConcurrentSession.update_many`.
+        Implementations may pre-commit facade position state for the parsed
+        members (the single index does; the sharded index defers to
+        execution so migrations still see current positions).
+        """
+
+    # ------------------------------------------------------------------
+    # Statistics and integrity
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def reset_statistics(self) -> None:
+        """Zero the I/O counters and outcome counters."""
+
+    @abc.abstractmethod
+    def io_snapshot(self) -> IOStatistics:
+        """A copy of the current (aggregated) I/O counters."""
+
+    @abc.abstractmethod
+    def validate(self, check_min_fill: bool = False) -> dict:
+        """Run the full structural validation; returns statistics."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable one-line summary of the index state."""
+
+    # ------------------------------------------------------------------
+    # Engine SPI — lock-scope prediction
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def lock_requests_for(
+        self, kind: str, payload: Tuple
+    ) -> List[Tuple[Hashable, "LockMode"]]:
+        """Predict the granule lock set of one normalised engine operation.
+
+        ``kind``/``payload`` follow the engine's normal form: ``("update",
+        (oid, new))``, ``("insert", (oid, location))``, ``("delete",
+        (oid,))``, ``("query", (window,))``.  Recomputed on every dispatch
+        attempt, so predictions track the live index.
+        """
+
+    @abc.abstractmethod
+    def prepare_concurrent_batch(
+        self, engine, updates: Iterable
+    ) -> "PreparedBatch":
+        """Turn an update batch into schedulable virtual operations.
+
+        Returns a :class:`~repro.concurrency.engine.PreparedBatch` whose
+        operations the engine hands to the scheduler and whose ``finalize``
+        callback computes the batch's I/O delta once the schedule drains.
+        """
+
+    # ------------------------------------------------------------------
+    # Engine SPI — per-client physical-I/O attribution
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def set_active_client(self, client: Optional[Hashable]) -> None:
+        """Attribute subsequent physical transfers to *client* (``None`` stops)."""
+
+    @abc.abstractmethod
+    def total_physical_io(self) -> int:
+        """Aggregated physical I/O count (reads + writes + charged probes)."""
+
+    @abc.abstractmethod
+    def reset_client_io(self) -> None:
+        """Drop per-client attribution (start of an engine run)."""
+
+    @abc.abstractmethod
+    def client_io_table(self) -> Dict[Hashable, "ClientIOCounters"]:
+        """Aggregated per-client physical I/O attribution."""
+
+    # ------------------------------------------------------------------
+    # Concurrent execution (shared implementation)
+    # ------------------------------------------------------------------
+    def engine(
+        self,
+        num_clients: int = 50,
+        time_per_io: float = 0.01,
+        cpu_time_per_op: float = 0.001,
+    ) -> "ConcurrentSession":
+        """Open a multi-client session over the online operation engine.
+
+        Virtual clients execute operations concurrently under DGL granule
+        locking on a deterministic logical clock: each operation predicts
+        its lock scope through :meth:`lock_requests_for`, acquires the locks
+        all-or-nothing, blocks on conflict, and runs for real when its locks
+        are granted.  Works identically for single and sharded indexes; a
+        sharded index namespaces granules per shard, so operations on
+        different shards never conflict.
+        """
+        from repro.concurrency.engine import (  # local: engine imports nothing from core
+            ConcurrentSession,
+            OnlineOperationEngine,
+        )
+
+        return ConcurrentSession(
+            OnlineOperationEngine(
+                self,
+                num_clients=num_clients,
+                time_per_io=time_per_io,
+                cpu_time_per_op=cpu_time_per_op,
+            )
+        )

@@ -1,0 +1,34 @@
+"""Sharded index layer: spatial partition routing over independent shards.
+
+The paper's bottom-up strategies win because most moving-object updates are
+local; the same locality argument says a fleet of objects partitions cleanly
+across **spatial shards**.  This package provides:
+
+* :mod:`repro.shard.partitioner` — the spatial partitioners: a uniform
+  :class:`GridPartitioner` and the pluggable-boundary
+  :class:`BoundaryPartitioner`, both serialisable to plain-dict specs;
+* :mod:`repro.shard.index` — :class:`ShardedIndex`, a drop-in
+  :class:`~repro.core.protocol.SpatialIndexFacade` implementation that
+  routes every operation to one of N independent
+  :class:`~repro.core.index.MovingObjectIndex` shards, migrates objects
+  across shard boundaries, fans queries out to only the intersecting
+  shards, and composes per-shard DGL lock scopes under the online
+  concurrent operation engine.
+"""
+
+from repro.shard.index import MigrationOperation, ShardedIndex
+from repro.shard.partitioner import (
+    BoundaryPartitioner,
+    GridPartitioner,
+    Partitioner,
+    partitioner_from_spec,
+)
+
+__all__ = [
+    "ShardedIndex",
+    "MigrationOperation",
+    "Partitioner",
+    "GridPartitioner",
+    "BoundaryPartitioner",
+    "partitioner_from_spec",
+]

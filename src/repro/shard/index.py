@@ -1,0 +1,626 @@
+"""The sharded moving-object index.
+
+:class:`ShardedIndex` scales the paper's system horizontally: a spatial
+:class:`~repro.shard.partitioner.Partitioner` routes every operation to one
+of N independent :class:`~repro.core.index.MovingObjectIndex` shards, each
+with its own disk, buffer pool, R-tree, hash index, summary structure and
+I/O counters.  The facade satisfies the same
+:class:`~repro.core.protocol.SpatialIndexFacade` protocol as a single index,
+so benchmarks, examples, persistence and the concurrent operation engine
+drive either interchangeably.
+
+Routing and migration
+---------------------
+A shard-level **object directory** maps each object id to its owning shard;
+the per-shard hash indexes stay authoritative for the object's leaf page
+within that shard.  An update whose new position stays inside the owning
+shard's region is executed by that shard's strategy exactly as before — the
+common case, by the paper's locality argument.  An update that crosses a
+partition boundary becomes a **migration**: delete from the old shard,
+insert into the new one, directory updated
+(:attr:`~repro.update.base.UpdateOutcome.MIGRATED`).
+
+Queries
+-------
+``range_query`` fans out to only the shards whose boundary rectangles
+intersect the window; ``knn`` runs best-first over shard boundaries with a
+pruning radius — shards whose boundary lies farther than the current k-th
+candidate distance are never visited.  Both return exactly what a single
+index over the same objects returns (the equivalence test suite asserts
+this for 1, 2 and 8 shards, including boundary-crossing migrations).
+
+Concurrency
+-----------
+Under the online engine, every lock granule a shard operation names is
+namespaced with the shard id (:func:`~repro.concurrency.dgl.namespace_pairs`),
+so operations on different shards never conflict and a migration locks its
+delete scope in the source shard *and* its insert scope in the target shard
+atomically.  Batches partition into group-by-leaf buckets **per shard**;
+buckets of different shards schedule concurrently, which is what the
+``shard_scaling`` figure measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.concurrency.dgl import namespace_pairs
+from repro.concurrency.engine import (
+    GroupOperation,
+    PreparedBatch,
+    ReplayOperation,
+)
+from repro.concurrency.scheduler import VirtualOperation
+from repro.core.config import IndexConfig
+from repro.core.index import MovingObjectIndex
+from repro.core.protocol import SpatialIndexFacade
+from repro.geometry import Point, Rect
+from repro.shard.partitioner import GridPartitioner, Partitioner
+from repro.storage import IOStatistics
+from repro.storage.buffer import ClientIOCounters
+from repro.update import UpdateOutcome
+from repro.update.base import BatchUpdate
+from repro.update.batch import (
+    BatchResult,
+    DeleteOp,
+    InsertOp,
+    Operation,
+    QueryOp,
+    coalesce_updates,
+    parse_operation_stream,
+)
+
+
+class MigrationOperation(VirtualOperation):
+    """A batch member whose move crosses a shard boundary.
+
+    Scheduled as one virtual operation that locks the delete scope in the
+    source shard and the insert scope in the target shard — both namespaced,
+    acquired all-or-nothing, so a migration serialises with exactly the
+    operations it truly conflicts with in either shard and nothing else.
+    """
+
+    __slots__ = ("engine", "sharded", "request", "result")
+    kind = "migration"
+
+    def __init__(self, engine, sharded: "ShardedIndex", request: BatchUpdate, result):
+        self.engine = engine
+        self.sharded = sharded
+        self.request = request
+        self.result = result
+
+    def lock_requests(self):
+        return self.sharded.lock_requests_for(
+            "update", (self.request.oid, self.request.new_location)
+        )
+
+    def execute(self, client: int) -> int:
+        return self.engine.measure(
+            client,
+            lambda: self.sharded._execute_migration(self.request, self.result),
+        )
+
+
+class ShardedIndex(SpatialIndexFacade):
+    """N independent moving-object indexes behind one spatial router.
+
+    Parameters
+    ----------
+    config:
+        The :class:`IndexConfig` every shard is built with (shards are
+        homogeneous; the buffer percentage applies to each shard's own
+        database, so the aggregate buffer tracks the aggregate data).
+    partitioner:
+        Spatial partitioner; defaults to a near-square uniform grid of
+        *num_shards* cells.
+    num_shards:
+        Convenience when no explicit partitioner is given (default 4).
+    shards:
+        Pre-built shard indexes to adopt instead of constructing fresh ones
+        (checkpoint restore); must match the partitioner's shard count.
+    """
+
+    def __init__(
+        self,
+        config: Optional[IndexConfig] = None,
+        partitioner: Optional[Partitioner] = None,
+        num_shards: Optional[int] = None,
+        shards: Optional[List[MovingObjectIndex]] = None,
+    ) -> None:
+        if partitioner is None:
+            partitioner = GridPartitioner.for_shards(
+                4 if num_shards is None else num_shards
+            )
+        elif num_shards is not None and num_shards != partitioner.num_shards:
+            raise ValueError(
+                f"num_shards={num_shards} conflicts with the partitioner's "
+                f"{partitioner.num_shards} shards"
+            )
+        if shards is not None and len(shards) != partitioner.num_shards:
+            raise ValueError(
+                f"partitioner expects {partitioner.num_shards} shards, "
+                f"got {len(shards)}"
+            )
+        self.config = config if config is not None else IndexConfig()
+        self.partitioner = partitioner
+        self.shards: List[MovingObjectIndex] = (
+            shards
+            if shards is not None
+            else [MovingObjectIndex(self.config) for _ in range(partitioner.num_shards)]
+        )
+        #: Object directory: oid -> owning shard id.  The per-shard hash
+        #: indexes remain authoritative for the leaf page within the shard.
+        self._shard_of: Dict[int, int] = {
+            oid: shard_id
+            for shard_id, shard in enumerate(self.shards)
+            for oid in shard._positions
+        }
+        #: Cross-shard migrations executed since the last statistics reset.
+        self.migrations = 0
+
+    @classmethod
+    def from_restored_shards(
+        cls, partitioner: Partitioner, shards: List[MovingObjectIndex]
+    ) -> "ShardedIndex":
+        """Assemble a sharded index from already-restored shard indexes.
+
+        Used by checkpoint loading: the object directory is a derived
+        structure and is rebuilt from the shards' own position tables.
+        """
+        return cls(config=shards[0].config, partitioner=partitioner, shards=shards)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.partitioner.num_shards
+
+    def shard_for(self, oid: int) -> Optional[int]:
+        """The shard currently owning *oid* (``None`` if absent)."""
+        return self._shard_of.get(oid)
+
+    def shard_populations(self) -> List[int]:
+        """Number of objects per shard (directory view)."""
+        populations = [0] * self.num_shards
+        for shard_id in self._shard_of.values():
+            populations[shard_id] += 1
+        return populations
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, objects: Iterable[Tuple[int, Point]], bulk: bool = True) -> None:
+        """Partition the initial objects spatially and load every shard."""
+        groups: List[List[Tuple[int, Point]]] = [[] for _ in range(self.num_shards)]
+        for oid, location in objects:
+            shard_id = self.partitioner.shard_of(location)
+            groups[shard_id].append((oid, location))
+            self._shard_of[oid] = shard_id
+        for shard, group in zip(self.shards, groups):
+            shard.load(group, bulk=bulk)
+        self.migrations = 0
+
+    def configure_buffer(self, percent: Optional[float] = None) -> None:
+        """(Re)size every shard's buffer pool."""
+        for shard in self.shards:
+            shard.configure_buffer(percent)
+
+    # ------------------------------------------------------------------
+    # Data operations
+    # ------------------------------------------------------------------
+    def insert(self, oid: int, location: Point) -> None:
+        if oid in self._shard_of:
+            raise ValueError(f"object {oid} already exists; use update()")
+        shard_id = self.partitioner.shard_of(location)
+        self.shards[shard_id].insert(oid, location)
+        self._shard_of[oid] = shard_id
+
+    def update(self, oid: int, new_location: Point) -> UpdateOutcome:
+        """Route the update; migrate across shards when a boundary is crossed."""
+        source = self._shard_of.get(oid)
+        if source is None:
+            raise KeyError(f"object {oid} is not in the index")
+        target = self.partitioner.shard_of(new_location)
+        if target == source:
+            return self.shards[source].update(oid, new_location)
+        self._execute_migration(
+            BatchUpdate(oid, self.position_of(oid), new_location)
+        )
+        return UpdateOutcome.MIGRATED
+
+    def delete(self, oid: int) -> bool:
+        shard_id = self._shard_of.pop(oid, None)
+        if shard_id is None:
+            return False
+        return self.shards[shard_id].delete(oid)
+
+    def _query_shards(self, window: Rect) -> List[int]:
+        """Shards a window query must visit.
+
+        The partitioner's boundary rectangles are the primary fan-out
+        filter; a shard whose *content* MBR reaches outside its boundary
+        (positions are clamped into the unit square for routing, so an
+        out-of-square object legally lives beyond its cell) is included
+        through the uncharged root-MBR check, keeping sharded answers
+        identical to a single index for every input.
+        """
+        selected = set(self.partitioner.shards_intersecting(window))
+        for shard_id, shard in enumerate(self.shards):
+            if shard_id in selected:
+                continue
+            content = shard.tree.root_mbr()
+            if content is not None and content.intersects(window):
+                selected.add(shard_id)
+        return sorted(selected)
+
+    def range_query(self, window: Rect) -> List[int]:
+        """Fan the window out to the shards whose boundaries intersect it."""
+        results: List[int] = []
+        for shard_id in self._query_shards(window):
+            results.extend(self.shards[shard_id].range_query(window))
+        return results
+
+    def knn(self, point: Point, k: int) -> List[Tuple[float, int]]:
+        """Best-first kNN over shard bounds with a pruning radius.
+
+        Shards are visited in order of the minimum distance from the query
+        point to their bound — the shard boundary tightened to the shard's
+        actual content MBR (an always-valid, usually tighter bound, and the
+        correct one even for positions stored outside the unit square).
+        Once *k* candidates are held, any shard whose bound lies strictly
+        beyond the current k-th distance cannot contribute and is pruned.
+        """
+        if k <= 0:
+            return []
+        bounds: List[Tuple[float, int]] = []
+        for shard_id, shard in enumerate(self.shards):
+            content = shard.tree.root_mbr()
+            if content is None:
+                continue  # empty shard: nothing to contribute
+            bounds.append((content.min_distance_to_point(point), shard_id))
+        bounds.sort()
+        best: List[Tuple[float, int]] = []
+        for bound, shard_id in bounds:
+            if len(best) >= k and bound > best[-1][0]:
+                break
+            best.extend(self.shards[shard_id].knn(point, k))
+            best.sort()
+            del best[k:]
+        return best
+
+    def position_of(self, oid: int) -> Optional[Point]:
+        shard_id = self._shard_of.get(oid)
+        if shard_id is None:
+            return None
+        return self.shards[shard_id].position_of(oid)
+
+    def __len__(self) -> int:
+        return len(self._shard_of)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._shard_of
+
+    # ------------------------------------------------------------------
+    # Batch operations (per-shard group-by-leaf buckets)
+    # ------------------------------------------------------------------
+    def update_many(self, updates: Iterable[Tuple[int, Point]]) -> BatchResult:
+        """Move many objects in one batch, bucketed per shard.
+
+        Updates are coalesced per object (first old position, latest new
+        position — the same rule as the single-index batch), the coalesced
+        requests are routed per shard, and each shard executes its group-by-
+        leaf pipeline; boundary-crossing requests migrate through the
+        per-operation path.  The returned result aggregates every shard's
+        groups/residual counters and merges their I/O deltas.
+        """
+        return self._execute_batch(self.parse_updates(updates))
+
+    def apply(self, operations: Iterable[Tuple]) -> BatchResult:
+        """Execute a mixed operation stream with per-shard batched updates.
+
+        The stream grammar and barrier semantics match
+        :meth:`MovingObjectIndex.apply`: runs of updates are batched,
+        inserts/deletes/queries flush pending updates first, and the whole
+        stream is parsed (and validated) before anything executes.
+        """
+        parsed = self._parse_operations(operations)
+        result = BatchResult()
+        before = [shard.stats.snapshot() for shard in self.shards]
+        run: List[BatchUpdate] = []
+        for op in parsed:
+            if isinstance(op, BatchUpdate):
+                result.updates += 1
+                run.append(op)
+            elif isinstance(op, InsertOp):
+                self._flush_updates(run, result)
+                self.insert(op.oid, op.location)
+                result.inserts += 1
+            elif isinstance(op, DeleteOp):
+                self._flush_updates(run, result)
+                self.delete(op.oid)
+                result.deletes += 1
+            elif isinstance(op, QueryOp):
+                self._flush_updates(run, result)
+                result.queries.append(self.range_query(op.window))
+            else:  # pragma: no cover - the parser only emits the above
+                raise TypeError(f"unsupported batch operation {op!r}")
+        self._flush_updates(run, result)
+        self._merge_io_delta(result, before)
+        return result
+
+    def _execute_batch(self, ops: List[BatchUpdate]) -> BatchResult:
+        result = BatchResult(updates=len(ops))
+        before = [shard.stats.snapshot() for shard in self.shards]
+        self._flush_updates(list(ops), result)
+        self._merge_io_delta(result, before)
+        return result
+
+    def _flush_updates(self, run: List[BatchUpdate], result: BatchResult) -> None:
+        """Coalesce a run of updates and route it: per-shard batches + migrations."""
+        if not run:
+            return
+        pending, _requested, coalesced = coalesce_updates(run)
+        result.coalesced += coalesced
+        run.clear()
+        per_shard: Dict[int, List[BatchUpdate]] = {}
+        for request in pending.values():
+            source = self._shard_of.get(request.oid)
+            target = self.partitioner.shard_of(request.new_location)
+            if source is None or source != target:
+                self._execute_migration(request, result)
+            else:
+                per_shard.setdefault(source, []).append(request)
+        for shard_id, requests in per_shard.items():
+            shard = self.shards[shard_id]
+            for request in requests:
+                shard._positions[request.oid] = request.new_location
+            sub = shard.batch.execute(requests)
+            result.groups += sub.groups
+            result.largest_group = max(result.largest_group, sub.largest_group)
+            result.residuals += sub.residuals
+
+    def _execute_migration(
+        self, request: BatchUpdate, result: Optional[BatchResult] = None
+    ) -> None:
+        """Delete from the source shard, insert into the target, re-route."""
+        source = self._shard_of.get(request.oid)
+        target = self.partitioner.shard_of(request.new_location)
+        if source is not None:
+            self.shards[source].delete(request.oid)
+            self.migrations += 1
+            if result is not None:
+                result.migrations += 1
+        elif result is not None:
+            result.residuals += 1  # not indexed yet: plain insert
+        self.shards[target].insert(request.oid, request.new_location)
+        self._shard_of[request.oid] = target
+
+    def parse_updates(self, updates: Iterable[Tuple[int, Point]]) -> List[BatchUpdate]:
+        """Overlay-validate an ``(oid, new_position)`` stream into batch ops.
+
+        Mirrors :meth:`MovingObjectIndex.parse_updates`: a bad operation
+        mid-stream leaves nothing executed.  Unlike the single index,
+        positions are NOT pre-committed here — shard position maps advance
+        when their shard executes (migrations go through the shard facades,
+        which need the old position to still be current).
+        """
+        moved: Dict[int, Point] = {}
+        ops: List[BatchUpdate] = []
+        for oid, new_location in updates:
+            old_location = moved.get(oid, self.position_of(oid))
+            if old_location is None:
+                raise KeyError(f"object {oid} is not in the index")
+            ops.append(BatchUpdate(oid, old_location, new_location))
+            moved[oid] = new_location
+        return ops
+
+    def _parse_operations(self, operations: Iterable[Tuple]) -> List[Operation]:
+        # The shared stream grammar; unlike the single index the overlay is
+        # discarded — shard position maps advance when operations execute.
+        parsed, _overlay = parse_operation_stream(operations, self.position_of)
+        return parsed
+
+    def _merge_io_delta(
+        self, result: BatchResult, before: List[IOStatistics]
+    ) -> None:
+        result.io = IOStatistics.sum(
+            shard.stats.snapshot().delta_since(snapshot)
+            for shard, snapshot in zip(self.shards, before)
+        )
+
+    # ------------------------------------------------------------------
+    # Engine SPI (repro.core.protocol; sessions open via engine())
+    # ------------------------------------------------------------------
+    def lock_requests_for(self, kind: str, payload: Tuple):
+        """Predict an operation's lock set across shards.
+
+        Each shard's granules are namespaced with its shard id, so scopes
+        from different shards are disjoint by construction: only operations
+        that touch the same shard can ever conflict, and a cross-shard
+        migration names granules from both its shards.
+        """
+        if kind == "update":
+            oid, new_location = payload
+            source = self._shard_of.get(oid)
+            target = self.partitioner.shard_of(new_location)
+            if source is None:
+                return namespace_pairs(
+                    self.shards[target].lock_requests_for(
+                        "insert", (oid, new_location)
+                    ),
+                    target,
+                )
+            if source == target:
+                return namespace_pairs(
+                    self.shards[source].lock_requests_for(kind, payload), source
+                )
+            pairs = namespace_pairs(
+                self.shards[source].lock_requests_for("delete", (oid,)), source
+            )
+            pairs.extend(
+                namespace_pairs(
+                    self.shards[target].lock_requests_for(
+                        "insert", (oid, new_location)
+                    ),
+                    target,
+                )
+            )
+            return pairs
+        if kind == "insert":
+            _oid, location = payload
+            target = self.partitioner.shard_of(location)
+            return namespace_pairs(
+                self.shards[target].lock_requests_for(kind, payload), target
+            )
+        if kind == "delete":
+            (oid,) = payload
+            source = self._shard_of.get(oid)
+            if source is None:
+                return []
+            return namespace_pairs(
+                self.shards[source].lock_requests_for(kind, payload), source
+            )
+        if kind == "query":
+            (window,) = payload
+            pairs = []
+            for shard_id in self._query_shards(window):
+                pairs.extend(
+                    namespace_pairs(
+                        self.shards[shard_id].lock_requests_for(kind, payload),
+                        shard_id,
+                    )
+                )
+            return pairs
+        raise ValueError(f"unknown engine operation kind {kind!r}")
+
+    def prepare_concurrent_batch(self, engine, updates: Iterable) -> PreparedBatch:
+        """Plan one batch as per-shard group buckets plus migration ops.
+
+        In-shard requests go through each shard's group-by-leaf planner and
+        become :class:`~repro.concurrency.engine.GroupOperation`\\ s whose
+        granules carry the shard namespace — buckets of different shards are
+        disjoint by construction and schedule fully in parallel.  Boundary-
+        crossing requests become :class:`MigrationOperation`\\ s locking both
+        shards.  Shard position maps are pre-committed for in-shard members
+        (their group/replay passes never consult them); migrations commit
+        their own state when they execute.
+        """
+        pending, requested, coalesced = coalesce_updates(updates)
+        result = BatchResult(updates=requested, coalesced=coalesced)
+        operations: List[VirtualOperation] = []
+        per_shard: Dict[int, List[BatchUpdate]] = {}
+        for request in pending.values():
+            source = self._shard_of.get(request.oid)
+            target = self.partitioner.shard_of(request.new_location)
+            if source is None or source != target:
+                operations.append(MigrationOperation(engine, self, request, result))
+            else:
+                per_shard.setdefault(source, []).append(request)
+        for shard_id, requests in per_shard.items():
+            shard = self.shards[shard_id]
+            plan = shard.batch.plan(requests)
+            for bucket in plan.buckets.values():
+                for request in bucket:
+                    shard._positions[request.oid] = request.new_location
+            for request in plan.unindexed:
+                shard._positions[request.oid] = request.new_location
+                operations.append(
+                    ReplayOperation(
+                        engine, shard.batch, request, result, namespace=shard_id
+                    )
+                )
+            operations.extend(
+                GroupOperation(
+                    engine, shard.batch, leaf_page, bucket, result,
+                    namespace=shard_id,
+                )
+                for leaf_page, bucket in plan.buckets.items()
+            )
+        before = [shard.stats.snapshot() for shard in self.shards]
+
+        def finalize() -> None:
+            self._merge_io_delta(result, before)
+
+        return PreparedBatch(operations=operations, result=result, finalize=finalize)
+
+    def set_active_client(self, client: Optional[Hashable]) -> None:
+        for shard in self.shards:
+            shard.set_active_client(client)
+
+    def total_physical_io(self) -> int:
+        return sum(shard.total_physical_io() for shard in self.shards)
+
+    def reset_client_io(self) -> None:
+        for shard in self.shards:
+            shard.reset_client_io()
+
+    def client_io_table(self) -> Dict[Hashable, ClientIOCounters]:
+        """Per-client physical I/O merged across every shard's buffer pool."""
+        merged: Dict[Hashable, ClientIOCounters] = {}
+        for shard in self.shards:
+            for client, counters in shard.client_io_table().items():
+                into = merged.setdefault(client, ClientIOCounters())
+                into.physical_reads += counters.physical_reads
+                into.physical_writes += counters.physical_writes
+        return merged
+
+    # ------------------------------------------------------------------
+    # Statistics and integrity
+    # ------------------------------------------------------------------
+    def reset_statistics(self) -> None:
+        for shard in self.shards:
+            shard.reset_statistics()
+        self.migrations = 0
+
+    def io_snapshot(self) -> IOStatistics:
+        """The shards' I/O counters merged into one aggregate snapshot."""
+        return IOStatistics.sum(shard.io_snapshot() for shard in self.shards)
+
+    def refresh_summary(self) -> None:
+        for shard in self.shards:
+            shard.refresh_summary()
+
+    def validate(self, check_min_fill: bool = False) -> dict:
+        """Validate every shard, the directory, and the spatial routing."""
+        reports = []
+        errors: List[str] = []
+        for shard_id, shard in enumerate(self.shards):
+            reports.append(shard.validate(check_min_fill=check_min_fill))
+            for oid in shard._positions:
+                if self._shard_of.get(oid) != shard_id:
+                    errors.append(
+                        f"object {oid}: directory says shard "
+                        f"{self._shard_of.get(oid)}, shard {shard_id} holds it"
+                    )
+                position = shard.position_of(oid)
+                # Routing consistency: the partitioner (which clamps into
+                # the unit square) must still assign the stored position to
+                # the shard holding it — the invariant update() maintains.
+                if self.partitioner.shard_of(position) != shard_id:
+                    errors.append(
+                        f"object {oid}: position {position!r} routes to shard "
+                        f"{self.partitioner.shard_of(position)}, stored in "
+                        f"{shard_id}"
+                    )
+        if len(self._shard_of) != sum(len(shard) for shard in self.shards):
+            errors.append(
+                f"directory holds {len(self._shard_of)} objects, shards hold "
+                f"{sum(len(shard) for shard in self.shards)}"
+            )
+        if errors:
+            raise AssertionError("; ".join(errors))
+        return {
+            "shards": len(self.shards),
+            "objects": len(self._shard_of),
+            "heights": [shard.tree.height for shard in self.shards],
+            "reports": reports,
+        }
+
+    def describe(self) -> str:
+        populations = self.shard_populations()
+        return (
+            f"sharded[{self.num_shards}x] {self.partitioner.describe()} | "
+            f"{self.config.describe()} | objects={len(self._shard_of)} "
+            f"populations={populations} migrations={self.migrations}"
+        )

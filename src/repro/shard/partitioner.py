@@ -1,0 +1,175 @@
+"""Spatial partitioners: how the data space is split into shards.
+
+A :class:`Partitioner` assigns every position in the unit square to exactly
+one shard and publishes each shard's **boundary rectangle**.  The sharded
+index routes every operation through this assignment: updates go to the
+owning shard (or migrate between two shards when a move crosses a
+boundary), and queries fan out to exactly the shards whose boundaries
+intersect the query window.
+
+The same locality argument that makes the paper's bottom-up updates cheap
+makes spatial partitioning effective: objects move small distances between
+updates, so the overwhelming majority of updates stay inside one shard and
+cross-shard migrations are rare.  :class:`GridPartitioner` is the uniform
+default; :class:`BoundaryPartitioner` accepts an explicit boundary list, the
+pluggable escape hatch for skew-aware layouts (cf. the hotspot workloads,
+where a uniform grid concentrates load on few shards).
+
+Partitioners serialise to a plain-dict *spec* (:meth:`Partitioner.to_spec` /
+:func:`partitioner_from_spec`) so a sharded checkpoint can record how its
+page images were split.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence
+
+from repro.geometry import Point, Rect
+
+
+class Partitioner(abc.ABC):
+    """Assignment of positions to shards, with published shard boundaries."""
+
+    @property
+    @abc.abstractmethod
+    def num_shards(self) -> int:
+        """Number of shards this partitioner routes to."""
+
+    @abc.abstractmethod
+    def shard_of(self, point: Point) -> int:
+        """The shard owning *point*.  Total: every position maps somewhere."""
+
+    @abc.abstractmethod
+    def boundary(self, shard: int) -> Rect:
+        """The boundary rectangle of *shard* (contains all its positions)."""
+
+    @abc.abstractmethod
+    def to_spec(self) -> Dict:
+        """Plain-dict description, round-trippable via :func:`partitioner_from_spec`."""
+
+    # ------------------------------------------------------------------
+    # Shared behaviour
+    # ------------------------------------------------------------------
+    def boundaries(self) -> List[Rect]:
+        """Every shard's boundary rectangle, indexed by shard id."""
+        return [self.boundary(shard) for shard in range(self.num_shards)]
+
+    def shards_intersecting(self, window: Rect) -> List[int]:
+        """Shards whose boundary rectangle intersects *window* (fan-out set)."""
+        return [
+            shard
+            for shard in range(self.num_shards)
+            if self.boundary(shard).intersects(window)
+        ]
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}(shards={self.num_shards})"
+
+
+class GridPartitioner(Partitioner):
+    """Uniform ``columns x rows`` grid over the unit square.
+
+    Cell ``(col, row)`` is shard ``row * columns + col``.  Positions are
+    clamped into the unit square before assignment, so the mapping is total
+    even for degenerate inputs; every workload position in this repository
+    is already inside the unit square (the movement model clamps), so each
+    object's position always lies within its shard's boundary rectangle —
+    the invariant the kNN pruning bound relies on.
+    """
+
+    def __init__(self, columns: int, rows: int = 1) -> None:
+        if columns <= 0 or rows <= 0:
+            raise ValueError("columns and rows must be positive")
+        self.columns = columns
+        self.rows = rows
+
+    @classmethod
+    def for_shards(cls, num_shards: int) -> "GridPartitioner":
+        """The most-square ``columns x rows`` grid with exactly *num_shards* cells."""
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        rows = int(num_shards ** 0.5)
+        while num_shards % rows:
+            rows -= 1
+        return cls(columns=num_shards // rows, rows=rows)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.columns * self.rows
+
+    def shard_of(self, point: Point) -> int:
+        col = min(self.columns - 1, max(0, int(point.x * self.columns)))
+        row = min(self.rows - 1, max(0, int(point.y * self.rows)))
+        return row * self.columns + col
+
+    def boundary(self, shard: int) -> Rect:
+        if not 0 <= shard < self.num_shards:
+            raise IndexError(f"shard {shard} out of range (0..{self.num_shards - 1})")
+        col = shard % self.columns
+        row = shard // self.columns
+        return Rect(
+            col / self.columns,
+            row / self.rows,
+            (col + 1) / self.columns,
+            (row + 1) / self.rows,
+        )
+
+    def to_spec(self) -> Dict:
+        return {"kind": "grid", "columns": self.columns, "rows": self.rows}
+
+    def describe(self) -> str:
+        return f"grid {self.columns}x{self.rows}"
+
+
+class BoundaryPartitioner(Partitioner):
+    """Explicit boundary rectangles — the pluggable partition spec.
+
+    The rectangles must jointly cover the unit square; a position belongs to
+    the first rectangle that contains it (rectangles may share edges, as
+    tiles do).  This is the escape hatch for skew-aware layouts: carve the
+    hot region into many small shards and the cold remainder into few.
+    """
+
+    def __init__(self, boundaries: Sequence[Rect]) -> None:
+        if not boundaries:
+            raise ValueError("at least one boundary rectangle is required")
+        self._boundaries = list(boundaries)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._boundaries)
+
+    def shard_of(self, point: Point) -> int:
+        clamped = point.clamped()
+        for shard, rect in enumerate(self._boundaries):
+            if rect.contains_point(clamped):
+                return shard
+        raise ValueError(
+            f"position {point!r} is not covered by any shard boundary"
+        )
+
+    def boundary(self, shard: int) -> Rect:
+        return self._boundaries[shard]
+
+    def to_spec(self) -> Dict:
+        return {
+            "kind": "boundaries",
+            "boundaries": [list(rect.as_tuple()) for rect in self._boundaries],
+        }
+
+    def describe(self) -> str:
+        return f"boundaries[{len(self._boundaries)}]"
+
+
+def partitioner_from_spec(spec: Dict) -> Partitioner:
+    """Rebuild a partitioner from its :meth:`~Partitioner.to_spec` dict."""
+    kind = spec.get("kind")
+    if kind == "grid":
+        return GridPartitioner(columns=spec["columns"], rows=spec["rows"])
+    if kind == "boundaries":
+        return BoundaryPartitioner(
+            [Rect(*values) for values in spec["boundaries"]]
+        )
+    raise ValueError(f"unknown partitioner spec kind {kind!r}")

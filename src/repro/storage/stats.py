@@ -10,7 +10,7 @@ of an experiment run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterable
 
 
 @dataclass
@@ -62,6 +62,43 @@ class IOStatistics:
         if self.logical_reads == 0:
             return 0.0
         return self.buffer_hits / self.logical_reads
+
+    def total(self) -> int:
+        """Alias of :attr:`total_physical_io` as a callable convenience."""
+        return self.total_physical_io
+
+    # -- aggregation ---------------------------------------------------------
+    def merge(self, other: "IOStatistics") -> "IOStatistics":
+        """Add *other*'s counters into this instance in place; returns ``self``.
+
+        This is how cross-shard and per-client counters aggregate: a sharded
+        index merges its shards' snapshots into one set of counters instead
+        of summing each field by hand.
+        """
+        self.physical_reads += other.physical_reads
+        self.physical_writes += other.physical_writes
+        self.logical_reads += other.logical_reads
+        self.logical_writes += other.logical_writes
+        self.buffer_hits += other.buffer_hits
+        self.dirty_evictions += other.dirty_evictions
+        self.hash_index_reads += other.hash_index_reads
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + value
+        return self
+
+    def __add__(self, other: "IOStatistics") -> "IOStatistics":
+        """A new instance holding the element-wise sum of two counter sets."""
+        if not isinstance(other, IOStatistics):
+            return NotImplemented
+        return self.snapshot().merge(other)
+
+    @classmethod
+    def sum(cls, parts: "Iterable[IOStatistics]") -> "IOStatistics":
+        """Merge an iterable of counter sets into one fresh instance."""
+        combined = cls()
+        for part in parts:
+            combined.merge(part)
+        return combined
 
     # -- bookkeeping ---------------------------------------------------------
     def bump(self, name: str, amount: int = 1) -> None:

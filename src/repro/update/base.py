@@ -48,6 +48,7 @@ class UpdateOutcome(enum.Enum):
     ASCENDED = "ascended"              # re-inserted below a covering ancestor
     TOP_DOWN = "top_down"              # full top-down delete + insert
     INSERTED_NEW = "inserted_new"      # object was not in the index yet
+    MIGRATED = "migrated"              # moved to another shard (sharded index)
 
 
 class UpdateStrategy:

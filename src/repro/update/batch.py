@@ -53,7 +53,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, List, NamedTuple, Optional, Union
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple, Union
 
 from repro.geometry import Point, Rect
 from repro.rtree.tree import RTree
@@ -84,6 +84,86 @@ class QueryOp(NamedTuple):
 
 
 Operation = Union[BatchUpdate, InsertOp, DeleteOp, QueryOp]
+
+
+def parse_operation_stream(
+    operations: Iterable[Tuple],
+    position_of: "Callable[[int], Optional[Point]]",
+) -> Tuple[List[Operation], Dict[int, Optional[Point]]]:
+    """Parse facade operation tuples into typed batch operations.
+
+    This is the one stream grammar both facades share — ``("update", oid,
+    new)``, ``("insert", oid, location)``, ``("delete", oid)``,
+    ``("range_query"|"query", window)`` — validated against an overlay so a
+    bad operation mid-stream (unknown oid, duplicate insert) raises before
+    anything executes.  *position_of* supplies the pre-stream position of an
+    object; the returned overlay maps each touched oid to its post-stream
+    position (``None`` = deleted), for callers that pre-commit a position
+    map.  A delete of an absent object parses to nothing, preserving the
+    sequential semantics (no barrier, no effect).
+    """
+    overlay: Dict[int, Optional[Point]] = {}
+
+    def current(oid: int) -> Optional[Point]:
+        return overlay[oid] if oid in overlay else position_of(oid)
+
+    parsed: List[Operation] = []
+    for op in operations:
+        kind = op[0]
+        if kind == "update":
+            _, oid, new_location = op
+            old_location = current(oid)
+            if old_location is None:
+                raise KeyError(f"object {oid} is not in the index")
+            parsed.append(BatchUpdate(oid, old_location, new_location))
+            overlay[oid] = new_location
+        elif kind == "insert":
+            _, oid, location = op
+            if current(oid) is not None:
+                raise ValueError(f"object {oid} already exists; use update")
+            parsed.append(InsertOp(oid, location))
+            overlay[oid] = location
+        elif kind == "delete":
+            _, oid = op
+            location = current(oid)
+            if location is not None:
+                parsed.append(DeleteOp(oid, location))
+                overlay[oid] = None
+        elif kind in ("range_query", "query"):
+            _, window = op
+            parsed.append(QueryOp(window))
+        else:
+            raise ValueError(f"unknown batch operation kind {kind!r}")
+    return parsed, overlay
+
+
+def coalesce_updates(
+    updates: Iterable[BatchUpdate],
+) -> Tuple["OrderedDict[int, BatchUpdate]", int, int]:
+    """Collapse repeated updates of one object onto its earliest slot.
+
+    Returns ``(pending, requested, coalesced)``: the surviving requests in
+    first-seen order, the number submitted, and the number superseded.  A
+    coalesced request keeps the **first** old position and the **latest**
+    new position — only the last update of an object matters for the final
+    state, which is what makes batch and sequential execution equivalent.
+    This is the shared first half of every batch path: the serial executor,
+    the planner, and the sharded router all coalesce with this rule.
+    """
+    pending: "OrderedDict[int, BatchUpdate]" = OrderedDict()
+    requested = 0
+    coalesced = 0
+    for op in updates:
+        requested += 1
+        previous = pending.get(op.oid)
+        if previous is not None:
+            pending[op.oid] = BatchUpdate(
+                op.oid, previous.old_location, op.new_location
+            )
+            coalesced += 1
+        else:
+            pending[op.oid] = op
+    return pending, requested, coalesced
 
 
 @dataclass
@@ -128,17 +208,20 @@ class BatchResult:
     largest_group: int = 0
     #: Updates replayed through the per-operation path.
     residuals: int = 0
+    #: Updates that crossed a shard boundary (sharded index only).
+    migrations: int = 0
     io: IOStatistics = field(default_factory=IOStatistics)
 
     @property
     def grouped_updates(self) -> int:
         """Updates absorbed by group passes (after coalescing)."""
-        return self.updates - self.coalesced - self.residuals
+        return self.updates - self.coalesced - self.residuals - self.migrations
 
     def describe(self) -> str:
+        migrated = f", migrations={self.migrations}" if self.migrations else ""
         return (
             f"updates={self.updates} (coalesced={self.coalesced}, "
-            f"groups={self.groups}, residual={self.residuals}) "
+            f"groups={self.groups}, residual={self.residuals}{migrated}) "
             f"inserts={self.inserts} deletes={self.deletes} "
             f"queries={len(self.queries)} | physical_reads={self.io.physical_reads} "
             f"physical_writes={self.io.physical_writes}"
@@ -230,19 +313,7 @@ class BatchExecutor:
         with uncharged peeks; the paper's per-probe charge is paid at
         execution time by the strategies themselves.
         """
-        pending: "OrderedDict[int, BatchUpdate]" = OrderedDict()
-        requested = 0
-        coalesced = 0
-        for op in updates:
-            requested += 1
-            previous = pending.get(op.oid)
-            if previous is not None:
-                pending[op.oid] = BatchUpdate(
-                    op.oid, previous.old_location, op.new_location
-                )
-                coalesced += 1
-            else:
-                pending[op.oid] = op
+        pending, requested, coalesced = coalesce_updates(updates)
         buckets: "OrderedDict[int, List[BatchUpdate]]" = OrderedDict()
         unindexed: List[BatchUpdate] = []
         for request in pending.values():

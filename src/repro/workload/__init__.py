@@ -6,7 +6,7 @@ of locality-bounded movements, and a set of uniformly distributed query
 windows.  This package re-implements that generator:
 
 * :mod:`repro.workload.distributions` — uniform, Gaussian and skewed initial
-  placements;
+  placements, plus a Zipf-skewed hotspot mode for shard-imbalance scenarios;
 * :mod:`repro.workload.movement` — per-update movement bounded by a maximum
   distance (Table 1's "maximum distance moved");
 * :mod:`repro.workload.queries` — query windows with uniformly distributed
@@ -21,6 +21,7 @@ windows.  This package re-implements that generator:
 
 from repro.workload.distributions import (
     gaussian_positions,
+    hotspot_positions,
     initial_positions,
     skewed_positions,
     uniform_positions,
@@ -35,6 +36,7 @@ __all__ = [
     "uniform_positions",
     "gaussian_positions",
     "skewed_positions",
+    "hotspot_positions",
     "MovementModel",
     "QueryWorkload",
     "WorkloadGenerator",

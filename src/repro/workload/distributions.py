@@ -9,6 +9,14 @@ The paper evaluates three initial distributions (Figure 6(c)-(d)):
   the space empty (the paper notes that queries are cheap for this
   distribution because "most of the space is empty").
 
+Beyond the paper, the **hotspot** distribution assigns Zipf-skewed mass to
+the cells of a regular grid: a few cells hold most of the objects while the
+rest of the space stays sparsely populated.  This is the shard-imbalance
+workload of the sharded index experiments — a uniform spatial partitioning
+of a hotspot workload concentrates both data and update traffic on few
+shards, which is exactly the skew scenario the ``shard_scaling`` figure
+reports alongside its uniform baseline.
+
 All generators take an explicit :class:`random.Random` instance or seed so
 experiments are reproducible.
 """
@@ -22,7 +30,7 @@ from repro.geometry import Point
 
 DistributionName = str
 
-_VALID = ("uniform", "gaussian", "skewed")
+_VALID = ("uniform", "gaussian", "skewed", "hotspot")
 
 
 def _rng(seed_or_rng: Union[int, random.Random, None]) -> random.Random:
@@ -69,17 +77,56 @@ def skewed_positions(
     return [Point(rng.random() ** exponent, rng.random() ** exponent) for _ in range(count)]
 
 
+def hotspot_positions(
+    count: int,
+    seed: Union[int, random.Random, None] = 0,
+    cells: int = 4,
+    exponent: float = 1.5,
+) -> List[Point]:
+    """*count* points with Zipf-skewed occupancy over a ``cells x cells`` grid.
+
+    Cell ranks are shuffled (seeded), cell *r* receives weight ``1/r**exponent``,
+    and each point picks a weighted cell and a uniform position inside it.
+    With the defaults roughly a third of all objects land in the single
+    hottest cell, so any uniform spatial partitioning of the space yields
+    strongly imbalanced shards.
+    """
+    if cells <= 0:
+        raise ValueError("cells must be positive")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    rng = _rng(seed)
+    num_cells = cells * cells
+    order = list(range(num_cells))
+    rng.shuffle(order)
+    weights = [1.0 / (rank ** exponent) for rank in range(1, num_cells + 1)]
+    points = []
+    for cell in rng.choices(order, weights=weights, k=count):
+        col, row = cell % cells, cell // cells
+        points.append(
+            Point((col + rng.random()) / cells, (row + rng.random()) / cells)
+        )
+    return points
+
+
 def initial_positions(
     distribution: DistributionName,
     count: int,
     seed: Union[int, random.Random, None] = 0,
+    **kwargs,
 ) -> List[Point]:
-    """Dispatch on the distribution name used in experiment configurations."""
+    """Dispatch on the distribution name used in experiment configurations.
+
+    Extra keyword arguments are forwarded to the specific generator (the
+    hotspot distribution takes ``cells`` and ``exponent``).
+    """
     name = distribution.lower()
     if name == "uniform":
-        return uniform_positions(count, seed)
+        return uniform_positions(count, seed, **kwargs)
     if name == "gaussian":
-        return gaussian_positions(count, seed)
+        return gaussian_positions(count, seed, **kwargs)
     if name in ("skew", "skewed"):
-        return skewed_positions(count, seed)
+        return skewed_positions(count, seed, **kwargs)
+    if name == "hotspot":
+        return hotspot_positions(count, seed, **kwargs)
     raise ValueError(f"unknown distribution {distribution!r}; expected one of {_VALID}")

@@ -55,8 +55,17 @@ class WorkloadGenerator:
             min_side=spec.query_min_side,
             seed=random.Random(spec.seed + 2),
         )
+        distribution_kwargs = {}
+        if spec.distribution.lower() == "hotspot":
+            distribution_kwargs = {
+                "cells": spec.hotspot_cells,
+                "exponent": spec.hotspot_exponent,
+            }
         self._positions: List[Point] = initial_positions(
-            spec.distribution, spec.num_objects, seed=random.Random(spec.seed)
+            spec.distribution,
+            spec.num_objects,
+            seed=random.Random(spec.seed),
+            **distribution_kwargs,
         )
 
     # ------------------------------------------------------------------

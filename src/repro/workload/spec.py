@@ -31,6 +31,11 @@ class WorkloadSpec:
     query_max_side: float = 0.1
     query_min_side: float = 0.0
     seed: int = 1
+    #: Hotspot distribution shape (used only when ``distribution="hotspot"``):
+    #: the space is a ``hotspot_cells x hotspot_cells`` grid whose cells get
+    #: Zipf weights ``1/rank**hotspot_exponent``.
+    hotspot_cells: int = 4
+    hotspot_exponent: float = 1.5
     #: Paper-scale counterparts, recorded for reporting only.
     paper_num_objects: Optional[int] = 1_000_000
     paper_num_updates: Optional[int] = 1_000_000
@@ -43,8 +48,14 @@ class WorkloadSpec:
             raise ValueError("num_updates and num_queries must be non-negative")
         if self.max_distance < 0:
             raise ValueError("max_distance must be non-negative")
-        if self.distribution.lower() not in ("uniform", "gaussian", "skew", "skewed"):
+        if self.distribution.lower() not in (
+            "uniform", "gaussian", "skew", "skewed", "hotspot"
+        ):
             raise ValueError(f"unknown distribution {self.distribution!r}")
+        if self.hotspot_cells <= 0:
+            raise ValueError("hotspot_cells must be positive")
+        if self.hotspot_exponent <= 0:
+            raise ValueError("hotspot_exponent must be positive")
 
     def with_overrides(self, **changes) -> "WorkloadSpec":
         """Return a copy with the given fields replaced."""

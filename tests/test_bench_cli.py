@@ -60,3 +60,15 @@ class TestRunning:
         out = capsys.readouterr().out
         assert "Section 3.1" in out
         assert "NAIVE" in out
+
+    def test_report_dir_writes_one_file_per_figure(self, tmp_path, capsys):
+        directory = tmp_path / "reports" / "nested"
+        assert main(["table1", "--report-dir", str(directory)]) == 0
+        capsys.readouterr()
+        report = directory / "table1.txt"
+        assert report.exists()
+        assert "Table 1" in report.read_text()
+
+    def test_shard_scaling_is_registered(self):
+        listing = list_figures()
+        assert "shard_scaling" in listing

@@ -127,6 +127,31 @@ class TestContentionSweepFigure:
         assert any(value > 0 for (clients, _s), value in waits.items() if clients > 1)
 
 
+class TestShardScalingFigure:
+    def test_registered_with_both_workload_series(self):
+        rows = get_figure("shard_scaling").run(scale=TINY, seed=5)
+        assert {row.strategy for row in rows} == {"uniform", "hotspot"}
+        assert {row.x_value for row in rows} == {1, 2, 4, 8}
+
+    def test_multi_shard_makespan_beats_single_shard_on_uniform(self):
+        """Acceptance criterion: at 4+ shards the concurrent makespan is
+        strictly below the single-shard makespan on the uniform workload."""
+        rows = get_figure("shard_scaling").run(scale=TINY, seed=5)
+        makespan = pivot_by_strategy(rows, "makespan")
+        for num_shards in makespan:
+            if num_shards >= 4:
+                assert makespan[num_shards]["uniform"] < makespan[1]["uniform"]
+
+    def test_hotspot_variant_reports_the_imbalance(self):
+        rows = get_figure("shard_scaling").run(scale=TINY, seed=5)
+        imbalance = pivot_by_strategy(rows, "imbalance")
+        most = max(imbalance)
+        assert imbalance[most]["hotspot"] > imbalance[most]["uniform"]
+        migrations = pivot_by_strategy(rows, "migrations")
+        assert migrations[most]["uniform"] > 0
+        assert all(migrations[1][series] == 0 for series in ("uniform", "hotspot"))
+
+
 class TestBatchThroughputFigure:
     def test_concurrent_scheduling_strictly_beats_serial(self):
         rows = get_figure("batch_throughput").run(scale=TINY, seed=7)

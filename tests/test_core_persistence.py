@@ -1,4 +1,4 @@
-"""Tests for index checkpointing (save/load)."""
+"""Tests for index checkpointing (save/load), single and sharded."""
 
 import random
 
@@ -6,6 +6,8 @@ import pytest
 
 from repro.core import IndexConfig, MovingObjectIndex, load_index, save_index
 from repro.geometry import Point, Rect
+from repro.shard import GridPartitioner, ShardedIndex
+from repro.workload import WorkloadGenerator, WorkloadSpec
 
 from tests.conftest import SMALL_PAGE_SIZE, make_points
 
@@ -108,3 +110,80 @@ class TestRoundTrip:
         save_index(original, checkpoint)
         restored = load_index(checkpoint)
         assert restored.stats.total_physical_io == 0
+
+
+class TestShardedRoundTrip:
+    def build_sharded(self, num_shards=4, strategy="GBU", seed=5):
+        index = ShardedIndex(
+            IndexConfig(strategy=strategy, page_size=SMALL_PAGE_SIZE),
+            partitioner=GridPartitioner.for_shards(num_shards),
+        )
+        index.load(make_points(400, seed=seed))
+        return index
+
+    def test_checkpoint_after_concurrent_run_restores_identically(self, tmp_path):
+        """Satellite acceptance: checkpoint -> restore after a concurrent
+        engine run rebuilds derived structures and answers queries
+        identically (including objects that migrated across shards)."""
+        index = self.build_sharded()
+        spec = WorkloadSpec(num_objects=400, num_updates=0, num_queries=0, seed=5)
+        generator = WorkloadGenerator(spec)
+        session = index.engine(num_clients=8)
+        session.run_mixed(generator, num_operations=300, update_fraction=0.8)
+        assert index.migrations > 0  # the run crossed shard boundaries
+
+        checkpoint = tmp_path / "sharded.json"
+        save_index(index, checkpoint)
+        restored = load_index(checkpoint)
+
+        assert isinstance(restored, ShardedIndex)
+        restored.validate()  # derived structures: hash, summary, directory
+        assert len(restored) == len(index)
+        assert restored.num_shards == index.num_shards
+        assert restored.shard_populations() == index.shard_populations()
+        rng = random.Random(3)
+        for _ in range(30):
+            cx, cy, s = rng.random(), rng.random(), rng.uniform(0, 0.3)
+            window = Rect(max(0, cx - s), max(0, cy - s), min(1, cx + s), min(1, cy + s))
+            assert sorted(restored.range_query(window)) == sorted(
+                index.range_query(window)
+            )
+        probe = Point(0.4, 0.6)
+        # positions travel through the 32-bit on-page format, so kNN answers
+        # match by object and to single-precision distance
+        restored_knn = restored.knn(probe, 5)
+        original_knn = index.knn(probe, 5)
+        assert [oid for _d, oid in restored_knn] == [oid for _d, oid in original_knn]
+        for (restored_distance, _), (original_distance, _) in zip(
+            restored_knn, original_knn
+        ):
+            assert restored_distance == pytest.approx(original_distance, abs=1e-6)
+
+    def test_partitioner_spec_round_trips(self, tmp_path):
+        index = self.build_sharded(num_shards=6)
+        checkpoint = tmp_path / "sharded.json"
+        save_index(index, checkpoint)
+        restored = load_index(checkpoint)
+        assert restored.partitioner.to_spec() == index.partitioner.to_spec()
+        assert restored.config.strategy == index.config.strategy
+
+    def test_restored_sharded_index_accepts_further_updates(self, tmp_path):
+        index = self.build_sharded()
+        checkpoint = tmp_path / "sharded.json"
+        save_index(index, checkpoint)
+        restored = load_index(checkpoint)
+        rng = random.Random(11)
+        for _ in range(200):
+            oid = rng.randrange(len(restored))
+            restored.update(oid, Point(rng.random(), rng.random()))
+        assert restored.migrations > 0
+        restored.insert(999_999, Point(0.5, 0.5))
+        assert restored.delete(999_999)
+        restored.validate()
+
+    def test_sharded_io_counters_start_fresh_after_load(self, tmp_path):
+        index = self.build_sharded()
+        checkpoint = tmp_path / "sharded.json"
+        save_index(index, checkpoint)
+        restored = load_index(checkpoint)
+        assert restored.io_snapshot().total() == 0

@@ -1,0 +1,114 @@
+"""Equivalence suite: a sharded index behaves exactly like a single index.
+
+The satellite acceptance criterion of the sharding PR: ``ShardedIndex`` at
+1, 2 and 8 shards returns identical range/kNN/update outcomes to a single
+``MovingObjectIndex`` on the same seeded workload — including objects whose
+updates cross shard boundaries and migrate.  "Identical" is at facade
+granularity: the same object→position map, the same query answers, the same
+kNN lists; the shard trees may differ in shape from the single tree, exactly
+as two update orders may shape one tree differently.
+"""
+
+import pytest
+
+from repro.core import IndexConfig, MovingObjectIndex
+from repro.geometry import Point, Rect
+from repro.shard import GridPartitioner, ShardedIndex
+from repro.workload import WorkloadGenerator, WorkloadSpec
+
+from tests.conftest import SMALL_PAGE_SIZE
+
+SHARD_COUNTS = (1, 2, 8)
+
+SPEC = WorkloadSpec(
+    num_objects=900,
+    num_updates=1500,
+    num_queries=25,
+    seed=3,
+    max_distance=0.06,  # fast movement: plenty of boundary crossings
+)
+
+
+def run_workload(index, spec=SPEC):
+    """Drive the seeded workload through any facade; return its outcomes."""
+    generator = WorkloadGenerator(spec)
+    index.load(generator.initial_objects())
+    for oid, _old, new in generator.updates():
+        index.update(oid, new)
+    queries = [sorted(index.range_query(window)) for window in generator.queries()]
+    knn = [
+        index.knn(Point(x, y), 9)
+        for x, y in ((0.25, 0.25), (0.5, 0.5), (0.75, 0.75), (0.05, 0.95))
+    ]
+    positions = {oid: index.position_of(oid) for oid in range(spec.num_objects)}
+    index.validate()
+    return queries, knn, positions
+
+
+@pytest.mark.parametrize("strategy", ["TD", "GBU"])
+class TestPerOperationEquivalence:
+    def test_sharded_matches_single_index(self, strategy):
+        config = IndexConfig(strategy=strategy, page_size=SMALL_PAGE_SIZE)
+        expected = run_workload(MovingObjectIndex(config))
+        for num_shards in SHARD_COUNTS:
+            sharded = ShardedIndex(
+                config, partitioner=GridPartitioner.for_shards(num_shards)
+            )
+            actual = run_workload(sharded)
+            assert actual == expected, f"{strategy} diverged at {num_shards} shards"
+            if num_shards > 1:
+                # the workload genuinely exercised cross-shard migration
+                assert sharded.migrations > 0
+
+    def test_directory_matches_partitioner_after_migrations(self, strategy):
+        config = IndexConfig(strategy=strategy, page_size=SMALL_PAGE_SIZE)
+        sharded = ShardedIndex(config, partitioner=GridPartitioner.for_shards(8))
+        run_workload(sharded)
+        for oid in range(SPEC.num_objects):
+            shard_id = sharded.shard_for(oid)
+            assert shard_id == sharded.partitioner.shard_of(sharded.position_of(oid))
+
+
+class TestBatchEquivalence:
+    def test_update_many_matches_single_index_batches(self):
+        config = IndexConfig(strategy="GBU", page_size=SMALL_PAGE_SIZE)
+
+        def run_batched(index):
+            generator = WorkloadGenerator(SPEC)
+            index.load(generator.initial_objects())
+            for batch in generator.update_batches(250):
+                index.update_many((oid, new) for oid, _old, new in batch)
+            queries = [
+                sorted(index.range_query(window)) for window in generator.queries()
+            ]
+            positions = {
+                oid: index.position_of(oid) for oid in range(SPEC.num_objects)
+            }
+            index.validate()
+            return queries, positions
+
+        expected = run_batched(MovingObjectIndex(config))
+        for num_shards in SHARD_COUNTS:
+            sharded = ShardedIndex(
+                config, partitioner=GridPartitioner.for_shards(num_shards)
+            )
+            assert run_batched(sharded) == expected
+
+    def test_engine_batches_commit_identical_final_positions(self):
+        config = IndexConfig(strategy="GBU", page_size=SMALL_PAGE_SIZE)
+
+        def run_engine_batch(index):
+            generator = WorkloadGenerator(SPEC)
+            index.load(generator.initial_objects())
+            session = index.engine(num_clients=8)
+            updates = [(oid, new) for oid, _old, new in generator.updates(600)]
+            session.update_many(updates)
+            index.validate()
+            return {oid: index.position_of(oid) for oid in range(SPEC.num_objects)}
+
+        expected = run_engine_batch(MovingObjectIndex(config))
+        for num_shards in SHARD_COUNTS:
+            sharded = ShardedIndex(
+                config, partitioner=GridPartitioner.for_shards(num_shards)
+            )
+            assert run_engine_batch(sharded) == expected

@@ -62,6 +62,47 @@ class TestSnapshotAndDelta:
         assert delta.extra == {"splits": 3, "merges": 1}
 
 
+class TestAggregation:
+    def test_merge_adds_in_place_and_returns_self(self):
+        stats = IOStatistics(physical_reads=2, buffer_hits=1)
+        stats.bump("splits", 2)
+        other = IOStatistics(physical_reads=3, physical_writes=4, hash_index_reads=1)
+        other.bump("splits")
+        other.bump("merges", 5)
+        returned = stats.merge(other)
+        assert returned is stats
+        assert stats.physical_reads == 5
+        assert stats.physical_writes == 4
+        assert stats.buffer_hits == 1
+        assert stats.hash_index_reads == 1
+        assert stats.extra == {"splits": 3, "merges": 5}
+
+    def test_add_returns_new_instance(self):
+        a = IOStatistics(physical_reads=1, logical_reads=2)
+        b = IOStatistics(physical_reads=4, dirty_evictions=1)
+        total = a + b
+        assert total.physical_reads == 5
+        assert total.logical_reads == 2
+        assert total.dirty_evictions == 1
+        # the operands are untouched
+        assert a.physical_reads == 1
+        assert b.physical_reads == 4
+
+    def test_add_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            IOStatistics() + 3
+
+    def test_sum_merges_many(self):
+        parts = [IOStatistics(physical_reads=i) for i in (1, 2, 3)]
+        combined = IOStatistics.sum(parts)
+        assert combined.physical_reads == 6
+        assert all(part.physical_reads == i for part, i in zip(parts, (1, 2, 3)))
+
+    def test_total_is_total_physical_io(self):
+        stats = IOStatistics(physical_reads=3, physical_writes=2, hash_index_reads=4)
+        assert stats.total() == stats.total_physical_io == 9
+
+
 class TestResetAndExport:
     def test_reset_zeroes_everything(self):
         stats = IOStatistics(physical_reads=5, logical_writes=2)

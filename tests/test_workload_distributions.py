@@ -7,6 +7,7 @@ import pytest
 from repro.geometry import Rect
 from repro.workload import (
     gaussian_positions,
+    hotspot_positions,
     initial_positions,
     skewed_positions,
     uniform_positions,
@@ -17,20 +18,20 @@ UNIT = Rect.unit()
 
 
 class TestCommonContracts:
-    @pytest.mark.parametrize("name", ["uniform", "gaussian", "skewed"])
+    @pytest.mark.parametrize("name", ["uniform", "gaussian", "skewed", "hotspot"])
     def test_positions_stay_in_unit_square(self, name):
         for point in initial_positions(name, 500, seed=3):
             assert UNIT.contains_point(point)
 
-    @pytest.mark.parametrize("name", ["uniform", "gaussian", "skewed"])
+    @pytest.mark.parametrize("name", ["uniform", "gaussian", "skewed", "hotspot"])
     def test_requested_count_is_produced(self, name):
         assert len(initial_positions(name, 321, seed=1)) == 321
 
-    @pytest.mark.parametrize("name", ["uniform", "gaussian", "skewed"])
+    @pytest.mark.parametrize("name", ["uniform", "gaussian", "skewed", "hotspot"])
     def test_same_seed_same_positions(self, name):
         assert initial_positions(name, 50, seed=9) == initial_positions(name, 50, seed=9)
 
-    @pytest.mark.parametrize("name", ["uniform", "gaussian", "skewed"])
+    @pytest.mark.parametrize("name", ["uniform", "gaussian", "skewed", "hotspot"])
     def test_different_seeds_differ(self, name):
         assert initial_positions(name, 50, seed=1) != initial_positions(name, 50, seed=2)
 
@@ -86,3 +87,63 @@ class TestShapes:
     def test_skew_exponent_must_be_positive(self):
         with pytest.raises(ValueError):
             skewed_positions(10, exponent=0.0)
+
+
+class TestHotspot:
+    def cell_counts(self, points, cells=4):
+        counts = {}
+        for p in points:
+            cell = (min(cells - 1, int(p.x * cells)), min(cells - 1, int(p.y * cells)))
+            counts[cell] = counts.get(cell, 0) + 1
+        return counts
+
+    def test_mass_concentrates_in_few_cells(self):
+        """Zipf occupancy: the hottest grid cell holds far more than its
+        uniform share (1/16 for the default 4x4 grid)."""
+        points = hotspot_positions(2000, seed=5)
+        counts = self.cell_counts(points)
+        hottest = max(counts.values())
+        assert hottest / len(points) > 0.25
+
+    def test_most_cells_stay_sparse(self):
+        points = hotspot_positions(2000, seed=5)
+        counts = self.cell_counts(points)
+        sparse = sum(1 for count in counts.values() if count < 2000 / 16)
+        assert sparse >= 10  # most of the 16 cells hold less than a fair share
+
+    def test_exponent_flattens_or_sharpens_the_skew(self):
+        sharp = hotspot_positions(2000, seed=3, exponent=2.5)
+        flat = hotspot_positions(2000, seed=3, exponent=0.2)
+        assert max(self.cell_counts(sharp).values()) > max(
+            self.cell_counts(flat).values()
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            hotspot_positions(10, cells=0)
+        with pytest.raises(ValueError):
+            hotspot_positions(10, exponent=0.0)
+
+    def test_generator_spec_accepts_hotspot(self):
+        from repro.workload import WorkloadGenerator, WorkloadSpec
+
+        spec = WorkloadSpec(
+            num_objects=300,
+            distribution="hotspot",
+            hotspot_cells=2,
+            hotspot_exponent=2.0,
+            seed=4,
+        )
+        generator = WorkloadGenerator(spec)
+        objects = generator.initial_objects()
+        assert len(objects) == 300
+        counts = self.cell_counts([p for _oid, p in objects], cells=2)
+        assert max(counts.values()) / 300 > 0.5
+
+    def test_spec_rejects_invalid_hotspot_parameters(self):
+        from repro.workload import WorkloadSpec
+
+        with pytest.raises(ValueError):
+            WorkloadSpec(distribution="hotspot", hotspot_cells=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(distribution="hotspot", hotspot_exponent=-1.0)
