@@ -22,7 +22,9 @@ Run with::
 
 import random
 
-from repro import IndexConfig, MovingObjectIndex, Point, Rect
+import repro
+from repro import Point, Rect
+from repro.api import KNN, RangeQuery, Update
 from repro.workload import MovementModel
 
 FLEET_SIZE = 3_000
@@ -39,7 +41,7 @@ PICKUP_HOTSPOTS = [Point(0.5, 0.5), Point(0.15, 0.15), Point(0.82, 0.22)]
 def simulate(strategy: str, seed: int = 7) -> dict:
     """Run the full day for one update strategy; return its cost summary."""
     rng = random.Random(seed)
-    index = MovingObjectIndex(IndexConfig(strategy=strategy))
+    index = repro.open_index({"config": {"strategy": strategy}})
 
     # Initial fleet positions: vehicles start clustered around two depots.
     depots = [Point(0.2, 0.2), Point(0.75, 0.7)]
@@ -67,18 +69,21 @@ def simulate(strategy: str, seed: int = 7) -> dict:
     district_counts = {i: 0 for i in range(len(DISTRICTS))}
 
     for _round in range(ROUNDS):
-        # --- every vehicle reports a new position --------------------------
+        # --- every vehicle reports a new position (typed operations) -------
         for vehicle in range(FLEET_SIZE):
             new_position = movement.next_position(vehicle, index.position_of(vehicle))
-            index.update(vehicle, new_position)
+            index.execute(Update(vehicle, new_position))
             update_count += 1
 
-        # --- dispatcher queries --------------------------------------------
+        # --- dispatcher queries (streaming cursors) ------------------------
         for district_id, district in enumerate(DISTRICTS):
-            district_counts[district_id] = len(index.range_query(district))
+            cursor = index.execute(RangeQuery(district)).cursor()
+            district_counts[district_id] = len(cursor.all())
             query_count += 1
         for hotspot in PICKUP_HOTSPOTS:
-            index.knn(hotspot, k=3)
+            # Dispatch needs the closest free vehicle first; the cursor only
+            # pays for what the dispatcher actually reads.
+            index.execute(KNN(hotspot, 3)).cursor().fetch(1)
             query_count += 1
 
     index.validate()

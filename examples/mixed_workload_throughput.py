@@ -16,7 +16,7 @@ Run with::
     python examples/mixed_workload_throughput.py
 """
 
-from repro import IndexConfig, MovingObjectIndex
+import repro
 from repro.workload import WorkloadGenerator, WorkloadSpec
 
 NUM_OBJECTS = 6_000
@@ -35,9 +35,16 @@ def measure(strategy: str, update_fraction: float) -> float:
         query_max_side=0.15,
     )
     generator = WorkloadGenerator(spec)
-    index = MovingObjectIndex(IndexConfig(strategy=strategy))
+    # v2 declarative construction: the spec names the strategy and the
+    # session defaults; the generator deals typed operations to the clients.
+    index = repro.open_index(
+        {
+            "config": {"strategy": strategy},
+            "engine": {"num_clients": CLIENTS, "time_per_io": 0.01},
+        }
+    )
     index.load(generator.initial_objects())
-    session = index.engine(num_clients=CLIENTS, time_per_io=0.01)
+    session = index.engine()
     result = session.run_mixed(generator, NUM_OPERATIONS, update_fraction)
     return result.throughput
 

@@ -5,10 +5,13 @@ A continental fleet does not fit one index instance; the locality argument
 that makes the paper's bottom-up updates cheap also makes spatial sharding
 effective — vehicles move short distances between position reports, so
 almost every update stays inside one shard and only boundary crossings
-migrate.  This example drives the identical seeded mixed workload through
+migrate.  Both topologies are opened from declarative specs
+(:func:`repro.open_index`): the spec is the only thing that differs, the
+typed operation surface is identical.  This example drives the identical
+seeded workload through
 
-* one :class:`~repro.core.index.MovingObjectIndex`, and
-* a :class:`~repro.shard.index.ShardedIndex` over a uniform grid,
+* a single-index spec (``{"kind": "single"}``), and
+* a sharded spec over a uniform grid (``{"kind": "sharded", "shards": 8}``),
 
 first per operation (demonstrating drop-in facade interchangeability and
 answer equivalence), then under the online concurrent engine at a fixed
@@ -19,7 +22,9 @@ Run with::
     python examples/sharded_fleet.py
 """
 
-from repro import GridPartitioner, IndexConfig, MovingObjectIndex, Point, Rect, ShardedIndex
+import repro
+from repro import Point
+from repro.api import KNN, RangeQuery, Update
 from repro.workload import WorkloadGenerator, WorkloadSpec
 
 SPEC = WorkloadSpec(num_objects=4_000, num_updates=4_000, num_queries=40, seed=7)
@@ -31,20 +36,23 @@ def drive(index):
     generator = WorkloadGenerator(SPEC)
     index.load(generator.initial_objects())
     for oid, _old, new in generator.updates():
-        index.update(oid, new)
-    answers = [sorted(index.range_query(window)) for window in generator.queries()]
-    nearest = index.knn(Point(0.5, 0.5), 5)
+        index.execute(Update(oid, new))
+    answers = [
+        sorted(index.execute(RangeQuery(window)).cursor().all())
+        for window in generator.queries()
+    ]
+    nearest = index.execute(KNN(Point(0.5, 0.5), 5)).cursor().all()
     index.validate()
     return answers, nearest
 
 
 def main() -> None:
-    single = MovingObjectIndex(IndexConfig(strategy="GBU"))
-    sharded = ShardedIndex(
-        IndexConfig(strategy="GBU"), partitioner=GridPartitioner.for_shards(8)
+    single = repro.open_index({"kind": "single", "config": {"strategy": "GBU"}})
+    sharded = repro.open_index(
+        {"kind": "sharded", "shards": 8, "config": {"strategy": "GBU"}}
     )
 
-    print("== drop-in equivalence (per-operation) ==")
+    print("== drop-in equivalence (per-operation, typed API) ==")
     single_answers = drive(single)
     sharded_answers = drive(sharded)
     print(f"single index : {single.describe()}")
@@ -58,12 +66,16 @@ def main() -> None:
     for num_shards in (1, 2, 4, 8):
         spec = SPEC.with_overrides(num_updates=0, num_queries=0)
         generator = WorkloadGenerator(spec)
-        index = ShardedIndex(
-            IndexConfig(strategy="TD", page_size=256, buffer_percent=0.0),
-            partitioner=GridPartitioner.for_shards(num_shards),
+        index = repro.open_index(
+            {
+                "kind": "sharded",
+                "shards": num_shards,
+                "config": {"strategy": "TD", "page_size": 256, "buffer_percent": 0.0},
+                "engine": {"num_clients": CLIENTS},
+            }
         )
         index.load(generator.initial_objects())
-        session = index.engine(num_clients=CLIENTS)
+        session = index.engine()  # session defaults come from the spec
         result = session.run_mixed(generator, 1_000, update_fraction=1.0)
         print(
             f"  shards={num_shards}: makespan={result.makespan:7.3f}  "

@@ -23,27 +23,36 @@ system stack:
 * :mod:`repro.cost` — the analytical cost model of Section 4;
 * :mod:`repro.bench` — the experiment harness reproducing every figure;
 * :mod:`repro.core` — the :class:`~repro.core.index.MovingObjectIndex`
-  facade tying everything together.
+  facade tying everything together;
+* :mod:`repro.api` — the typed public surface (API v2): first-class
+  :class:`~repro.api.operations.Operation` dataclasses, the structured
+  error taxonomy, streaming :class:`~repro.api.results.QueryCursor`\\ s,
+  and the declarative :func:`~repro.api.builder.open_index` /
+  :class:`~repro.api.builder.IndexBuilder` entry points.
 
 Quick start::
 
-    from repro import IndexConfig, MovingObjectIndex, Point, Rect
+    import repro
+    from repro import Point, Rect
+    from repro.api import RangeQuery, Update
 
-    index = MovingObjectIndex(IndexConfig(strategy="GBU"))
+    index = repro.open_index({"config": {"strategy": "GBU"}})
     index.load([(0, Point(0.1, 0.1)), (1, Point(0.2, 0.8))])
-    index.update(0, Point(0.12, 0.11))
-    print(index.range_query(Rect(0.0, 0.0, 0.5, 0.5)))
+    index.execute(Update(0, Point(0.12, 0.11)))
+    print(index.execute(RangeQuery(Rect(0.0, 0.0, 0.5, 0.5))).cursor().all())
 """
 
+from repro.api import IndexBuilder, index_spec, open_index
 from repro.core import IndexConfig, MovingObjectIndex, SpatialIndexFacade
 from repro.geometry import Point, Rect
 from repro.shard import GridPartitioner, ShardedIndex
 from repro.update import TuningParameters, UpdateOutcome
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "IndexConfig",
+    "IndexBuilder",
     "MovingObjectIndex",
     "SpatialIndexFacade",
     "ShardedIndex",
@@ -52,5 +61,7 @@ __all__ = [
     "Rect",
     "TuningParameters",
     "UpdateOutcome",
+    "open_index",
+    "index_spec",
     "__version__",
 ]

@@ -1,0 +1,96 @@
+"""repro.api — the typed public operation surface (API v2).
+
+This package is the single schema through which the index stack is driven:
+
+* :mod:`repro.api.operations` — frozen :class:`Operation` dataclasses
+  (:class:`Insert`, :class:`Update`, :class:`Delete`, :class:`RangeQuery`,
+  :class:`KNN`, plus the shard-internal :class:`Migrate`) with
+  ``from_tuple``/``normalise`` adapters bridging the legacy tuple surface
+  and the engine normal form;
+* :mod:`repro.api.errors` — the structured error taxonomy
+  (:class:`UnknownObjectError`, :class:`DuplicateObjectError`,
+  :class:`InvalidWindowError`, ...), each error also inheriting the builtin
+  exception the legacy surface raised for the same condition;
+* :mod:`repro.api.results` — :class:`OperationResult`,
+  :class:`BatchReport`, and the streaming :class:`QueryCursor`;
+* :mod:`repro.api.builder` — the declarative entry point
+  :func:`open_index` and the fluent :class:`IndexBuilder`, both speaking
+  one JSON-round-trippable spec shared with persistence checkpoints.
+
+Typical usage::
+
+    import repro
+    from repro.api import KNN, RangeQuery, Update
+
+    index = repro.open_index({"kind": "sharded", "shards": 4,
+                              "config": {"strategy": "GBU"}})
+    index.load(initial_objects)
+
+    index.execute(Update(42, Point(0.30, 0.41)))
+    cursor = index.execute(RangeQuery(Rect(0.2, 0.2, 0.4, 0.5))).cursor()
+    first_ten = cursor.fetch(10)          # streaming: pays only what it reads
+
+    report = index.execute_many([Update(7, p1), Update(9, p2), KNN(p3, 5)])
+    print(report.describe())
+
+>>> from repro.api import Operation, Update
+>>> from repro.geometry import Point
+>>> Operation.from_tuple(("update", 1, Point(0.5, 0.5))) == Update(1, Point(0.5, 0.5))
+True
+"""
+
+from repro.api.builder import (
+    IndexBuilder,
+    config_from_spec,
+    config_to_spec,
+    index_spec,
+    open_index,
+)
+from repro.api.errors import (
+    DuplicateObjectError,
+    InvalidNeighborCountError,
+    InvalidOperationError,
+    InvalidWindowError,
+    OperationError,
+    UnknownObjectError,
+)
+from repro.api.operations import (
+    KNN,
+    Delete,
+    Insert,
+    Migrate,
+    Operation,
+    OperationLike,
+    RangeQuery,
+    Update,
+)
+from repro.api.results import BatchReport, OperationResult, QueryCursor
+
+__all__ = [
+    # operations
+    "Operation",
+    "OperationLike",
+    "Insert",
+    "Update",
+    "Delete",
+    "RangeQuery",
+    "KNN",
+    "Migrate",
+    # errors
+    "OperationError",
+    "UnknownObjectError",
+    "DuplicateObjectError",
+    "InvalidWindowError",
+    "InvalidNeighborCountError",
+    "InvalidOperationError",
+    # results
+    "OperationResult",
+    "BatchReport",
+    "QueryCursor",
+    # construction
+    "IndexBuilder",
+    "open_index",
+    "index_spec",
+    "config_to_spec",
+    "config_from_spec",
+]

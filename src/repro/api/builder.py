@@ -1,0 +1,332 @@
+"""Declarative index construction: one JSON-round-trippable spec, two facades.
+
+The pre-v2 surface required callers to know which facade class to
+instantiate and how to wire a partitioner.  The v2 entry points are
+declarative:
+
+* :func:`open_index` — build a :class:`~repro.core.index.MovingObjectIndex`
+  or a :class:`~repro.shard.index.ShardedIndex` from one plain-dict spec;
+* :class:`IndexBuilder` — the fluent equivalent, for callers that prefer
+  chained configuration over a dict;
+* :func:`index_spec` — recover the canonical spec of a live index, such that
+  ``open_index(index_spec(index))`` builds an equivalent empty index.
+
+The same config codec (:func:`config_to_spec` / :func:`config_from_spec`)
+is used by the persistence checkpoints, so a checkpoint's embedded
+configuration *is* a spec fragment: spec → index → checkpoint → load
+round-trips to the identical spec.
+
+>>> from repro.api import IndexBuilder, index_spec, open_index
+>>> index = open_index({"kind": "single", "config": {"strategy": "LBU"}})
+>>> index.config.strategy
+'LBU'
+>>> sharded = (
+...     IndexBuilder()
+...     .strategy("GBU")
+...     .buffer_percent(2.0)
+...     .shards(4)
+...     .engine(num_clients=16)
+...     .build()
+... )
+>>> sharded.num_shards
+4
+>>> spec = index_spec(sharded)
+>>> (spec["kind"], spec["partitioner"], spec["engine"]["num_clients"])
+('sharded', {'kind': 'grid', 'columns': 2, 'rows': 2}, 16)
+>>> index_spec(open_index(spec)) == spec
+True
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+from repro.core.config import IndexConfig
+from repro.update.params import TuningParameters
+
+if TYPE_CHECKING:
+    from repro.core.protocol import SpatialIndexFacade
+    from repro.shard.partitioner import Partitioner
+
+
+def config_to_spec(config: IndexConfig) -> Dict[str, Any]:
+    """The plain-dict form of an :class:`IndexConfig` (JSON-safe).
+
+    This is the exact shape persistence checkpoints embed, so a checkpoint's
+    ``config`` section round-trips through :func:`config_from_spec`.
+    """
+    return {
+        "page_size": config.page_size,
+        "buffer_percent": config.buffer_percent,
+        "strategy": config.strategy,
+        "split": config.split,
+        "reinsert_on_underflow": config.reinsert_on_underflow,
+        "use_summary_for_queries": config.use_summary_for_queries,
+        "charge_hash_io": config.charge_hash_io,
+        "bulk_load_fill": config.bulk_load_fill,
+        "min_fill_factor": config.min_fill_factor,
+        "params": {
+            "epsilon": config.params.epsilon,
+            "distance_threshold": config.params.distance_threshold,
+            "level_threshold": config.params.level_threshold,
+            "piggyback": config.params.piggyback,
+            "max_piggyback_objects": config.params.max_piggyback_objects,
+        },
+    }
+
+
+def config_from_spec(spec: Dict[str, Any]) -> IndexConfig:
+    """Rebuild an :class:`IndexConfig` from its (possibly partial) spec dict."""
+    data = dict(spec)
+    params_data = data.pop("params", None)
+    params = (
+        TuningParameters(**params_data)
+        if params_data is not None
+        else TuningParameters.paper_defaults()
+    )
+    return IndexConfig(params=params, **data)
+
+
+def index_spec(index: "SpatialIndexFacade") -> Dict[str, Any]:
+    """The canonical declarative spec of a live index.
+
+    ``open_index(index_spec(index))`` constructs an equivalent *empty* index
+    (specs describe configuration, not contents; contents travel through
+    :mod:`repro.core.persistence` checkpoints, which embed this same spec).
+    """
+    from repro.shard.index import ShardedIndex  # local: avoids import cycle
+
+    spec: Dict[str, Any]
+    if isinstance(index, ShardedIndex):
+        spec = {
+            "kind": "sharded",
+            "config": config_to_spec(index.config),
+            "partitioner": index.partitioner.to_spec(),
+        }
+    else:
+        spec = {"kind": "single", "config": config_to_spec(index.config)}
+    if index.engine_defaults:
+        spec["engine"] = dict(index.engine_defaults)
+    return spec
+
+
+def open_index(
+    spec: Optional[Dict[str, Any]] = None, **overrides: Any
+) -> "SpatialIndexFacade":
+    """Build an index facade from one declarative spec dict.
+
+    Spec schema (every key optional)::
+
+        {
+            "kind": "single" | "sharded",        # default "single"
+            "config": {...IndexConfig fields..., "params": {...}},
+            "shards": N,                         # sharded: uniform grid of N
+            "partitioner": {...partitioner spec...},
+            "engine": {"num_clients": ..., "time_per_io": ...,
+                       "cpu_time_per_op": ...},  # session defaults
+        }
+
+    Keyword *overrides* are merged over the spec's top level, so
+    ``open_index(spec, shards=8)`` re-shards a saved spec.  The returned
+    facade is a :class:`~repro.core.index.MovingObjectIndex` or a
+    :class:`~repro.shard.index.ShardedIndex`; both speak the same
+    :class:`~repro.core.protocol.SpatialIndexFacade` surface.
+    """
+    merged: Dict[str, Any] = dict(spec) if spec is not None else {}
+    merged.update(overrides)
+    builder = IndexBuilder.from_spec(merged)
+    return builder.build()
+
+
+class IndexBuilder:
+    """Fluent construction of single or sharded indexes.
+
+    Every method returns the builder, so configuration chains; ``build()``
+    constructs the facade and ``spec()`` emits the equivalent declarative
+    dict (JSON-serialisable, accepted by :func:`open_index`).
+    """
+
+    def __init__(self) -> None:
+        self._config: Dict[str, Any] = {}
+        self._params: Dict[str, Any] = {}
+        self._kind: str = "single"
+        self._shards: Optional[int] = None
+        self._partitioner_spec: Optional[Dict[str, Any]] = None
+        self._engine: Dict[str, Any] = {}
+
+    # -- index configuration -------------------------------------------
+    def strategy(self, name: str) -> "IndexBuilder":
+        """Update strategy: ``"TD"``, ``"NAIVE"``, ``"LBU"`` or ``"GBU"``."""
+        self._config["strategy"] = name
+        return self
+
+    def page_size(self, size: int) -> "IndexBuilder":
+        self._config["page_size"] = size
+        return self
+
+    def buffer_percent(self, percent: float) -> "IndexBuilder":
+        """Buffer pool size as a percentage of the database size."""
+        self._config["buffer_percent"] = percent
+        return self
+
+    def split(self, algorithm: str) -> "IndexBuilder":
+        """Node split algorithm: ``"quadratic"``, ``"linear"`` or ``"rstar"``."""
+        self._config["split"] = algorithm
+        return self
+
+    def config_field(self, name: str, value: Any) -> "IndexBuilder":
+        """Set any other :class:`IndexConfig` field by name."""
+        self._config[name] = value
+        return self
+
+    def params(self, **tuning: Any) -> "IndexBuilder":
+        """Override bottom-up tuning parameters (``epsilon``, ``distance_threshold``, ...)."""
+        self._params.update(tuning)
+        return self
+
+    # -- topology -------------------------------------------------------
+    def shards(self, count: int) -> "IndexBuilder":
+        """Shard over a near-square uniform grid of *count* cells.
+
+        ``shards(1)`` still builds a (single-shard) sharded topology — the
+        baseline the shard-scaling experiments compare against; omit the
+        call entirely for a plain single index.
+        """
+        if count < 1:
+            raise ValueError("shard count must be positive")
+        self._kind = "sharded"
+        self._shards = count
+        return self
+
+    def partitioner(
+        self, partitioner: Union["Partitioner", Dict[str, Any]]
+    ) -> "IndexBuilder":
+        """Shard behind an explicit partitioner (instance or spec dict)."""
+        spec = (
+            partitioner
+            if isinstance(partitioner, dict)
+            else partitioner.to_spec()
+        )
+        self._kind = "sharded"
+        self._partitioner_spec = spec
+        return self
+
+    # -- engine session defaults ---------------------------------------
+    def engine(
+        self,
+        num_clients: Optional[int] = None,
+        time_per_io: Optional[float] = None,
+        cpu_time_per_op: Optional[float] = None,
+    ) -> "IndexBuilder":
+        """Default parameters for sessions opened via ``index.engine()``."""
+        if num_clients is not None:
+            self._engine["num_clients"] = num_clients
+        if time_per_io is not None:
+            self._engine["time_per_io"] = time_per_io
+        if cpu_time_per_op is not None:
+            self._engine["cpu_time_per_op"] = cpu_time_per_op
+        return self
+
+    # -- spec round-trip ------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "IndexBuilder":
+        """A builder pre-loaded from a declarative spec dict."""
+        known = {"kind", "config", "shards", "partitioner", "engine"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(f"unknown spec keys {sorted(unknown)!r}")
+        builder = cls()
+        config = dict(spec.get("config", {}))
+        params = config.pop("params", None)
+        builder._config = config
+        builder._params = dict(params) if params is not None else {}
+        if spec.get("shards") is not None:
+            builder.shards(int(spec["shards"]))
+        if spec.get("partitioner") is not None:
+            builder.partitioner(dict(spec["partitioner"]))
+        kind = spec.get("kind")
+        if kind is not None:
+            if kind not in ("single", "sharded"):
+                raise ValueError(f"unknown index kind {kind!r}")
+            if kind == "single" and builder._kind == "sharded":
+                raise ValueError(
+                    "kind 'single' conflicts with a shards/partitioner entry"
+                )
+            builder._kind = kind
+        builder._engine = dict(spec.get("engine", {}))
+        return builder
+
+    def spec(self) -> Dict[str, Any]:
+        """The canonical declarative spec this builder would build from.
+
+        Derived from the builder's own state (no index is constructed):
+        the config is normalised through the shared codec and an implicit
+        shard count becomes its explicit grid partitioner, so the result
+        matches :func:`index_spec` of the built facade exactly.
+        """
+        config_spec = dict(self._config)
+        if self._params:
+            config_spec["params"] = dict(self._params)
+        spec: Dict[str, Any] = {
+            "kind": self._kind,
+            "config": config_to_spec(config_from_spec(config_spec)),
+        }
+        if self._kind == "sharded":
+            spec["partitioner"] = self._grid_partitioner_spec()
+        if self._engine:
+            spec["engine"] = dict(self._engine)
+        return spec
+
+    def _grid_partitioner_spec(self) -> Dict[str, Any]:
+        from repro.shard.partitioner import GridPartitioner, partitioner_from_spec
+
+        if self._partitioner_spec is not None:
+            # Normalise through the partitioner codec (canonical key order).
+            return partitioner_from_spec(self._partitioner_spec).to_spec()
+        return GridPartitioner.for_shards(
+            self._shards if self._shards is not None else 4
+        ).to_spec()
+
+    # -- construction ---------------------------------------------------
+    def build(self) -> "SpatialIndexFacade":
+        """Construct the configured facade (single or sharded)."""
+        from repro.core.index import MovingObjectIndex
+        from repro.shard.index import ShardedIndex
+        from repro.shard.partitioner import (
+            GridPartitioner,
+            partitioner_from_spec,
+        )
+
+        config_spec = dict(self._config)
+        if self._params:
+            config_spec["params"] = dict(self._params)
+        config = config_from_spec(config_spec)
+
+        index: "SpatialIndexFacade"
+        if self._kind == "sharded":
+            if self._partitioner_spec is not None:
+                partitioner = partitioner_from_spec(self._partitioner_spec)
+            else:
+                partitioner = GridPartitioner.for_shards(
+                    self._shards if self._shards is not None else 4
+                )
+            index = ShardedIndex(config, partitioner=partitioner)
+        else:
+            index = MovingObjectIndex(config)
+        if self._engine:
+            index.engine_defaults = dict(self._engine)
+        return index
+
+    def to_json(self) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.spec(), sort_keys=True)
+
+
+__all__ = [
+    "IndexBuilder",
+    "config_from_spec",
+    "config_to_spec",
+    "index_spec",
+    "open_index",
+]

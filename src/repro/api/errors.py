@@ -1,0 +1,80 @@
+"""Structured error taxonomy of the typed operation API.
+
+Every failure the public surface can signal is an :class:`OperationError`
+subclass, so callers catch one base class instead of fishing ``KeyError`` /
+``ValueError`` / ``TypeError`` out of deep call stacks.  Each concrete error
+*also* inherits the builtin exception the pre-v2 tuple API raised for the
+same condition (``UnknownObjectError`` is a ``KeyError``, and so on), which
+is what lets the legacy surface keep its exact observable behaviour while
+the typed surface documents one coherent taxonomy.
+
+>>> from repro.api.errors import OperationError, UnknownObjectError
+>>> issubclass(UnknownObjectError, OperationError)
+True
+>>> issubclass(UnknownObjectError, KeyError)  # legacy-compatible
+True
+>>> raise UnknownObjectError(42)
+Traceback (most recent call last):
+    ...
+repro.api.errors.UnknownObjectError: object 42 is not in the index
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class OperationError(Exception):
+    """Base class of every error the typed operation API raises."""
+
+
+class UnknownObjectError(OperationError, KeyError):
+    """An ``Update`` or strict ``Delete`` named an object id that is not indexed."""
+
+    def __init__(self, oid: int) -> None:
+        super().__init__(oid)
+        self.oid = oid
+
+    def __str__(self) -> str:
+        return f"object {self.oid} is not in the index"
+
+
+class DuplicateObjectError(OperationError, ValueError):
+    """An ``Insert`` named an object id that is already indexed."""
+
+    def __init__(self, oid: int) -> None:
+        super().__init__(f"object {oid} already exists; use update()")
+        self.oid = oid
+
+
+class InvalidWindowError(OperationError, TypeError):
+    """A ``RangeQuery`` carried something that is not a query window."""
+
+    def __init__(self, window: Any) -> None:
+        super().__init__(f"query operand must be a Rect, got {window!r}")
+        self.window = window
+
+
+class InvalidNeighborCountError(OperationError, ValueError):
+    """A ``KNN`` asked for a negative or non-integer number of neighbours."""
+
+    def __init__(self, k: Any) -> None:
+        super().__init__(f"k must be a non-negative integer, got {k!r}")
+        self.k = k
+
+
+class InvalidOperationError(OperationError, ValueError):
+    """An operation could not be parsed (unknown kind, wrong arity, bad operand)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+
+
+__all__ = [
+    "OperationError",
+    "UnknownObjectError",
+    "DuplicateObjectError",
+    "InvalidWindowError",
+    "InvalidNeighborCountError",
+    "InvalidOperationError",
+]

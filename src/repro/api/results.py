@@ -1,0 +1,230 @@
+"""Typed results of the operation API: cursors, per-operation results, batch reports.
+
+The pre-v2 surface answered queries with fully materialised lists and
+signalled failure with bare ``KeyError``/``bool`` returns.  This module is
+the replacement contract:
+
+* :class:`QueryCursor` — an iterator over query results that *streams*:
+  the underlying tree traversal advances only as the cursor is consumed, so
+  a caller that stops after ten hits pays the I/O of ten hits, not of the
+  whole result set;
+* :class:`OperationResult` — the uniform outcome envelope of one executed
+  operation (value, update outcome, or structured error);
+* :class:`BatchReport` — what one typed batch did: the per-kind counts and
+  I/O delta of the underlying group-by-leaf execution plus every query's
+  answer, in stream order.
+
+>>> from repro.api.results import QueryCursor
+>>> cursor = QueryCursor(iter([3, 1, 2]))
+>>> cursor.fetch(2)
+[3, 1]
+>>> cursor.exhausted
+False
+>>> list(cursor)
+[2]
+>>> cursor.exhausted
+True
+>>> cursor.consumed
+3
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    TypeVar,
+)
+
+from repro.api.errors import OperationError
+from repro.api.operations import Operation
+
+if TYPE_CHECKING:  # typing only; avoids runtime import cycles
+    from repro.storage.stats import IOStatistics
+    from repro.update.base import UpdateOutcome
+    from repro.update.batch import BatchResult
+
+T = TypeVar("T")
+
+
+class QueryCursor(Generic[T], Iterator[T]):
+    """A streaming iterator over query results.
+
+    Wraps a lazy result source (a generator walking the R-tree).  Results
+    are produced on demand: each ``next()`` advances the traversal just far
+    enough to surface one hit, and the I/O it causes is charged when — and
+    only if — the caller actually consumes it.  The cursor tracks how many
+    results it handed out and whether the source ran dry, which the
+    conformance suite uses to assert exhaustion behaviour.
+    """
+
+    def __init__(self, source: Iterable[T]) -> None:
+        self._source: Iterator[T] = iter(source)
+        self._consumed = 0
+        self._exhausted = False
+
+    def __iter__(self) -> "QueryCursor[T]":
+        return self
+
+    def __next__(self) -> T:
+        try:
+            item = next(self._source)
+        except StopIteration:
+            self._exhausted = True
+            raise
+        self._consumed += 1
+        return item
+
+    def fetch(self, count: int) -> List[T]:
+        """Up to *count* further results (fewer when the source runs dry)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        results: List[T] = []
+        for _ in range(count):
+            try:
+                results.append(next(self))
+            except StopIteration:
+                break
+        return results
+
+    def all(self) -> List[T]:
+        """Every remaining result, materialised."""
+        return list(self)
+
+    @property
+    def consumed(self) -> int:
+        """How many results this cursor has handed out so far."""
+        return self._consumed
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the underlying traversal has run dry."""
+        return self._exhausted
+
+
+@dataclass
+class OperationResult:
+    """The outcome envelope of one executed :class:`~repro.api.operations.Operation`.
+
+    Exactly one of the payload fields is meaningful, by operation kind:
+
+    * ``Update`` / ``Migrate`` — ``outcome`` (how the strategy carried the
+      move out);
+    * ``Insert`` — nothing (success is the absence of ``error``);
+    * ``Delete`` — ``value`` is ``True`` (``False`` only under the
+      non-strict compatibility mode, where a missing object is not an error);
+    * ``RangeQuery`` / ``KNN`` — ``value`` is a :class:`QueryCursor`.
+
+    Under ``strict`` execution (the default) errors raise; under
+    ``strict=False`` they are captured in ``error`` and ``ok`` is False.
+    """
+
+    operation: Operation
+    value: Any = None
+    outcome: Optional["UpdateOutcome"] = None
+    error: Optional[OperationError] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the operation executed without error."""
+        return self.error is None
+
+    def cursor(self) -> "QueryCursor[Any]":
+        """The result cursor of a query operation (raises otherwise)."""
+        if not isinstance(self.value, QueryCursor):
+            raise TypeError(
+                f"{self.operation.kind!r} result carries no cursor"
+            )
+        return self.value
+
+    def describe(self) -> str:
+        if self.error is not None:
+            return f"{self.operation.kind}: error={self.error}"
+        if self.outcome is not None:
+            return f"{self.operation.kind}: {self.outcome.value}"
+        return f"{self.operation.kind}: ok"
+
+
+@dataclass
+class BatchReport:
+    """What one typed batch execution did, and what it cost.
+
+    The typed counterpart of the batch layer's internal
+    :class:`~repro.update.batch.BatchResult`: per-kind operation counts,
+    group/coalescing/residual/migration statistics of the group-by-leaf
+    pipeline, every window query's answer and every kNN's answer in stream
+    order, and the batch's :class:`~repro.storage.stats.IOStatistics` delta.
+    """
+
+    #: Updates submitted (before coalescing).
+    updates: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    #: Window-query answers, in stream order.
+    queries: List[List[int]] = field(default_factory=list)
+    #: kNN answers (``(distance, oid)`` pairs), in stream order.
+    neighbors: List[List[Any]] = field(default_factory=list)
+    #: Updates superseded by a later update of the same object.
+    coalesced: int = 0
+    #: Leaf groups executed through ``apply_group``.
+    groups: int = 0
+    #: Size of the largest single group.
+    largest_group: int = 0
+    #: Updates replayed through the per-operation path.
+    residuals: int = 0
+    #: Updates that crossed a shard boundary (sharded index only).
+    migrations: int = 0
+    #: Per-batch I/O delta (``None`` until execution finishes).
+    io: Optional["IOStatistics"] = None
+
+    @classmethod
+    def from_batch_result(cls, result: "BatchResult") -> "BatchReport":
+        """Lift the batch layer's internal result into the public report."""
+        return cls(
+            updates=result.updates,
+            inserts=result.inserts,
+            deletes=result.deletes,
+            queries=result.queries,
+            neighbors=result.neighbors,
+            coalesced=result.coalesced,
+            groups=result.groups,
+            largest_group=result.largest_group,
+            residuals=result.residuals,
+            migrations=result.migrations,
+            io=result.io,
+        )
+
+    @property
+    def operations(self) -> int:
+        """Total operations the batch carried out."""
+        return (
+            self.updates
+            + self.inserts
+            + self.deletes
+            + len(self.queries)
+            + len(self.neighbors)
+        )
+
+    def describe(self) -> str:
+        migrated = f", migrations={self.migrations}" if self.migrations else ""
+        io = ""
+        if self.io is not None:
+            io = (
+                f" | physical_reads={self.io.physical_reads} "
+                f"physical_writes={self.io.physical_writes}"
+            )
+        return (
+            f"updates={self.updates} (coalesced={self.coalesced}, "
+            f"groups={self.groups}, residual={self.residuals}{migrated}) "
+            f"inserts={self.inserts} deletes={self.deletes} "
+            f"queries={len(self.queries)} knn={len(self.neighbors)}{io}"
+        )
+
+
+__all__ = ["QueryCursor", "OperationResult", "BatchReport"]

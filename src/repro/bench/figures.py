@@ -47,6 +47,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.api.builder import open_index
 from repro.bench.experiment import run_figure_point
 from repro.bench.metrics import MetricRow
 from repro.concurrency.throughput import ThroughputExperiment, run_throughput
@@ -429,9 +430,17 @@ def _run_contention_sweep(scale: float, seed: Optional[int]) -> List[MetricRow]:
                 query_max_side=THROUGHPUT_QUERY_SIDE,
             )
             generator = WorkloadGenerator(spec)
-            index = MovingObjectIndex(IndexConfig(strategy=strategy))
+            # Declarative construction (API v2): one spec names the index
+            # kind, configuration and session defaults.
+            index = open_index(
+                {
+                    "kind": "single",
+                    "config": {"strategy": strategy},
+                    "engine": {"num_clients": clients},
+                }
+            )
             index.load(generator.initial_objects())
-            session = index.engine(num_clients=clients)
+            session = index.engine()
             result = session.run_mixed(
                 generator, num_operations, CONTENTION_UPDATE_FRACTION
             )
@@ -554,14 +563,20 @@ def _run_shard_scaling(scale: float, seed: Optional[int]) -> List[MetricRow]:
                 distribution=distribution,
             )
             generator = WorkloadGenerator(spec)
-            index = ShardedIndex(
-                IndexConfig(
-                    strategy="TD", page_size=BENCH_PAGE_SIZE, buffer_percent=0.0
-                ),
-                partitioner=GridPartitioner.for_shards(num_shards),
+            index = open_index(
+                {
+                    "kind": "sharded",
+                    "shards": num_shards,
+                    "config": {
+                        "strategy": "TD",
+                        "page_size": BENCH_PAGE_SIZE,
+                        "buffer_percent": 0.0,
+                    },
+                    "engine": {"num_clients": SHARD_SCALING_CLIENTS},
+                }
             )
             index.load(generator.initial_objects())
-            session = index.engine(num_clients=SHARD_SCALING_CLIENTS)
+            session = index.engine()
             result = session.run_mixed(
                 generator, num_operations, update_fraction=1.0
             )

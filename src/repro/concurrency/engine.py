@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import repro.api.operations as api_ops
 from repro.concurrency.dgl import DGLProtocol, namespace_pairs
 from repro.concurrency.scheduler import (
     OperationScheduler,
@@ -53,44 +54,48 @@ if TYPE_CHECKING:  # imported lazily to keep the package import-cycle free
 
 
 class _LiveOperation(VirtualOperation):
-    """A facade operation scheduled and executed online.
+    """A typed facade operation scheduled and executed online.
 
-    ``payload`` is normalised by the engine: ``("update", oid, new)``,
-    ``("insert", oid, location)``, ``("delete", oid)`` or
-    ``("query", window)``.  Lock scopes are predicted by the facade itself
-    (:meth:`~repro.core.protocol.SpatialIndexFacade.lock_requests_for`) and
-    recomputed from the live index on every dispatch attempt; the update's
-    *old* position is whatever the index holds at that moment, which is
-    exactly the online semantics — a blocked update sees the positions its
-    predecessors committed.
+    Carries one :class:`repro.api.operations.Operation`; its engine normal
+    form ``(kind, payload)`` — :meth:`Operation.normalise` — is what lock
+    prediction dispatches on.  Lock scopes are predicted by the facade
+    itself (:meth:`~repro.core.protocol.SpatialIndexFacade.lock_requests_for`)
+    and recomputed from the live index on every dispatch attempt; an
+    update's *old* position is whatever the index holds at that moment,
+    which is exactly the online semantics — a blocked update sees the
+    positions its predecessors committed.
     """
 
-    __slots__ = ("engine", "kind", "payload")
+    __slots__ = ("engine", "operation", "kind", "payload")
 
-    def __init__(self, engine: "OnlineOperationEngine", kind: str, payload: Tuple):
+    def __init__(self, engine: "OnlineOperationEngine", operation: "api_ops.Operation"):
         self.engine = engine
-        self.kind = kind
-        self.payload = payload
+        self.operation = operation
+        self.kind, self.payload = operation.normalise()
 
     def lock_requests(self):
         return self.engine.index.lock_requests_for(self.kind, self.payload)
 
     def execute(self, client: int) -> int:
         index = self.engine.index
-        if self.kind == "update":
-            oid, new_location = self.payload
-            if oid in index:
-                work = lambda: index.update(oid, new_location)
+        op = self.operation
+        if isinstance(op, (api_ops.Update, api_ops.Migrate)):
+            if op.oid in index:
+                work = lambda: index.update(op.oid, op.new_location)
             else:
-                work = lambda: index.insert(oid, new_location)
-        elif self.kind == "insert":
-            oid, location = self.payload
-            work = lambda: index.insert(oid, location)
-        elif self.kind == "delete":
-            (oid,) = self.payload
-            work = lambda: index.delete(oid)
+                # Online upsert semantics: a stream may update an object a
+                # concurrent delete already removed; treat it as (re-)insert.
+                work = lambda: index.insert(op.oid, op.new_location)
+        elif isinstance(op, api_ops.Insert):
+            work = lambda: index.insert(op.oid, op.location)
+        elif isinstance(op, api_ops.Delete):
+            # Non-strict: deleting an object a concurrent operation already
+            # removed is a no-op for the stream, not an error.
+            work = lambda: index.delete(op.oid, strict=False)
+        elif isinstance(op, api_ops.KNN):
+            work = lambda: index.knn(op.point, op.k)
         else:
-            (window,) = self.payload
+            window = op.window  # type: ignore[union-attr]
             work = lambda: index.range_query(window)
         return self.engine.measure(client, work)
 
@@ -237,11 +242,11 @@ class OnlineOperationEngine:
     def run(self, operations: Iterable) -> ScheduleResult:
         """Execute a shared operation stream over the engine's clients.
 
-        Accepts both the facade tuples of
-        :meth:`~repro.core.index.MovingObjectIndex.apply` — ``("update",
-        oid, new)``, ``("insert", oid, location)``, ``("delete", oid)``,
-        ``("range_query", window)`` — and the generator's
-        ``("update", (oid, old, new))`` / ``("query", window)`` items.
+        The stream's native currency is the typed
+        :class:`repro.api.operations.Operation` model; legacy facade tuples
+        (``("update", oid, new)``, ...) and the generator's ``("update",
+        (oid, old, new))`` / ``("query", window)`` items are accepted
+        through the deprecated :meth:`Operation.from_any` adapter.
         """
         self.index.reset_client_io()
         return self.scheduler.run(self._live_operations(operations))
@@ -288,28 +293,7 @@ class OnlineOperationEngine:
 
     def _live_operations(self, operations: Iterable) -> Iterator[_LiveOperation]:
         for operation in operations:
-            yield self._normalise(operation)
-
-    def _normalise(self, operation: Tuple) -> _LiveOperation:
-        kind = operation[0]
-        if kind == "update":
-            if len(operation) == 2:  # generator item: ("update", (oid, old, new))
-                oid, _old, new_location = operation[1]
-            else:  # facade tuple: ("update", oid, new)
-                _, oid, new_location = operation
-            return _LiveOperation(self, "update", (oid, new_location))
-        if kind == "insert":
-            _, oid, location = operation
-            return _LiveOperation(self, "insert", (oid, location))
-        if kind == "delete":
-            _, oid = operation
-            return _LiveOperation(self, "delete", (oid,))
-        if kind in ("query", "range_query"):
-            window = operation[1]
-            if not isinstance(window, Rect):
-                raise TypeError(f"query operand must be a Rect, got {window!r}")
-            return _LiveOperation(self, "query", (window,))
-        raise ValueError(f"unknown engine operation kind {kind!r}")
+            yield _LiveOperation(self, api_ops.Operation.from_any(operation))
 
 
 class ConcurrentSession:
@@ -317,9 +301,11 @@ class ConcurrentSession:
 
     Obtained from :meth:`repro.core.index.MovingObjectIndex.engine`::
 
+        from repro.api import RangeQuery, Update
+
         session = index.engine(num_clients=50)
-        session.submit(0, ("update", 42, Point(0.3, 0.4)))
-        session.submit(1, ("range_query", Rect(0.2, 0.2, 0.4, 0.5)))
+        session.submit(0, Update(42, Point(0.3, 0.4)))
+        session.submit(1, RangeQuery(Rect(0.2, 0.2, 0.4, 0.5)))
         result = session.run()            # deterministic ScheduleResult
         print(result.throughput, session.client_io())
 
@@ -330,7 +316,7 @@ class ConcurrentSession:
 
     def __init__(self, engine: OnlineOperationEngine) -> None:
         self.engine = engine
-        self._queues: Dict[int, List[Tuple]] = {}
+        self._queues: Dict[int, List["api_ops.OperationLike"]] = {}
 
     @property
     def index(self) -> "SpatialIndexFacade":
@@ -341,8 +327,10 @@ class ConcurrentSession:
         return self.engine.num_clients
 
     # ------------------------------------------------------------------
-    def submit(self, client: int, *operations: Tuple) -> "ConcurrentSession":
-        """Queue facade operation tuples on *client*'s stream."""
+    def submit(
+        self, client: int, *operations: "api_ops.OperationLike"
+    ) -> "ConcurrentSession":
+        """Queue typed operations (or legacy tuples) on *client*'s stream."""
         if not 0 <= client < self.num_clients:
             raise ValueError(
                 f"client {client} out of range (0..{self.num_clients - 1})"

@@ -45,7 +45,9 @@ class VirtualOperation:
     the logical clock converts into busy time.
     """
 
-    #: Reporting label ("update", "query", "group", ...).
+    #: Reporting label, matching the typed operation model's kinds
+    #: (:attr:`repro.api.operations.Operation.kind`: "update", "query",
+    #: "knn", ...) plus the batch-level labels "group" and "migration".
     kind: str = "operation"
 
     def lock_requests(self) -> List[Tuple[Hashable, LockMode]]:

@@ -5,16 +5,18 @@ R-tree on a paged, buffered disk; a secondary object-ID hash index; the
 main-memory summary structure (when the configured strategy uses it); and one
 of the update strategies (TD, NAIVE, LBU, GBU).
 
-Typical usage::
+Typical usage (the typed operation API, v2)::
 
-    from repro.core import IndexConfig, MovingObjectIndex
+    import repro
+    from repro.api import KNN, RangeQuery, Update
     from repro.geometry import Point, Rect
 
-    index = MovingObjectIndex(IndexConfig(strategy="GBU"))
+    index = repro.open_index({"config": {"strategy": "GBU"}})
     index.load([(oid, Point(x, y)) for oid, (x, y) in enumerate(positions)])
 
-    index.update(42, Point(0.30, 0.41))          # object 42 moved
-    hits = index.range_query(Rect(0.2, 0.2, 0.4, 0.5))
+    index.execute(Update(42, Point(0.30, 0.41)))  # object 42 moved
+    hits = index.execute(RangeQuery(Rect(0.2, 0.2, 0.4, 0.5))).cursor()
+    print(hits.fetch(10))                         # streaming result cursor
     print(index.stats.as_dict())                  # disk I/O so far
 
 High-rate ingestion should prefer the batch entry points, which group
@@ -22,11 +24,11 @@ pending updates by leaf page and execute each group with one leaf
 read/write (see :mod:`repro.update.batch`)::
 
     result = index.update_many([(42, Point(0.31, 0.40)), (7, Point(0.8, 0.1))])
-    result = index.apply([
-        ("update", 42, Point(0.32, 0.40)),
-        ("range_query", Rect(0.2, 0.2, 0.4, 0.5)),
+    report = index.execute_many([
+        Update(42, Point(0.32, 0.40)),
+        RangeQuery(Rect(0.2, 0.2, 0.4, 0.5)),
     ])
-    print(result.describe())                      # per-batch I/O snapshot
+    print(report.describe())                      # per-batch I/O snapshot
 
 Multi-client workloads run through the online concurrent operation engine
 (:meth:`MovingObjectIndex.engine`): virtual clients acquire DGL granule
@@ -34,8 +36,12 @@ locks predicted by the strategy's ``lock_scope()`` hook and execute against
 the index on a deterministic logical clock::
 
     session = index.engine(num_clients=50)
-    session.submit(0, ("update", 42, Point(0.33, 0.40)))
+    session.submit(0, Update(42, Point(0.33, 0.40)))
     print(session.run().throughput)
+
+The direct methods (``update`` / ``range_query`` / ...) remain first-class;
+the legacy tuple stream surface (``apply``) survives as a thin deprecated
+adapter over the typed model.
 
 The facade tracks each object's current position so callers only supply the
 new position on update (the strategies internally need the old one to apply
@@ -46,6 +52,8 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.api.errors import DuplicateObjectError, UnknownObjectError
+from repro.api.results import QueryCursor
 from repro.concurrency.dgl import DGLProtocol
 from repro.concurrency.engine import (
     GroupOperation,
@@ -156,31 +164,52 @@ class MovingObjectIndex(SpatialIndexFacade):
     # Data operations
     # ------------------------------------------------------------------
     def insert(self, oid: int, location: Point) -> None:
-        """Insert a new object."""
+        """Insert a new object (:class:`DuplicateObjectError` when it exists)."""
         if oid in self._positions:
-            raise ValueError(f"object {oid} already exists; use update()")
+            raise DuplicateObjectError(oid)
         self.strategy.insert(oid, location)
         self._positions[oid] = location
 
     def update(self, oid: int, new_location: Point) -> UpdateOutcome:
-        """Move an existing object to *new_location* using the configured strategy."""
+        """Move an existing object to *new_location* using the configured strategy.
+
+        Raises :class:`~repro.api.errors.UnknownObjectError` (a ``KeyError``)
+        when the object is not indexed.
+        """
         old_location = self._positions.get(oid)
         if old_location is None:
-            raise KeyError(f"object {oid} is not in the index")
+            raise UnknownObjectError(oid)
         outcome = self.strategy.update(oid, old_location, new_location)
         self._positions[oid] = new_location
         return outcome
 
-    def delete(self, oid: int) -> bool:
-        """Remove an object from the index."""
+    def delete(self, oid: int, strict: bool = True) -> bool:
+        """Remove an object from the index.
+
+        Deleting an absent object raises
+        :class:`~repro.api.errors.UnknownObjectError` — the same contract as
+        :meth:`update` — unless ``strict=False``, which restores the legacy
+        silent ``False`` return (the behaviour the tuple adapter and the
+        online engine keep).
+        """
         location = self._positions.pop(oid, None)
         if location is None:
+            if strict:
+                raise UnknownObjectError(oid)
             return False
         return self.strategy.delete(oid, location)
 
     def range_query(self, window: Rect) -> List[int]:
         """Object ids whose positions fall inside *window*."""
         return self.strategy.range_query(window)
+
+    def stream_query(self, window: Rect) -> QueryCursor:
+        """Streaming counterpart of :meth:`range_query` (same answer, same order)."""
+        return QueryCursor(self.strategy.iter_range_query(window))
+
+    def stream_knn(self, point: Point, k: int) -> QueryCursor:
+        """Streaming counterpart of :meth:`knn`: pairs surface best-first."""
+        return QueryCursor(self.tree.iter_knn(point, k))
 
     # ------------------------------------------------------------------
     # Batch operations (group-by-leaf execution, repro.update.batch)
@@ -204,15 +233,27 @@ class MovingObjectIndex(SpatialIndexFacade):
     def apply(self, operations: Iterable[Tuple]) -> BatchResult:
         """Execute a mixed operation stream with batched updates.
 
-        Each operation is a tuple: ``("update", oid, new_location)``,
-        ``("insert", oid, location)``, ``("delete", oid)`` or
-        ``("range_query", window)`` (``"query"`` is accepted as an alias).
-        Runs of consecutive updates are batched by leaf; inserts, deletes
-        and queries are barriers that flush pending updates first, so the
-        stream observes exactly the sequential semantics.  Query answers are
-        collected in order in ``result.queries``.
+        Deprecated tuple adapter over the typed
+        :meth:`~repro.core.protocol.SpatialIndexFacade.execute_many`: each
+        operation is a tuple — ``("update", oid, new_location)``,
+        ``("insert", oid, location)``, ``("delete", oid)``, ``("range_query",
+        window)`` (``"query"`` is an alias) or ``("knn", point, k)`` — or a
+        typed :class:`~repro.api.operations.Operation`.  Runs of consecutive
+        updates are batched by leaf; inserts, deletes and queries are
+        barriers that flush pending updates first, so the stream observes
+        exactly the sequential semantics.  Query answers are collected in
+        order in ``result.queries``; deletes keep the legacy skip-missing
+        behaviour.
         """
-        return self.batch.execute(self._parse_operations(operations))
+        return self._execute_operation_stream(operations, strict_deletes=False)
+
+    def _execute_operation_stream(
+        self, operations: Iterable, strict_deletes: bool
+    ) -> BatchResult:
+        """Validate a typed/tuple stream against the overlay and run the batch."""
+        return self.batch.execute(
+            self._parse_operations(operations, strict_deletes=strict_deletes)
+        )
 
     def parse_updates(
         self, updates: Iterable[Tuple[int, Point]]
@@ -232,16 +273,20 @@ class MovingObjectIndex(SpatialIndexFacade):
         for oid, new_location in updates:
             old_location = moved.get(oid, self._positions.get(oid))
             if old_location is None:
-                raise KeyError(f"object {oid} is not in the index")
+                raise UnknownObjectError(oid)
             ops.append(BatchUpdate(oid, old_location, new_location))
             moved[oid] = new_location
         self._positions.update(moved)
         return ops
 
-    def _parse_operations(self, operations: Iterable[Tuple]) -> List[Operation]:
+    def _parse_operations(
+        self, operations: Iterable, strict_deletes: bool = False
+    ) -> List[Operation]:
         # Same overlay discipline as parse_updates: ``None`` marks a pending
         # delete, and nothing touches self._positions until parsing succeeds.
-        parsed, overlay = parse_operation_stream(operations, self._positions.get)
+        parsed, overlay = parse_operation_stream(
+            operations, self._positions.get, strict_deletes=strict_deletes
+        )
         for oid, location in overlay.items():
             if location is None:
                 self._positions.pop(oid, None)
@@ -285,6 +330,14 @@ class MovingObjectIndex(SpatialIndexFacade):
             requests = strategy.delete_lock_scope(oid, location)
         elif kind == "query":
             (window,) = payload
+            requests = strategy.query_lock_scope(window)
+        elif kind == "knn":
+            # A kNN's reach depends on the data, so the prediction is
+            # conservative: the scope of a window query over the whole
+            # covered space (every leaf a best-first descent might read).
+            point, _k = payload
+            root_mbr = self.tree.root_mbr()
+            window = root_mbr if root_mbr is not None else Rect.from_point(point)
             requests = strategy.query_lock_scope(window)
         else:
             raise ValueError(f"unknown engine operation kind {kind!r}")

@@ -29,11 +29,12 @@ import json
 from pathlib import Path
 from typing import Dict, Union
 
-from repro.core.config import IndexConfig
+# Module import (not name import): repro.api.builder reaches back into
+# repro.core while initialising, so its names are resolved at call time.
+import repro.api.builder as api_builder
 from repro.core.index import MovingObjectIndex
 from repro.geometry import Point
 from repro.storage.serialization import deserialize_node, serialize_node
-from repro.update.params import TuningParameters
 
 FORMAT_VERSION = 1
 
@@ -41,31 +42,15 @@ FORMAT_VERSION = 1
 def _index_document(index: MovingObjectIndex) -> Dict:
     """The checkpoint document body of one single-machine index."""
     index.buffer.flush()
-    config = index.config
     pages = {}
     for node, _parent in index.tree.iter_nodes():
         image = serialize_node(node, index.layout)
         pages[str(node.page_id)] = base64.b64encode(image).decode("ascii")
 
     return {
-        "config": {
-            "page_size": config.page_size,
-            "buffer_percent": config.buffer_percent,
-            "strategy": config.strategy,
-            "split": config.split,
-            "reinsert_on_underflow": config.reinsert_on_underflow,
-            "use_summary_for_queries": config.use_summary_for_queries,
-            "charge_hash_io": config.charge_hash_io,
-            "bulk_load_fill": config.bulk_load_fill,
-            "min_fill_factor": config.min_fill_factor,
-            "params": {
-                "epsilon": config.params.epsilon,
-                "distance_threshold": config.params.distance_threshold,
-                "level_threshold": config.params.level_threshold,
-                "piggyback": config.params.piggyback,
-                "max_piggyback_objects": config.params.max_piggyback_objects,
-            },
-        },
+        # The embedded configuration IS the declarative builder spec's
+        # ``config`` section (repro.api.builder) — one codec for both.
+        "config": api_builder.config_to_spec(index.config),
         "tree": {
             "root_page_id": index.tree.root_page_id,
             "height": index.tree.height,
@@ -78,9 +63,7 @@ def _index_document(index: MovingObjectIndex) -> Dict:
 
 def _restore_index(document: Dict) -> MovingObjectIndex:
     """Rebuild one single-machine index from its checkpoint document body."""
-    config_data = dict(document["config"])
-    params_data = config_data.pop("params")
-    config = IndexConfig(params=TuningParameters(**params_data), **config_data)
+    config = api_builder.config_from_spec(document["config"])
 
     index = MovingObjectIndex(config)
 
@@ -153,6 +136,10 @@ def save_index(index, path: Union[str, Path]) -> None:
         }
     else:
         document = {"format_version": FORMAT_VERSION, **_index_document(index)}
+    if index.engine_defaults:
+        # Builder spec section: restored indexes keep their session defaults,
+        # so spec -> index -> checkpoint -> load round-trips to the same spec.
+        document["engine"] = dict(index.engine_defaults)
     Path(path).write_text(json.dumps(document), encoding="utf-8")
 
 
@@ -176,6 +163,10 @@ def load_index(path: Union[str, Path]):
 
         partitioner = partitioner_from_spec(document["partitioner"])
         shards = [_restore_index(shard) for shard in document["shards"]]
-        return ShardedIndex.from_restored_shards(partitioner, shards)
-
-    return _restore_index(document)
+        index = ShardedIndex.from_restored_shards(partitioner, shards)
+        index.configure_buffer()  # facade contract: aggregate buffer split
+    else:
+        index = _restore_index(document)
+    if document.get("engine"):
+        index.engine_defaults = dict(document["engine"])
+    return index

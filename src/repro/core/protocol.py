@@ -12,9 +12,14 @@ that deliberately have no sharded aggregate.)
 
 The protocol has two halves:
 
-* the **data plane** — ``load`` / ``insert`` / ``update`` / ``delete`` /
-  ``range_query`` / ``knn`` plus the batch entry points ``update_many`` and
-  ``apply``, and the statistics/validation hooks;
+* the **data plane** — the typed entry points :meth:`execute` /
+  :meth:`execute_many` (operating on :class:`repro.api.operations.Operation`
+  values, streaming query results through
+  :class:`~repro.api.results.QueryCursor`\\ s) together with the direct
+  methods ``load`` / ``insert`` / ``update`` / ``delete`` / ``range_query``
+  / ``knn``, the batch entry points ``update_many`` and ``apply`` (the
+  latter being the deprecated tuple adapter over :meth:`execute_many`), and
+  the statistics/validation hooks;
 * the **engine SPI** — the hooks the
   :class:`~repro.concurrency.engine.OnlineOperationEngine` needs to schedule
   operations without knowing what kind of index it drives:
@@ -33,14 +38,19 @@ from __future__ import annotations
 import abc
 from typing import (
     TYPE_CHECKING,
+    Any,
     Dict,
     Hashable,
     Iterable,
     List,
+    Mapping,
     Optional,
     Tuple,
 )
 
+import repro.api.operations as api_ops
+from repro.api.errors import InvalidOperationError, OperationError
+from repro.api.results import BatchReport, OperationResult, QueryCursor
 from repro.geometry import Point, Rect
 from repro.storage import IOStatistics
 
@@ -55,6 +65,11 @@ if TYPE_CHECKING:  # typing only; avoids import cycles at runtime
 class SpatialIndexFacade(abc.ABC):
     """Abstract surface shared by single and sharded moving-object indexes."""
 
+    #: Default parameters for sessions opened via :meth:`engine`, set by the
+    #: declarative builder (:func:`repro.api.open_index`).  Class-level empty
+    #: mapping; builders assign an instance attribute.
+    engine_defaults: Mapping[str, Any] = {}
+
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
@@ -62,20 +77,120 @@ class SpatialIndexFacade(abc.ABC):
     def load(self, objects: Iterable[Tuple[int, Point]], bulk: bool = True) -> None:
         """Load the initial set of objects (construction, not measured)."""
 
+    @abc.abstractmethod
+    def configure_buffer(self, percent: Optional[float] = None) -> None:
+        """(Re)size the buffer pool as a percentage of the database size.
+
+        A sharded implementation sizes the *aggregate* pool against the
+        aggregate database and splits the resulting capacity across its
+        shards' pools in proportion to their disk sizes.
+        """
+
+    # ------------------------------------------------------------------
+    # Typed operation API (v2): one schema for every operation path
+    # ------------------------------------------------------------------
+    def execute(
+        self, operation: "api_ops.OperationLike", strict: bool = True
+    ) -> OperationResult:
+        """Execute one typed operation and return its result envelope.
+
+        *operation* is an :class:`~repro.api.operations.Operation` (legacy
+        tuples are accepted through the deprecated
+        :meth:`~repro.api.operations.Operation.from_any` adapter).  Query
+        operations return their :class:`~repro.api.results.QueryCursor` in
+        ``result.value`` — consuming the cursor advances the underlying
+        traversal, so unread results cost no I/O.
+
+        With ``strict=True`` (default) failures raise their structured
+        :class:`~repro.api.errors.OperationError`; with ``strict=False``
+        *execution* errors are captured on the returned result instead, and
+        a ``Delete`` of an absent object degrades to the legacy
+        ``False``-returning behaviour.  An operation too malformed to parse
+        at all (:class:`~repro.api.errors.InvalidOperationError`) always
+        raises — there is no operation to attach a result to.
+        """
+        op = api_ops.Operation.from_any(operation)
+        try:
+            if isinstance(op, (api_ops.Update, api_ops.Migrate)):
+                return OperationResult(op, outcome=self.update(op.oid, op.new_location))
+            if isinstance(op, api_ops.Insert):
+                from repro.update import UpdateOutcome  # local: import cycle
+
+                self.insert(op.oid, op.location)
+                return OperationResult(op, outcome=UpdateOutcome.INSERTED_NEW)
+            if isinstance(op, api_ops.Delete):
+                return OperationResult(op, value=self.delete(op.oid, strict=strict))
+            if isinstance(op, api_ops.RangeQuery):
+                return OperationResult(op, value=self.stream_query(op.window))
+            if isinstance(op, api_ops.KNN):
+                return OperationResult(op, value=self.stream_knn(op.point, op.k))
+        except OperationError as error:
+            if strict:
+                raise
+            return OperationResult(op, error=error)
+        raise InvalidOperationError(f"unsupported operation {op!r}")
+
+    def execute_many(
+        self,
+        operations: Iterable["api_ops.OperationLike"],
+        strict: bool = True,
+    ) -> BatchReport:
+        """Execute a typed operation stream with batched updates.
+
+        Runs of consecutive updates are grouped by leaf and executed with
+        one leaf read/write per group; inserts, deletes and queries act as
+        barriers, so the stream observes exactly the sequential semantics.
+        Query and kNN answers land on the returned
+        :class:`~repro.api.results.BatchReport` in stream order.  The whole
+        stream is validated before anything executes; under ``strict=True``
+        a ``Delete`` of an absent object is an
+        :class:`~repro.api.errors.UnknownObjectError` (the legacy adapter
+        passes ``strict=False``, where it is a silent no-op).
+        """
+        return BatchReport.from_batch_result(
+            self._execute_operation_stream(operations, strict_deletes=strict)
+        )
+
+    @abc.abstractmethod
+    def _execute_operation_stream(
+        self,
+        operations: Iterable["api_ops.OperationLike"],
+        strict_deletes: bool,
+    ) -> "BatchResult":
+        """Validate and run one operation stream (shared by ``execute_many``/``apply``)."""
+
+    @abc.abstractmethod
+    def stream_query(self, window: Rect) -> "QueryCursor[int]":
+        """A streaming cursor over the objects inside *window*.
+
+        Same answer and order as :meth:`range_query`, but lazily: the tree
+        traversal advances only as the cursor is consumed.
+        """
+
+    @abc.abstractmethod
+    def stream_knn(self, point: Point, k: int) -> "QueryCursor[Tuple[float, int]]":
+        """A streaming cursor over the *k* nearest ``(distance, oid)`` pairs."""
+
     # ------------------------------------------------------------------
     # Data operations
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def insert(self, oid: int, location: Point) -> None:
-        """Insert a new object."""
+        """Insert a new object (:class:`DuplicateObjectError` when it exists)."""
 
     @abc.abstractmethod
     def update(self, oid: int, new_location: Point) -> "UpdateOutcome":
-        """Move an existing object to *new_location*."""
+        """Move an existing object (:class:`UnknownObjectError` when absent)."""
 
     @abc.abstractmethod
-    def delete(self, oid: int) -> bool:
-        """Remove an object; ``True`` when it existed."""
+    def delete(self, oid: int, strict: bool = True) -> bool:
+        """Remove an object; ``True`` when it existed.
+
+        With ``strict=True`` (default) deleting an absent object raises
+        :class:`~repro.api.errors.UnknownObjectError`, mirroring
+        :meth:`update`; ``strict=False`` restores the legacy silent
+        ``False`` return.
+        """
 
     @abc.abstractmethod
     def range_query(self, window: Rect) -> List[int]:
@@ -104,7 +219,12 @@ class SpatialIndexFacade(abc.ABC):
 
     @abc.abstractmethod
     def apply(self, operations: Iterable[Tuple]) -> "BatchResult":
-        """Execute a mixed operation stream with batched updates."""
+        """Execute a mixed legacy-tuple operation stream with batched updates.
+
+        Deprecated compatibility adapter over :meth:`execute_many`: tuples
+        are parsed through :meth:`repro.api.operations.Operation.from_any`
+        and deletes keep the legacy skip-missing semantics.
+        """
 
     @abc.abstractmethod
     def parse_updates(self, updates: Iterable[Tuple[int, Point]]) -> List:
@@ -187,9 +307,9 @@ class SpatialIndexFacade(abc.ABC):
     # ------------------------------------------------------------------
     def engine(
         self,
-        num_clients: int = 50,
-        time_per_io: float = 0.01,
-        cpu_time_per_op: float = 0.001,
+        num_clients: Optional[int] = None,
+        time_per_io: Optional[float] = None,
+        cpu_time_per_op: Optional[float] = None,
     ) -> "ConcurrentSession":
         """Open a multi-client session over the online operation engine.
 
@@ -200,12 +320,24 @@ class SpatialIndexFacade(abc.ABC):
         are granted.  Works identically for single and sharded indexes; a
         sharded index namespaces granules per shard, so operations on
         different shards never conflict.
+
+        Parameters left unset fall back to the index's
+        :attr:`engine_defaults` (installed by the declarative builder's
+        ``engine`` spec section), then to the global defaults
+        (50 clients, 0.01 per I/O, 0.001 per op).
         """
         from repro.concurrency.engine import (  # local: engine imports nothing from core
             ConcurrentSession,
             OnlineOperationEngine,
         )
 
+        defaults = self.engine_defaults
+        if num_clients is None:
+            num_clients = int(defaults.get("num_clients", 50))
+        if time_per_io is None:
+            time_per_io = float(defaults.get("time_per_io", 0.01))
+        if cpu_time_per_op is None:
+            cpu_time_per_op = float(defaults.get("cpu_time_per_op", 0.001))
         return ConcurrentSession(
             OnlineOperationEngine(
                 self,

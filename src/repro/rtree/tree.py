@@ -31,7 +31,7 @@ Levels are numbered from the leaves (leaf level = 0, root level =
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.geometry import Point, Rect
 from repro.rtree.node import Entry, Node
@@ -575,19 +575,28 @@ class RTree:
     # ------------------------------------------------------------------
     def range_query(self, window: Rect) -> List[int]:
         """Return the object ids whose MBRs intersect *window* (top-down search)."""
-        results: List[int] = []
+        return list(self.iter_range_query(window))
+
+    def iter_range_query(self, window: Rect) -> Iterator[int]:
+        """Stream the object ids whose MBRs intersect *window*.
+
+        The traversal advances lazily: each ``next()`` reads only as many
+        nodes as needed to surface one hit, so a consumer that stops early
+        pays only the I/O of what it consumed.  The yield order is exactly
+        the order :meth:`range_query` materialises (same depth-first stack
+        discipline) — streaming and list execution are byte-identical.
+        """
         stack = [self.root_page_id]
         while stack:
             node = self.read_node(stack.pop())
             if node.is_leaf:
                 for entry in node.entries:
                     if entry.rect.intersects(window):
-                        results.append(entry.child)
+                        yield entry.child
             else:
                 for entry in node.entries:
                     if entry.rect.intersects(window):
                         stack.append(entry.child)
-        return results
 
     def point_query(self, point: Point) -> List[int]:
         """Return the object ids whose MBRs contain *point*."""
@@ -601,30 +610,59 @@ class RTree:
         moving-object index without kNN support would be of limited practical
         use; it shares the same buffered node access as every other operation.
         """
-        if k <= 0:
-            return []
-        results: List[Tuple[float, int]] = []
+        return list(self.iter_knn(point, k))
+
+    def iter_knn(
+        self, point: Point, k: Optional[int] = None
+    ) -> Iterator[Tuple[float, int]]:
+        """Stream ``(distance, oid)`` pairs in increasing-distance order.
+
+        Incremental best-first search: the traversal expands only as far as
+        needed to *prove* the next pair is globally next (no unexplored node
+        can contain anything closer), so a consumer that stops after a few
+        neighbours pays only those neighbours' I/O.  Ties are broken by oid,
+        exactly like the materialised :meth:`knn` — consuming the stream to
+        *k* pairs yields the identical answer.
+
+        With ``k=None`` the stream is unbounded: it ranks every object in
+        the tree by distance (distance-browsing semantics).
+        """
+        if k is not None and k <= 0:
+            return
+        if self.size == 0:
+            return
         counter = 0
-        heap: List[Tuple[float, int, int, bool]] = []  # (dist, tiebreak, id, is_node)
-        heapq.heappush(heap, (0.0, counter, self.root_page_id, True))
-        while heap:
-            distance, _, identifier, is_node = heapq.heappop(heap)
-            if len(results) >= k and distance > results[-1][0]:
-                break
-            if is_node:
-                node = self.read_node(identifier)
-                for entry in node.entries:
-                    counter += 1
-                    entry_distance = entry.rect.min_distance_to_point(point)
-                    heapq.heappush(
-                        heap, (entry_distance, counter, entry.child, not node.is_leaf)
-                    )
-            else:
-                results.append((distance, identifier))
-                results.sort()
-                if len(results) > k:
-                    results = results[:k]
-        return results[:k]
+        #: Frontier of unexpanded nodes/objects ordered by (distance, arrival).
+        frontier: List[Tuple[float, int, int, bool]] = []
+        heapq.heappush(frontier, (0.0, counter, self.root_page_id, True))
+        #: Objects already popped from the frontier, ordered by (distance, oid)
+        #: so equal-distance results surface in oid order.
+        ready: List[Tuple[float, int]] = []
+        yielded = 0
+        while frontier or ready:
+            # Expand the frontier until its closest element lies strictly
+            # beyond the closest ready object: only then is that object
+            # provably the global next (an equal-distance node could still
+            # contain an equal-distance object with a smaller oid).
+            while frontier and (not ready or frontier[0][0] <= ready[0][0]):
+                distance, _, identifier, is_node = heapq.heappop(frontier)
+                if is_node:
+                    node = self.read_node(identifier)
+                    for entry in node.entries:
+                        counter += 1
+                        entry_distance = entry.rect.min_distance_to_point(point)
+                        heapq.heappush(
+                            frontier,
+                            (entry_distance, counter, entry.child, not node.is_leaf),
+                        )
+                else:
+                    heapq.heappush(ready, (distance, identifier))
+            if not ready:
+                return
+            yield heapq.heappop(ready)
+            yielded += 1
+            if k is not None and yielded >= k:
+                return
 
     # ------------------------------------------------------------------
     # Traversal helpers (used by summary construction, validation, stats)

@@ -42,8 +42,11 @@ buckets of different shards schedule concurrently, which is what the
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
+import repro.api.operations as api_ops
+from repro.api.errors import DuplicateObjectError, UnknownObjectError
+from repro.api.results import QueryCursor
 from repro.concurrency.dgl import namespace_pairs
 from repro.concurrency.engine import (
     GroupOperation,
@@ -64,6 +67,7 @@ from repro.update.batch import (
     BatchResult,
     DeleteOp,
     InsertOp,
+    KNNOp,
     Operation,
     QueryOp,
     coalesce_updates,
@@ -74,25 +78,27 @@ from repro.update.batch import (
 class MigrationOperation(VirtualOperation):
     """A batch member whose move crosses a shard boundary.
 
-    Scheduled as one virtual operation that locks the delete scope in the
-    source shard and the insert scope in the target shard — both namespaced,
-    acquired all-or-nothing, so a migration serialises with exactly the
-    operations it truly conflicts with in either shard and nothing else.
+    Carries the typed :class:`repro.api.operations.Migrate` internal
+    operation; its engine normal form is the update's, so the lock scope —
+    delete scope in the source shard plus insert scope in the target shard,
+    both namespaced, acquired all-or-nothing — comes from the same
+    ``lock_requests_for`` dispatch every other operation uses.  A migration
+    therefore serialises with exactly the operations it truly conflicts
+    with in either shard and nothing else.
     """
 
-    __slots__ = ("engine", "sharded", "request", "result")
+    __slots__ = ("engine", "sharded", "migrate", "request", "result")
     kind = "migration"
 
     def __init__(self, engine, sharded: "ShardedIndex", request: BatchUpdate, result):
         self.engine = engine
         self.sharded = sharded
+        self.migrate = api_ops.Migrate(request.oid, request.new_location)
         self.request = request
         self.result = result
 
     def lock_requests(self):
-        return self.sharded.lock_requests_for(
-            "update", (self.request.oid, self.request.new_location)
-        )
+        return self.sharded.lock_requests_for(*self.migrate.normalise())
 
     def execute(self, client: int) -> int:
         return self.engine.measure(
@@ -199,19 +205,57 @@ class ShardedIndex(SpatialIndexFacade):
             self._shard_of[oid] = shard_id
         for shard, group in zip(self.shards, groups):
             shard.load(group, bulk=bulk)
+        # Re-split the aggregate buffer: per-shard loading sized each pool
+        # against its own database; the facade contract sizes against the
+        # aggregate and apportions by shard weight.
+        self.configure_buffer()
         self.migrations = 0
 
     def configure_buffer(self, percent: Optional[float] = None) -> None:
-        """(Re)size every shard's buffer pool."""
-        for shard in self.shards:
-            shard.configure_buffer(percent)
+        """Size the aggregate buffer and split its capacity across the shards.
+
+        The capacity is computed against the *aggregate* database size — the
+        same contract as the single index, where ``percent`` is a fraction
+        of everything stored — and divided across the shard pools in
+        proportion to each shard's disk size (largest-remainder rounding, so
+        the shares sum exactly to the aggregate capacity).  A skewed load
+        therefore gives hot shards proportionally more buffer instead of
+        every shard getting the buffer of an average one.
+        """
+        from repro.storage import BufferPool  # local: keep module imports light
+
+        percent = self.config.buffer_percent if percent is None else percent
+        disk_sizes = [len(shard.disk) for shard in self.shards]
+        total_capacity = BufferPool.capacity_for_percentage(percent, sum(disk_sizes))
+        self._split_buffer_capacity(total_capacity, disk_sizes)
+
+    def _split_buffer_capacity(
+        self, total_capacity: int, disk_sizes: List[int]
+    ) -> None:
+        """Distribute *total_capacity* frames proportionally to shard disk sizes."""
+        total_pages = sum(disk_sizes)
+        if total_pages == 0:
+            shares = [0] * len(self.shards)
+        else:
+            exact = [total_capacity * size / total_pages for size in disk_sizes]
+            shares = [int(value) for value in exact]
+            remainders = sorted(
+                range(len(shares)),
+                key=lambda i: (exact[i] - shares[i], disk_sizes[i]),
+                reverse=True,
+            )
+            for i in remainders[: total_capacity - sum(shares)]:
+                shares[i] += 1
+        for shard, share in zip(self.shards, shares):
+            shard.buffer.clear()
+            shard.buffer.capacity = share
 
     # ------------------------------------------------------------------
     # Data operations
     # ------------------------------------------------------------------
     def insert(self, oid: int, location: Point) -> None:
         if oid in self._shard_of:
-            raise ValueError(f"object {oid} already exists; use update()")
+            raise DuplicateObjectError(oid)
         shard_id = self.partitioner.shard_of(location)
         self.shards[shard_id].insert(oid, location)
         self._shard_of[oid] = shard_id
@@ -220,7 +264,7 @@ class ShardedIndex(SpatialIndexFacade):
         """Route the update; migrate across shards when a boundary is crossed."""
         source = self._shard_of.get(oid)
         if source is None:
-            raise KeyError(f"object {oid} is not in the index")
+            raise UnknownObjectError(oid)
         target = self.partitioner.shard_of(new_location)
         if target == source:
             return self.shards[source].update(oid, new_location)
@@ -229,9 +273,11 @@ class ShardedIndex(SpatialIndexFacade):
         )
         return UpdateOutcome.MIGRATED
 
-    def delete(self, oid: int) -> bool:
+    def delete(self, oid: int, strict: bool = True) -> bool:
         shard_id = self._shard_of.pop(oid, None)
         if shard_id is None:
+            if strict:
+                raise UnknownObjectError(oid)
             return False
         return self.shards[shard_id].delete(oid)
 
@@ -260,6 +306,32 @@ class ShardedIndex(SpatialIndexFacade):
         for shard_id in self._query_shards(window):
             results.extend(self.shards[shard_id].range_query(window))
         return results
+
+    def stream_query(self, window: Rect) -> QueryCursor:
+        """Streaming fan-out: shard traversals advance only as the cursor is read.
+
+        The qualifying shards are selected up front (an uncharged check of
+        partition boundaries and root MBRs); each shard's own traversal then
+        streams lazily, in the same shard order — and therefore the same
+        result order — as :meth:`range_query`.
+        """
+
+        def hits() -> Iterator[int]:
+            for shard_id in self._query_shards(window):
+                yield from self.shards[shard_id].strategy.iter_range_query(window)
+
+        return QueryCursor(hits())
+
+    def stream_knn(self, point: Point, k: int) -> QueryCursor:
+        """Cursor over the merged k nearest neighbours across shards.
+
+        Cross-shard kNN needs every contributing shard's candidates before
+        the global order is known, so the merge itself is materialised (the
+        per-shard searches still prune against each other's bounds); the
+        cursor provides the uniform streaming interface over the merged
+        result.
+        """
+        return QueryCursor(iter(self.knn(point, k)))
 
     def knn(self, point: Point, k: int) -> List[Tuple[float, int]]:
         """Best-first kNN over shard bounds with a pruning radius.
@@ -319,12 +391,19 @@ class ShardedIndex(SpatialIndexFacade):
     def apply(self, operations: Iterable[Tuple]) -> BatchResult:
         """Execute a mixed operation stream with per-shard batched updates.
 
-        The stream grammar and barrier semantics match
+        Deprecated tuple adapter over the typed
+        :meth:`~repro.core.protocol.SpatialIndexFacade.execute_many`.  The
+        stream grammar and barrier semantics match
         :meth:`MovingObjectIndex.apply`: runs of updates are batched,
         inserts/deletes/queries flush pending updates first, and the whole
         stream is parsed (and validated) before anything executes.
         """
-        parsed = self._parse_operations(operations)
+        return self._execute_operation_stream(operations, strict_deletes=False)
+
+    def _execute_operation_stream(
+        self, operations: Iterable, strict_deletes: bool
+    ) -> BatchResult:
+        parsed = self._parse_operations(operations, strict_deletes=strict_deletes)
         result = BatchResult()
         before = [shard.stats.snapshot() for shard in self.shards]
         run: List[BatchUpdate] = []
@@ -343,6 +422,9 @@ class ShardedIndex(SpatialIndexFacade):
             elif isinstance(op, QueryOp):
                 self._flush_updates(run, result)
                 result.queries.append(self.range_query(op.window))
+            elif isinstance(op, KNNOp):
+                self._flush_updates(run, result)
+                result.neighbors.append(self.knn(op.point, op.k))
             else:  # pragma: no cover - the parser only emits the above
                 raise TypeError(f"unsupported batch operation {op!r}")
         self._flush_updates(run, result)
@@ -410,15 +492,19 @@ class ShardedIndex(SpatialIndexFacade):
         for oid, new_location in updates:
             old_location = moved.get(oid, self.position_of(oid))
             if old_location is None:
-                raise KeyError(f"object {oid} is not in the index")
+                raise UnknownObjectError(oid)
             ops.append(BatchUpdate(oid, old_location, new_location))
             moved[oid] = new_location
         return ops
 
-    def _parse_operations(self, operations: Iterable[Tuple]) -> List[Operation]:
+    def _parse_operations(
+        self, operations: Iterable, strict_deletes: bool = False
+    ) -> List[Operation]:
         # The shared stream grammar; unlike the single index the overlay is
         # discarded — shard position maps advance when operations execute.
-        parsed, _overlay = parse_operation_stream(operations, self.position_of)
+        parsed, _overlay = parse_operation_stream(
+            operations, self.position_of, strict_deletes=strict_deletes
+        )
         return parsed
 
     def _merge_io_delta(
@@ -490,6 +576,17 @@ class ShardedIndex(SpatialIndexFacade):
                         self.shards[shard_id].lock_requests_for(kind, payload),
                         shard_id,
                     )
+                )
+            return pairs
+        if kind == "knn":
+            # Conservative: a kNN may spill into any shard holding data, so
+            # every non-empty shard contributes its own (conservative) scope.
+            pairs = []
+            for shard_id, shard in enumerate(self.shards):
+                if len(shard) == 0:
+                    continue
+                pairs.extend(
+                    namespace_pairs(shard.lock_requests_for(kind, payload), shard_id)
                 )
             return pairs
         raise ValueError(f"unknown engine operation kind {kind!r}")

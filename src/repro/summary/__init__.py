@@ -18,7 +18,10 @@ R-tree's observer events and never performs disk I/O.
 
 from repro.summary.bitvector import LeafBitVector
 from repro.summary.direct_access import DirectAccessEntry, DirectAccessTable
-from repro.summary.query import summary_guided_range_query
+from repro.summary.query import (
+    iter_summary_guided_range_query,
+    summary_guided_range_query,
+)
 from repro.summary.structure import SummaryStructure
 
 __all__ = [
@@ -26,5 +29,6 @@ __all__ = [
     "DirectAccessTable",
     "LeafBitVector",
     "SummaryStructure",
+    "iter_summary_guided_range_query",
     "summary_guided_range_query",
 ]

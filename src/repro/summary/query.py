@@ -18,7 +18,7 @@ reads differs.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterator, List
 
 from repro.geometry import Rect
 from repro.rtree.tree import RTree
@@ -32,13 +32,27 @@ def summary_guided_range_query(
 
     Returns the object ids whose MBRs intersect *window*.
     """
+    return list(iter_summary_guided_range_query(tree, summary, window))
+
+
+def iter_summary_guided_range_query(
+    tree: RTree, summary: SummaryStructure, window: Rect
+) -> Iterator[int]:
+    """Stream the summary-guided window query's hits lazily.
+
+    The in-memory descent over the direct access table runs up front (it
+    costs no I/O); the disk phase — reading qualifying level-1 nodes and
+    leaves — advances only as the iterator is consumed.  The yield order is
+    exactly :func:`summary_guided_range_query`'s materialised order.
+    """
     root_entry = summary.root_entry()
     if root_entry is None:
         # The root is a leaf: there are no internal nodes to skip.
-        return tree.range_query(window)
+        yield from tree.iter_range_query(window)
+        return
 
     if not root_entry.mbr.intersects(window):
-        return []
+        return
 
     # In-memory descent: find the level-1 nodes (parents of leaves) that can
     # contain qualifying leaves, without reading any internal node from disk.
@@ -54,7 +68,6 @@ def summary_guided_range_query(
 
     # Disk phase: read the qualifying level-1 nodes to obtain leaf MBRs, then
     # the qualifying leaves to obtain the objects.
-    results: List[int] = []
     for entry in frontier:
         level1_node = tree.read_node(entry.page_id)
         for child in level1_node.entries:
@@ -63,5 +76,4 @@ def summary_guided_range_query(
             leaf = tree.read_node(child.child)
             for leaf_entry in leaf.entries:
                 if leaf_entry.rect.intersects(window):
-                    results.append(leaf_entry.child)
-    return results
+                    yield leaf_entry.child

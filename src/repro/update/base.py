@@ -16,7 +16,7 @@ structure (Section 3.2).
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.concurrency.dgl import (
     EXTERNAL_GRANULE,
@@ -88,6 +88,15 @@ class UpdateStrategy:
     def range_query(self, window: Rect) -> List[int]:
         """Answer a window query; strategies may override (GBU uses the summary)."""
         return self.tree.range_query(window)
+
+    def iter_range_query(self, window: Rect) -> Iterator[int]:
+        """Stream a window query's hits lazily (same order as :meth:`range_query`).
+
+        Backs the public API's :class:`~repro.api.results.QueryCursor`:
+        traversal I/O is paid only for results actually consumed.  GBU
+        overrides this with the summary-guided descent.
+        """
+        return self.tree.iter_range_query(window)
 
     # ------------------------------------------------------------------
     # Batch execution (group-by-leaf, repro.update.batch)

@@ -55,6 +55,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple, Union
 
+import repro.api.operations as api_ops
+from repro.api.errors import DuplicateObjectError, UnknownObjectError
 from repro.geometry import Point, Rect
 from repro.rtree.tree import RTree
 from repro.secondary import ObjectHashIndex
@@ -83,24 +85,38 @@ class QueryOp(NamedTuple):
     window: Rect
 
 
-Operation = Union[BatchUpdate, InsertOp, DeleteOp, QueryOp]
+class KNNOp(NamedTuple):
+    """Answer a kNN query; the result lands in :attr:`BatchResult.neighbors`."""
+
+    point: Point
+    k: int
+
+
+Operation = Union[BatchUpdate, InsertOp, DeleteOp, QueryOp, KNNOp]
 
 
 def parse_operation_stream(
-    operations: Iterable[Tuple],
+    operations: Iterable["api_ops.OperationLike"],
     position_of: "Callable[[int], Optional[Point]]",
+    strict_deletes: bool = False,
 ) -> Tuple[List[Operation], Dict[int, Optional[Point]]]:
-    """Parse facade operation tuples into typed batch operations.
+    """Parse a stream of typed operations into executable batch operations.
 
-    This is the one stream grammar both facades share — ``("update", oid,
-    new)``, ``("insert", oid, location)``, ``("delete", oid)``,
-    ``("range_query"|"query", window)`` — validated against an overlay so a
+    This is the one stream grammar both facades share.  The native currency
+    is the typed :class:`repro.api.operations.Operation` model; legacy
+    tuples are accepted through :meth:`Operation.from_any` (the deprecated
+    compatibility adapter).  The stream is validated against an overlay so a
     bad operation mid-stream (unknown oid, duplicate insert) raises before
     anything executes.  *position_of* supplies the pre-stream position of an
     object; the returned overlay maps each touched oid to its post-stream
     position (``None`` = deleted), for callers that pre-commit a position
-    map.  A delete of an absent object parses to nothing, preserving the
-    sequential semantics (no barrier, no effect).
+    map.
+
+    A delete of an absent object raises
+    :class:`~repro.api.errors.UnknownObjectError` under
+    ``strict_deletes=True`` (the typed surface's default behaviour) and
+    parses to nothing otherwise — the legacy adapter's sequential semantics
+    (no barrier, no effect).
     """
     overlay: Dict[int, Optional[Point]] = {}
 
@@ -108,32 +124,32 @@ def parse_operation_stream(
         return overlay[oid] if oid in overlay else position_of(oid)
 
     parsed: List[Operation] = []
-    for op in operations:
-        kind = op[0]
-        if kind == "update":
-            _, oid, new_location = op
-            old_location = current(oid)
+    for item in operations:
+        op = api_ops.Operation.from_any(item)
+        if isinstance(op, (api_ops.Update, api_ops.Migrate)):
+            old_location = current(op.oid)
             if old_location is None:
-                raise KeyError(f"object {oid} is not in the index")
-            parsed.append(BatchUpdate(oid, old_location, new_location))
-            overlay[oid] = new_location
-        elif kind == "insert":
-            _, oid, location = op
-            if current(oid) is not None:
-                raise ValueError(f"object {oid} already exists; use update")
-            parsed.append(InsertOp(oid, location))
-            overlay[oid] = location
-        elif kind == "delete":
-            _, oid = op
-            location = current(oid)
+                raise UnknownObjectError(op.oid)
+            parsed.append(BatchUpdate(op.oid, old_location, op.new_location))
+            overlay[op.oid] = op.new_location
+        elif isinstance(op, api_ops.Insert):
+            if current(op.oid) is not None:
+                raise DuplicateObjectError(op.oid)
+            parsed.append(InsertOp(op.oid, op.location))
+            overlay[op.oid] = op.location
+        elif isinstance(op, api_ops.Delete):
+            location = current(op.oid)
             if location is not None:
-                parsed.append(DeleteOp(oid, location))
-                overlay[oid] = None
-        elif kind in ("range_query", "query"):
-            _, window = op
-            parsed.append(QueryOp(window))
-        else:
-            raise ValueError(f"unknown batch operation kind {kind!r}")
+                parsed.append(DeleteOp(op.oid, location))
+                overlay[op.oid] = None
+            elif strict_deletes:
+                raise UnknownObjectError(op.oid)
+        elif isinstance(op, api_ops.RangeQuery):
+            parsed.append(QueryOp(op.window))
+        elif isinstance(op, api_ops.KNN):
+            parsed.append(KNNOp(op.point, op.k))
+        else:  # pragma: no cover - from_any only returns the above
+            raise TypeError(f"unsupported operation {op!r}")
     return parsed, overlay
 
 
@@ -200,6 +216,8 @@ class BatchResult:
     inserts: int = 0
     deletes: int = 0
     queries: List[List[int]] = field(default_factory=list)
+    #: kNN answers (``(distance, oid)`` pairs) in stream order.
+    neighbors: List[List[Tuple[float, int]]] = field(default_factory=list)
     #: Updates superseded by a later update to the same object in the batch.
     coalesced: int = 0
     #: Leaf groups executed through ``apply_group``.
@@ -219,11 +237,12 @@ class BatchResult:
 
     def describe(self) -> str:
         migrated = f", migrations={self.migrations}" if self.migrations else ""
+        knn = f" knn={len(self.neighbors)}" if self.neighbors else ""
         return (
             f"updates={self.updates} (coalesced={self.coalesced}, "
             f"groups={self.groups}, residual={self.residuals}{migrated}) "
             f"inserts={self.inserts} deletes={self.deletes} "
-            f"queries={len(self.queries)} | physical_reads={self.io.physical_reads} "
+            f"queries={len(self.queries)}{knn} | physical_reads={self.io.physical_reads} "
             f"physical_writes={self.io.physical_writes}"
         )
 
@@ -295,6 +314,9 @@ class BatchExecutor:
             elif isinstance(op, QueryOp):
                 self._flush(pending, result)
                 result.queries.append(self.strategy.range_query(op.window))
+            elif isinstance(op, KNNOp):
+                self._flush(pending, result)
+                result.neighbors.append(self.tree.knn(op.point, op.k))
             else:
                 raise TypeError(f"unsupported batch operation {op!r}")
         self._flush(pending, result)

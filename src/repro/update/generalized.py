@@ -26,7 +26,7 @@ GBU also answers window queries through the summary structure
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.concurrency.dgl import TREE_GRANULE, GranuleLockRequest, merge_requests
 from repro.concurrency.locks import LockMode
@@ -35,7 +35,11 @@ from repro.rtree.node import Entry, Node
 from repro.rtree.tree import RTree
 from repro.secondary import ObjectHashIndex
 from repro.storage.stats import IOStatistics
-from repro.summary import SummaryStructure, summary_guided_range_query
+from repro.summary import (
+    SummaryStructure,
+    iter_summary_guided_range_query,
+    summary_guided_range_query,
+)
 from repro.update.base import BatchUpdate, UpdateOutcome, UpdateStrategy
 from repro.update.params import TuningParameters
 
@@ -67,6 +71,11 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
         if self.use_summary_for_queries:
             return summary_guided_range_query(self.tree, self.summary, window)
         return self.tree.range_query(window)
+
+    def iter_range_query(self, window: Rect) -> Iterator[int]:
+        if self.use_summary_for_queries:
+            return iter_summary_guided_range_query(self.tree, self.summary, window)
+        return self.tree.iter_range_query(window)
 
     # ------------------------------------------------------------------
     # Algorithm 2

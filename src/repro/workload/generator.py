@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, Iterator, List, Tuple
 
+import repro.api.operations as api_ops
 from repro.geometry import Point, Rect
 from repro.workload.distributions import initial_positions
 from repro.workload.movement import MovementModel
@@ -134,8 +135,10 @@ class WorkloadGenerator:
         """Yield *count* operations, a fraction of which are updates.
 
         Each yielded item is ``("update", (oid, old, new))`` or
-        ``("query", window)``.  The interleaving is random but reproducible,
-        mirroring the 50-client mixed workload of the throughput study.
+        ``("query", window)`` — the legacy tuple shapes; :meth:`operations`
+        is the typed form of the same stream.  The interleaving is random
+        but reproducible, mirroring the 50-client mixed workload of the
+        throughput study.
         """
         if not 0.0 <= update_fraction <= 1.0:
             raise ValueError("update_fraction must be in [0, 1]")
@@ -146,46 +149,48 @@ class WorkloadGenerator:
             else:
                 yield "query", self._queries.next_window()
 
+    def operations(
+        self, count: int, update_fraction: float
+    ) -> Iterator["api_ops.Operation"]:
+        """The mixed stream as typed :class:`~repro.api.operations.Operation` values.
+
+        The native v2 form of :meth:`mixed_operations`: the identical seeded
+        sequence (same RNG draws, same interleaving), with each item lifted
+        into the typed operation model — :class:`~repro.api.operations.Update`
+        or :class:`~repro.api.operations.RangeQuery` — ready for
+        ``index.execute``/``execute_many`` or an engine session.
+        """
+        for item in self.mixed_operations(count, update_fraction):
+            yield api_ops.Operation.from_tuple(item)
+
     def client_streams(
         self, num_clients: int, count: int, update_fraction: float
-    ) -> List[List[Tuple[str, object]]]:
-        """The mixed stream dealt round-robin onto *num_clients* client streams.
+    ) -> List[List["api_ops.Operation"]]:
+        """The typed mixed stream dealt round-robin onto *num_clients* streams.
 
         The concatenation of the streams, interleaved client by client, is
-        exactly the sequence :meth:`mixed_operations` would produce from the
-        same generator state, so a multi-client engine run consumes the
+        exactly the sequence :meth:`operations` would produce from the same
+        generator state, so a multi-client engine run consumes the
         byte-identical workload a shared-stream run would — only the
         assignment of operations to virtual clients differs.  Streams are
         materialised lists: the engine draws from them as clients go idle.
         """
         if num_clients <= 0:
             raise ValueError("num_clients must be positive")
-        streams: List[List[Tuple[str, object]]] = [[] for _ in range(num_clients)]
+        streams: List[List["api_ops.Operation"]] = [[] for _ in range(num_clients)]
         for position, operation in enumerate(
-            self.mixed_operations(count, update_fraction)
+            self.operations(count, update_fraction)
         ):
             streams[position % num_clients].append(operation)
         return streams
 
     def mixed_operation_batches(
         self, count: int, update_fraction: float, batch_size: int
-    ) -> Iterator[List[Tuple]]:
-        """The :meth:`mixed_operations` stream chopped into *batch_size* lists.
+    ) -> Iterator[List["api_ops.Operation"]]:
+        """The typed :meth:`operations` stream chopped into *batch_size* lists.
 
-        Items are re-shaped into the tuples
-        :meth:`~repro.core.index.MovingObjectIndex.apply` consumes —
-        ``("update", oid, new_position)`` and ``("range_query", window)`` —
-        and batches respect the stream order, so feeding each batch to
-        ``apply`` (queries act as barriers) yields the same query answers as
-        driving the unbatched stream through per-op calls.
+        Batches respect the stream order, so feeding each batch to
+        ``execute_many`` (queries act as barriers) yields the same query
+        answers as driving the unbatched stream through per-op calls.
         """
-
-        def reshape() -> Iterator[Tuple]:
-            for kind, payload in self.mixed_operations(count, update_fraction):
-                if kind == "update":
-                    oid, _old, new = payload
-                    yield "update", oid, new
-                else:
-                    yield "range_query", payload
-
-        return _chunks(reshape(), batch_size)
+        return _chunks(self.operations(count, update_fraction), batch_size)

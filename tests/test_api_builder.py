@@ -1,0 +1,188 @@
+"""Tests for the declarative builder: specs, round-trips, checkpoint sharing."""
+
+import json
+import random
+
+import pytest
+
+from repro.api import (
+    IndexBuilder,
+    config_from_spec,
+    config_to_spec,
+    index_spec,
+    open_index,
+)
+from repro.core import IndexConfig, MovingObjectIndex, load_index, save_index
+from repro.geometry import Point, Rect
+from repro.shard import ShardedIndex
+from repro.shard.partitioner import BoundaryPartitioner
+from repro.update import TuningParameters
+
+from tests.conftest import SMALL_PAGE_SIZE, make_points
+
+
+class TestConfigCodec:
+    def test_round_trip_preserves_every_field(self):
+        config = IndexConfig(
+            strategy="LBU",
+            page_size=512,
+            buffer_percent=2.5,
+            split="rstar",
+            reinsert_on_underflow=False,
+            charge_hash_io=False,
+            params=TuningParameters(epsilon=0.01, level_threshold=2),
+        )
+        assert config_from_spec(config_to_spec(config)) == config
+
+    def test_spec_is_json_safe(self):
+        spec = config_to_spec(IndexConfig())
+        assert config_from_spec(json.loads(json.dumps(spec))) == IndexConfig()
+
+    def test_partial_spec_fills_defaults(self):
+        config = config_from_spec({"strategy": "TD"})
+        assert config.strategy == "TD"
+        assert config.page_size == IndexConfig().page_size
+        assert config.params == TuningParameters.paper_defaults()
+
+
+class TestOpenIndex:
+    def test_default_spec_builds_a_single_index(self):
+        index = open_index()
+        assert isinstance(index, MovingObjectIndex)
+        assert index.config.strategy == "GBU"
+
+    def test_sharded_spec_builds_a_sharded_index(self):
+        index = open_index({"kind": "sharded", "shards": 8})
+        assert isinstance(index, ShardedIndex)
+        assert index.num_shards == 8
+
+    def test_shards_one_is_a_single_shard_topology(self):
+        index = open_index({"shards": 1})
+        assert isinstance(index, ShardedIndex)
+        assert index.num_shards == 1
+
+    def test_overrides_merge_over_the_spec(self):
+        spec = {"kind": "sharded", "shards": 2}
+        index = open_index(spec, shards=8)
+        assert index.num_shards == 8
+        assert spec["shards"] == 2  # the caller's dict is not mutated
+
+    def test_explicit_partitioner_spec(self):
+        index = open_index(
+            {
+                "kind": "sharded",
+                "partitioner": {
+                    "kind": "boundaries",
+                    "boundaries": [[0, 0, 0.5, 1], [0.5, 0, 1, 1]],
+                },
+            }
+        )
+        assert isinstance(index.partitioner, BoundaryPartitioner)
+        assert index.num_shards == 2
+
+    def test_unknown_spec_keys_rejected(self):
+        with pytest.raises(ValueError):
+            open_index({"shardz": 4})
+
+    def test_conflicting_kind_rejected(self):
+        with pytest.raises(ValueError):
+            open_index({"kind": "single", "shards": 4})
+        with pytest.raises(ValueError):
+            open_index({"kind": "elastic"})
+
+
+class TestIndexBuilder:
+    def test_fluent_chain_equals_spec_construction(self):
+        built = (
+            IndexBuilder()
+            .strategy("LBU")
+            .page_size(512)
+            .buffer_percent(2.0)
+            .split("linear")
+            .params(epsilon=0.02)
+            .config_field("charge_hash_io", False)
+            .build()
+        )
+        from_spec = open_index(
+            {
+                "config": {
+                    "strategy": "LBU",
+                    "page_size": 512,
+                    "buffer_percent": 2.0,
+                    "split": "linear",
+                    "charge_hash_io": False,
+                    "params": {"epsilon": 0.02},
+                }
+            }
+        )
+        assert built.config == from_spec.config
+
+    def test_spec_emission_round_trips(self):
+        builder = IndexBuilder().strategy("TD").shards(4).engine(num_clients=16)
+        spec = builder.spec()
+        again = index_spec(open_index(spec))
+        assert again == spec
+
+    def test_to_json_is_parseable_and_equivalent(self):
+        builder = IndexBuilder().strategy("GBU").shards(2)
+        spec = json.loads(builder.to_json())
+        assert index_spec(open_index(spec)) == builder.spec()
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            IndexBuilder().shards(0)
+
+
+class TestSpecCheckpointRoundTrip:
+    """Acceptance: spec -> index -> checkpoint -> load -> identical spec and
+    identical query results, for both facade kinds."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {
+                "kind": "single",
+                "config": {"strategy": "GBU", "page_size": SMALL_PAGE_SIZE},
+                "engine": {"num_clients": 12},
+            },
+            {
+                "kind": "sharded",
+                "shards": 4,
+                "config": {"strategy": "LBU", "page_size": SMALL_PAGE_SIZE},
+                "engine": {"num_clients": 8, "time_per_io": 0.02},
+            },
+        ],
+        ids=["single", "sharded"],
+    )
+    def test_round_trip(self, spec, tmp_path):
+        index = open_index(spec)
+        index.load(make_points(300, seed=23))
+        rng = random.Random(9)
+        for _ in range(150):
+            index.update(rng.randrange(300), Point(rng.random(), rng.random()))
+        canonical = index_spec(index)
+
+        path = tmp_path / "checkpoint.json"
+        save_index(index, path)
+        restored = load_index(path)
+
+        assert index_spec(restored) == canonical
+        windows = [
+            Rect(0.1, 0.1, 0.4, 0.4),
+            Rect(0.3, 0.5, 0.9, 0.95),
+            Rect(0.0, 0.0, 1.0, 1.0),
+        ]
+        for window in windows:
+            assert sorted(restored.range_query(window)) == sorted(
+                index.range_query(window)
+            )
+        # The page codec stores coordinates as 32-bit floats (the paper's
+        # entry format), so distances agree to float32 precision.
+        restored_nn = restored.knn(Point(0.5, 0.5), 9)
+        original_nn = index.knn(Point(0.5, 0.5), 9)
+        assert [oid for _d, oid in restored_nn] == [oid for _d, oid in original_nn]
+        for (restored_d, _), (original_d, _) in zip(restored_nn, original_nn):
+            assert restored_d == pytest.approx(original_d, abs=1e-6)
+        # Engine defaults survive the checkpoint: sessions open identically.
+        assert restored.engine().num_clients == index.engine().num_clients
+        restored.validate()

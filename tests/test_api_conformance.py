@@ -1,0 +1,375 @@
+"""Protocol-conformance suite of the typed operation API (v2).
+
+Parametrized over both facade implementations — the single
+:class:`MovingObjectIndex` and a 4-shard :class:`ShardedIndex` — this suite
+pins the central contract of the API redesign: for one seeded operation
+script, the typed surface (``execute`` / ``execute_many``), the legacy tuple
+adapter and the direct method calls produce byte-identical results — query
+and kNN answers, final positions, and outcome counts — on the per-operation,
+batch and concurrent-engine paths.  It also covers the structured error
+taxonomy on every facade and the streaming cursors' exhaustion behaviour.
+"""
+
+import random
+
+import pytest
+
+from repro.api import (
+    KNN,
+    Delete,
+    DuplicateObjectError,
+    Insert,
+    RangeQuery,
+    UnknownObjectError,
+    Update,
+    open_index,
+)
+from repro.core.protocol import SpatialIndexFacade
+from repro.geometry import Point, Rect
+from repro.shard.index import ShardedIndex
+from repro.storage import BufferPool
+from repro.update import UpdateOutcome
+
+from tests.conftest import SMALL_PAGE_SIZE, make_points
+
+FACADE_KINDS = ("single", "sharded")
+NUM_OBJECTS = 150
+
+
+def build(kind, strategy="GBU", **config_overrides):
+    config = {"strategy": strategy, "page_size": SMALL_PAGE_SIZE}
+    config.update(config_overrides)
+    spec = {"kind": kind, "config": config}
+    if kind == "sharded":
+        spec["shards"] = 4
+    return open_index(spec)
+
+
+def loaded(kind, strategy="GBU", num_objects=NUM_OBJECTS, seed=17, **overrides):
+    index = build(kind, strategy=strategy, **overrides)
+    index.load(make_points(num_objects, seed=seed))
+    return index
+
+
+def operation_script(seed=3, count=150, num_objects=NUM_OBJECTS):
+    """A seeded mixed script of typed operations (valid by construction)."""
+    rng = random.Random(seed)
+    alive = sorted(range(num_objects))
+    next_oid = 10_000
+    ops = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.5 and alive:
+            ops.append(Update(rng.choice(alive), Point(rng.random(), rng.random())))
+        elif roll < 0.62:
+            ops.append(Insert(next_oid, Point(rng.random(), rng.random())))
+            alive.append(next_oid)
+            next_oid += 1
+        elif roll < 0.72 and alive:
+            oid = alive.pop(rng.randrange(len(alive)))
+            ops.append(Delete(oid))
+        elif roll < 0.88:
+            x, y = rng.random() * 0.7, rng.random() * 0.7
+            ops.append(RangeQuery(Rect(x, y, x + 0.25, y + 0.25)))
+        else:
+            ops.append(KNN(Point(rng.random(), rng.random()), 5))
+    return ops
+
+
+def outcome_counts(index):
+    """Aggregated per-outcome counters (summed over shards when sharded)."""
+    if isinstance(index, ShardedIndex):
+        totals = {outcome: 0 for outcome in UpdateOutcome}
+        for shard in index.shards:
+            for outcome, count in shard.strategy.outcome_counts.items():
+                totals[outcome] += count
+        totals[UpdateOutcome.MIGRATED] += index.migrations
+        return totals
+    return dict(index.strategy.outcome_counts)
+
+
+def final_positions(index, script):
+    oids = {op.oid for op in script if hasattr(op, "oid")} | set(range(NUM_OBJECTS))
+    return {oid: index.position_of(oid) for oid in sorted(oids)}
+
+
+class TestPerOperationEquivalence:
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    @pytest.mark.parametrize("strategy", ["TD", "GBU"])
+    def test_typed_equals_tuple_equals_direct(self, kind, strategy):
+        script = operation_script()
+        typed = loaded(kind, strategy=strategy)
+        tupled = loaded(kind, strategy=strategy)
+        direct = loaded(kind, strategy=strategy)
+
+        typed_answers, tuple_answers, direct_answers = [], [], []
+        for op in script:
+            result = typed.execute(op)
+            if isinstance(op, (RangeQuery, KNN)):
+                typed_answers.append(result.cursor().all())
+
+            result = tupled.execute(op.to_tuple())  # the tuple adapter path
+            if isinstance(op, (RangeQuery, KNN)):
+                tuple_answers.append(result.cursor().all())
+
+            if isinstance(op, Update):
+                direct.update(op.oid, op.new_location)
+            elif isinstance(op, Insert):
+                direct.insert(op.oid, op.location)
+            elif isinstance(op, Delete):
+                direct.delete(op.oid)
+            elif isinstance(op, RangeQuery):
+                direct_answers.append(direct.range_query(op.window))
+            else:
+                direct_answers.append(direct.knn(op.point, op.k))
+
+        assert typed_answers == tuple_answers == direct_answers
+        assert (
+            final_positions(typed, script)
+            == final_positions(tupled, script)
+            == final_positions(direct, script)
+        )
+        assert outcome_counts(typed) == outcome_counts(tupled) == outcome_counts(direct)
+        typed.validate()
+        tupled.validate()
+        direct.validate()
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    def test_execute_many_equals_tuple_apply(self, kind):
+        script = operation_script(seed=5)
+        typed = loaded(kind)
+        tupled = loaded(kind)
+
+        report = typed.execute_many(script)
+        legacy = tupled.apply([op.to_tuple() for op in script])
+
+        assert report.queries == legacy.queries
+        assert report.neighbors == legacy.neighbors
+        assert report.updates == legacy.updates
+        assert report.inserts == legacy.inserts
+        assert report.deletes == legacy.deletes
+        assert report.coalesced == legacy.coalesced
+        assert report.migrations == legacy.migrations
+        assert final_positions(typed, script) == final_positions(tupled, script)
+        typed.validate()
+        tupled.validate()
+
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    def test_batch_answers_match_per_operation_answers(self, kind):
+        script = operation_script(seed=11)
+        batch = loaded(kind)
+        per_op = loaded(kind)
+
+        report = batch.execute_many(script)
+        answers = []
+        for op in script:
+            result = per_op.execute(op)
+            if isinstance(op, RangeQuery):
+                # Range answers are sets: the two regimes may shape the tree
+                # (and hence the traversal order) differently.
+                answers.append(sorted(result.cursor().all()))
+            elif isinstance(op, KNN):
+                answers.append(result.cursor().all())  # (distance, oid) order
+        batched_answers = []
+        queries, neighbors = iter(report.queries), iter(report.neighbors)
+        for op in script:
+            if isinstance(op, RangeQuery):
+                batched_answers.append(sorted(next(queries)))
+            elif isinstance(op, KNN):
+                batched_answers.append(next(neighbors))
+        assert batched_answers == answers
+        assert final_positions(batch, script) == final_positions(per_op, script)
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    def test_typed_and_tuple_streams_schedule_identically(self, kind):
+        script = [
+            op
+            for op in operation_script(seed=7)
+            if not isinstance(op, (Insert, Delete))
+        ]
+        typed = loaded(kind)
+        tupled = loaded(kind)
+
+        typed_session = typed.engine(num_clients=8)
+        tuple_session = tupled.engine(num_clients=8)
+        for position, op in enumerate(script):
+            typed_session.submit(position % 8, op)
+            tuple_session.submit(position % 8, op.to_tuple())
+        typed_result = typed_session.run()
+        tuple_result = tuple_session.run()
+
+        assert typed_result.makespan == tuple_result.makespan
+        assert typed_result.operations == tuple_result.operations
+        assert typed_result.kinds == tuple_result.kinds
+        assert final_positions(typed, script) == final_positions(tupled, script)
+
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    def test_knn_operations_schedule_under_the_engine(self, kind):
+        index = loaded(kind)
+        session = index.engine(num_clients=2)
+        session.submit(0, KNN(Point(0.5, 0.5), 3))
+        session.submit(1, Update(0, Point(0.4, 0.4)))
+        result = session.run()
+        assert result.operations == 2
+        assert result.kinds.get("knn") == 1
+
+
+class TestErrorTaxonomyOnFacades:
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    def test_update_unknown_object(self, kind):
+        index = loaded(kind)
+        with pytest.raises(UnknownObjectError):
+            index.execute(Update(999_999, Point(0.5, 0.5)))
+        with pytest.raises(KeyError):  # legacy-compatible
+            index.update(999_999, Point(0.5, 0.5))
+
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    def test_insert_duplicate_object(self, kind):
+        index = loaded(kind)
+        with pytest.raises(DuplicateObjectError):
+            index.execute(Insert(0, Point(0.5, 0.5)))
+        with pytest.raises(ValueError):  # legacy-compatible
+            index.insert(0, Point(0.5, 0.5))
+
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    def test_delete_missing_strict_and_lenient(self, kind):
+        index = loaded(kind)
+        with pytest.raises(UnknownObjectError):
+            index.execute(Delete(999_999))
+        lenient = index.execute(Delete(999_999), strict=False)
+        assert lenient.ok
+        assert lenient.value is False
+        assert index.delete(999_999, strict=False) is False
+
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    def test_non_strict_execute_captures_errors(self, kind):
+        index = loaded(kind)
+        result = index.execute(Update(999_999, Point(0.5, 0.5)), strict=False)
+        assert not result.ok
+        assert isinstance(result.error, UnknownObjectError)
+
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    def test_unparseable_operations_always_raise(self, kind):
+        # There is no operation to attach a result to, so parse failures
+        # raise even under strict=False.
+        from repro.api import InvalidOperationError
+
+        index = loaded(kind)
+        with pytest.raises(InvalidOperationError):
+            index.execute(("compact",), strict=False)
+
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    def test_strict_batch_delete_raises_before_executing(self, kind):
+        index = loaded(kind)
+        before = final_positions(index, [])
+        with pytest.raises(UnknownObjectError):
+            index.execute_many(
+                [Update(0, Point(0.9, 0.9)), Delete(999_999)]
+            )
+        # Validation happens before execution: nothing moved.
+        assert final_positions(index, []) == before
+        # The legacy adapter keeps the skip-missing semantics.
+        result = index.apply([("update", 0, Point(0.9, 0.9)), ("delete", 999_999)])
+        assert result.updates == 1
+        assert index.position_of(0) == Point(0.9, 0.9)
+
+
+class TestCursorsOnFacades:
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    def test_stream_query_matches_range_query_and_exhausts(self, kind):
+        index = loaded(kind)
+        window = Rect(0.2, 0.2, 0.7, 0.7)
+        expected = index.range_query(window)
+        cursor = index.stream_query(window)
+        head = cursor.fetch(5)
+        tail = cursor.all()
+        assert head + tail == expected
+        assert cursor.exhausted
+        assert cursor.consumed == len(expected)
+        with pytest.raises(StopIteration):
+            next(cursor)
+
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    def test_stream_knn_matches_knn(self, kind):
+        index = loaded(kind)
+        probe = Point(0.5, 0.5)
+        expected = index.knn(probe, 7)
+        cursor = index.stream_knn(probe, 7)
+        assert cursor.fetch(3) == expected[:3]
+        assert cursor.all() == expected[3:]
+        assert cursor.exhausted
+
+    @pytest.mark.parametrize("kind", FACADE_KINDS)
+    def test_empty_window_cursor_is_born_exhausted_on_first_read(self, kind):
+        index = loaded(kind)
+        cursor = index.stream_query(Rect(5.0, 5.0, 6.0, 6.0))
+        assert cursor.all() == []
+        assert cursor.exhausted
+        assert cursor.consumed == 0
+
+    def test_streaming_defers_io_until_consumption(self):
+        # TD + zero buffer: every node access is physical, so laziness is
+        # directly visible in the counters.
+        index = loaded("single", strategy="TD", buffer_percent=0.0)
+        before = index.stats.total_physical_io
+        cursor = index.stream_query(Rect(0.0, 0.0, 1.0, 1.0))
+        assert index.stats.total_physical_io == before  # nothing read yet
+        first = cursor.fetch(1)
+        assert first
+        partial_io = index.stats.total_physical_io - before
+        assert partial_io > 0
+        full_io = index.io_snapshot()
+        index.range_query(Rect(0.0, 0.0, 1.0, 1.0))
+        full_cost = index.stats.total_physical_io - full_io.total_physical_io
+        # One result costs strictly less than materialising the full set.
+        assert partial_io < full_cost
+
+    def test_streaming_knn_defers_io_until_consumption(self):
+        index = loaded("single", strategy="TD", buffer_percent=0.0)
+        before = index.stats.total_physical_io
+        cursor = index.stream_knn(Point(0.5, 0.5), NUM_OBJECTS)
+        assert index.stats.total_physical_io == before
+        cursor.fetch(1)
+        partial_io = index.stats.total_physical_io - before
+        assert partial_io > 0
+        snapshot = index.stats.total_physical_io
+        index.knn(Point(0.5, 0.5), NUM_OBJECTS)
+        full_cost = index.stats.total_physical_io - snapshot
+        assert partial_io < full_cost
+
+
+class TestProtocolSurface:
+    def test_configure_buffer_is_part_of_the_protocol(self):
+        assert "configure_buffer" in SpatialIndexFacade.__abstractmethods__
+
+    def test_sharded_buffer_split_preserves_the_aggregate_capacity(self):
+        index = loaded("sharded", num_objects=400)
+        index.configure_buffer(5.0)
+        total_pages = sum(len(shard.disk) for shard in index.shards)
+        expected = BufferPool.capacity_for_percentage(5.0, total_pages)
+        assert sum(shard.buffer.capacity for shard in index.shards) == expected
+        # Proportionality: a shard holding more pages never gets less buffer.
+        pairs = sorted(
+            (len(shard.disk), shard.buffer.capacity) for shard in index.shards
+        )
+        for (small_pages, small_cap), (big_pages, big_cap) in zip(pairs, pairs[1:]):
+            if big_pages > small_pages:
+                assert big_cap >= small_cap
+
+    def test_engine_defaults_flow_from_the_spec(self):
+        index = open_index(
+            {
+                "kind": "single",
+                "config": {"page_size": SMALL_PAGE_SIZE},
+                "engine": {"num_clients": 5, "time_per_io": 0.02},
+            }
+        )
+        session = index.engine()
+        assert session.num_clients == 5
+        assert session.engine.scheduler.time_per_io == 0.02
+        # Explicit arguments still win over the spec defaults.
+        assert index.engine(num_clients=2).num_clients == 2

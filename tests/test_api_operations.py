@@ -1,0 +1,212 @@
+"""Unit tests for the typed operation model, error taxonomy and result types."""
+
+import pytest
+
+from repro.api import (
+    KNN,
+    BatchReport,
+    Delete,
+    DuplicateObjectError,
+    Insert,
+    InvalidNeighborCountError,
+    InvalidOperationError,
+    InvalidWindowError,
+    Migrate,
+    Operation,
+    OperationError,
+    OperationResult,
+    QueryCursor,
+    RangeQuery,
+    UnknownObjectError,
+    Update,
+)
+from repro.geometry import Point, Rect
+from repro.update.batch import BatchResult
+
+
+class TestOperationModel:
+    def test_from_tuple_parses_every_facade_shape(self):
+        point = Point(0.3, 0.4)
+        window = Rect(0.1, 0.1, 0.5, 0.5)
+        assert Operation.from_tuple(("update", 1, point)) == Update(1, point)
+        assert Operation.from_tuple(("insert", 2, point)) == Insert(2, point)
+        assert Operation.from_tuple(("delete", 3)) == Delete(3)
+        assert Operation.from_tuple(("range_query", window)) == RangeQuery(window)
+        assert Operation.from_tuple(("query", window)) == RangeQuery(window)
+        assert Operation.from_tuple(("knn", point, 5)) == KNN(point, 5)
+
+    def test_from_tuple_parses_generator_update_item(self):
+        old, new = Point(0.1, 0.1), Point(0.2, 0.2)
+        assert Operation.from_tuple(("update", (7, old, new))) == Update(7, new)
+
+    def test_from_tuple_rejects_unknown_kind(self):
+        with pytest.raises(InvalidOperationError):
+            Operation.from_tuple(("compact",))
+        with pytest.raises(InvalidOperationError):
+            Operation.from_tuple(())
+
+    def test_from_tuple_preserves_taxonomy_validation_errors(self):
+        # Validation errors of well-formed kinds must surface as themselves
+        # (and therefore as their legacy builtin bases), not be rewrapped.
+        with pytest.raises(InvalidWindowError):
+            Operation.from_tuple(("range_query", "not a window"))
+        with pytest.raises(TypeError):  # the legacy engine raised TypeError
+            Operation.from_tuple(("query", 123))
+        with pytest.raises(InvalidNeighborCountError):
+            Operation.from_tuple(("knn", Point(0.5, 0.5), -1))
+
+    def test_from_tuple_rejects_malformed_arity(self):
+        with pytest.raises(InvalidOperationError):
+            Operation.from_tuple(("insert", 1))
+        with pytest.raises(InvalidOperationError):
+            Operation.from_tuple(("update", 1, Point(0, 0), Point(1, 1)))
+        with pytest.raises(InvalidOperationError):
+            Operation.from_tuple(("delete",))
+
+    def test_from_any_passes_typed_operations_through(self):
+        op = Delete(9)
+        assert Operation.from_any(op) is op
+        with pytest.raises(InvalidOperationError):
+            Operation.from_any(["update", 1, Point(0, 0)])  # list, not tuple
+
+    def test_normalise_is_the_engine_normal_form(self):
+        point = Point(0.3, 0.4)
+        window = Rect(0.1, 0.1, 0.5, 0.5)
+        assert Update(1, point).normalise() == ("update", (1, point))
+        assert Insert(2, point).normalise() == ("insert", (2, point))
+        assert Delete(3).normalise() == ("delete", (3,))
+        assert RangeQuery(window).normalise() == ("query", (window,))
+        assert KNN(point, 4).normalise() == ("knn", (point, 4))
+
+    def test_to_tuple_round_trips_through_from_tuple(self):
+        for op in (
+            Update(1, Point(0.3, 0.4)),
+            Insert(2, Point(0.1, 0.2)),
+            Delete(3),
+            RangeQuery(Rect(0.0, 0.0, 1.0, 1.0)),
+            KNN(Point(0.5, 0.5), 3),
+        ):
+            assert Operation.from_tuple(op.to_tuple()) == op
+
+    def test_operations_are_frozen_and_hashable(self):
+        op = Update(1, Point(0.3, 0.4))
+        with pytest.raises(Exception):
+            op.oid = 2
+        assert len({op, Update(1, Point(0.3, 0.4)), Delete(1)}) == 2
+
+    def test_migrate_normalises_as_an_update(self):
+        migrate = Migrate(5, Point(0.9, 0.9))
+        assert migrate.normalise() == ("update", (5, Point(0.9, 0.9)))
+        assert migrate.kind == "migration"
+        # A migration is shard-internal; its tuple surface form is an update.
+        assert Operation.from_tuple(migrate.to_tuple()) == Update(5, Point(0.9, 0.9))
+
+    def test_range_query_validates_the_window(self):
+        with pytest.raises(InvalidWindowError):
+            RangeQuery((0.1, 0.1, 0.5, 0.5))
+        with pytest.raises(TypeError):  # taxonomy inherits the legacy builtin
+            RangeQuery("not a window")
+
+    def test_knn_validates_the_neighbour_count(self):
+        with pytest.raises(InvalidNeighborCountError):
+            KNN(Point(0.5, 0.5), -1)
+        with pytest.raises(InvalidNeighborCountError):
+            KNN(Point(0.5, 0.5), True)  # bools are not counts
+        with pytest.raises(InvalidNeighborCountError):
+            KNN(Point(0.5, 0.5), 2.5)
+        assert KNN(Point(0.5, 0.5), 0).k == 0  # permissive like the facade
+
+
+class TestErrorTaxonomy:
+    def test_every_error_is_an_operation_error(self):
+        for error_type in (
+            UnknownObjectError,
+            DuplicateObjectError,
+            InvalidWindowError,
+            InvalidNeighborCountError,
+            InvalidOperationError,
+        ):
+            assert issubclass(error_type, OperationError)
+
+    def test_errors_inherit_their_legacy_builtins(self):
+        assert issubclass(UnknownObjectError, KeyError)
+        assert issubclass(DuplicateObjectError, ValueError)
+        assert issubclass(InvalidWindowError, TypeError)
+        assert issubclass(InvalidNeighborCountError, ValueError)
+        assert issubclass(InvalidOperationError, ValueError)
+
+    def test_unknown_object_error_carries_the_oid(self):
+        error = UnknownObjectError(42)
+        assert error.oid == 42
+        assert "42" in str(error)
+
+
+class TestQueryCursor:
+    def test_fetch_all_consumed_exhausted(self):
+        cursor = QueryCursor(iter([5, 3, 1, 2]))
+        assert cursor.fetch(2) == [5, 3]
+        assert cursor.consumed == 2
+        assert not cursor.exhausted
+        assert cursor.all() == [1, 2]
+        assert cursor.consumed == 4
+        assert cursor.exhausted
+
+    def test_exhausted_cursor_keeps_returning_empty(self):
+        cursor = QueryCursor(iter([1]))
+        assert list(cursor) == [1]
+        assert cursor.fetch(3) == []
+        assert cursor.all() == []
+        with pytest.raises(StopIteration):
+            next(cursor)
+
+    def test_fetch_beyond_the_source_stops_short(self):
+        cursor = QueryCursor(iter([1, 2]))
+        assert cursor.fetch(10) == [1, 2]
+        assert cursor.exhausted
+
+    def test_fetch_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            QueryCursor(iter([])).fetch(-1)
+
+    def test_cursor_is_lazy(self):
+        consumed = []
+
+        def source():
+            for value in (1, 2, 3):
+                consumed.append(value)
+                yield value
+
+        cursor = QueryCursor(source())
+        assert consumed == []
+        next(cursor)
+        assert consumed == [1]
+
+
+class TestResultEnvelopes:
+    def test_operation_result_cursor_accessor(self):
+        query = RangeQuery(Rect(0, 0, 1, 1))
+        result = OperationResult(query, value=QueryCursor(iter([1])))
+        assert result.ok
+        assert result.cursor().all() == [1]
+        bad = OperationResult(Delete(1), value=True)
+        with pytest.raises(TypeError):
+            bad.cursor()
+
+    def test_operation_result_describe(self):
+        failed = OperationResult(Delete(1), error=UnknownObjectError(1))
+        assert not failed.ok
+        assert "error" in failed.describe()
+
+    def test_batch_report_lifts_the_internal_result(self):
+        internal = BatchResult(
+            updates=10, inserts=2, deletes=1, coalesced=3, groups=4,
+            largest_group=5, residuals=2, migrations=1,
+        )
+        internal.queries.append([1, 2])
+        internal.neighbors.append([(0.1, 7)])
+        report = BatchReport.from_batch_result(internal)
+        assert report.updates == 10
+        assert report.queries == [[1, 2]]
+        assert report.neighbors == [[(0.1, 7)]]
+        assert report.operations == 10 + 2 + 1 + 1 + 1
+        assert "knn=1" in report.describe()

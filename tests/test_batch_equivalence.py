@@ -160,7 +160,7 @@ class TestBatchMatchesSequential:
             elif op[0] == "insert":
                 baseline.insert(op[1], op[2])
             else:
-                baseline.delete(op[1])
+                baseline.delete(op[1], strict=False)
         # The batch facade mirrors the same skip-absent rule for deletes and
         # raises for updates of absent objects, so filter identically.
         filtered = []

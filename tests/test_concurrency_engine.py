@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import Operation
 from repro.concurrency import EXTERNAL_GRANULE, TREE_GRANULE, LockMode
 from repro.core import IndexConfig, MovingObjectIndex
 from repro.geometry import Point, Rect
@@ -176,7 +177,7 @@ class TestConcurrentSession:
         restored = []
         for position in range(60):
             restored.append(streams[position % 4][position // 4])
-        assert restored == shared
+        assert restored == [Operation.from_tuple(item) for item in shared]
 
 
 class TestConflictAwareBatchScheduling:

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.api import UnknownObjectError
 from repro.core import IndexConfig, MovingObjectIndex
 from repro.geometry import Point, Rect
 from repro.update import UpdateOutcome
@@ -64,7 +65,9 @@ class TestDataOperations:
         assert index.position_of(1_000) == Point(0.6, 0.6)
         assert index.delete(1_000)
         assert 1_000 not in index
-        assert not index.delete(1_000)
+        with pytest.raises(UnknownObjectError):
+            index.delete(1_000)
+        assert not index.delete(1_000, strict=False)
 
     def test_inserting_duplicate_oid_rejected(self):
         index = fresh_index()

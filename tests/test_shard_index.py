@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.api import UnknownObjectError
 from repro.core import IndexConfig, SpatialIndexFacade
 from repro.geometry import Point, Rect
 from repro.shard import GridPartitioner, ShardedIndex
@@ -89,7 +90,9 @@ class TestRoutingAndMigration:
         assert index.delete(5)
         assert index.shard_for(5) is None
         assert 5 not in index.shards[shard_id]
-        assert not index.delete(5)
+        with pytest.raises(UnknownObjectError):
+            index.delete(5)
+        assert not index.delete(5, strict=False)
 
     def test_validate_detects_directory_corruption(self):
         index = build_sharded(num_shards=4)

@@ -10,6 +10,7 @@ generator's batched stream mode.
 
 import pytest
 
+from repro.api import RangeQuery, Update
 from repro.core import IndexConfig, MovingObjectIndex
 from repro.geometry import Point, Rect
 from repro.rtree.node import Entry
@@ -314,9 +315,9 @@ class TestGeneratorBatchedStream:
             WorkloadGenerator(spec).mixed_operation_batches(200, 0.5, batch_size=33)
         )
         expected = [
-            ("update", payload[0], payload[2])
+            Update(payload[0], payload[2])
             if kind == "update"
-            else ("range_query", payload)
+            else RangeQuery(payload)
             for kind, payload in sequential
         ]
         assert [item for batch in batches for item in batch] == expected

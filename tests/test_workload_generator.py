@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import Operation
 from repro.geometry import Rect
 from repro.workload import WorkloadGenerator, WorkloadSpec
 
@@ -127,4 +128,4 @@ class TestClientStreams:
         dealt = []
         for position in range(30):
             dealt.append(streams[position % 7][position // 7])
-        assert dealt == shared
+        assert dealt == [Operation.from_tuple(item) for item in shared]
