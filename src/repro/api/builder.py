@@ -26,6 +26,7 @@ round-trips to the identical spec.
 ...     .buffer_percent(2.0)
 ...     .shards(4)
 ...     .engine(num_clients=16)
+...     .rebalance(threshold=2.0, cooldown=300)
 ...     .build()
 ... )
 >>> sharded.num_shards
@@ -33,6 +34,8 @@ round-trips to the identical spec.
 >>> spec = index_spec(sharded)
 >>> (spec["kind"], spec["partitioner"], spec["engine"]["num_clients"])
 ('sharded', {'kind': 'grid', 'columns': 2, 'rows': 2}, 16)
+>>> spec["rebalance"]["threshold"]
+2.0
 >>> index_spec(open_index(spec)) == spec
 True
 """
@@ -104,6 +107,8 @@ def index_spec(index: "SpatialIndexFacade") -> Dict[str, Any]:
             "config": config_to_spec(index.config),
             "partitioner": index.partitioner.to_spec(),
         }
+        if index.rebalancer is not None:
+            spec["rebalance"] = index.rebalancer.to_spec()
     else:
         spec = {"kind": "single", "config": config_to_spec(index.config)}
     if index.engine_defaults:
@@ -125,6 +130,8 @@ def open_index(
             "partitioner": {...partitioner spec...},
             "engine": {"num_clients": ..., "time_per_io": ...,
                        "cpu_time_per_op": ...},  # session defaults
+            "rebalance": {"threshold": ..., "cooldown": ...,
+                          "min_ops": ...},       # sharded: online rebalancer
         }
 
     Keyword *overrides* are merged over the spec's top level, so
@@ -154,6 +161,7 @@ class IndexBuilder:
         self._shards: Optional[int] = None
         self._partitioner_spec: Optional[Dict[str, Any]] = None
         self._engine: Dict[str, Any] = {}
+        self._rebalance: Optional[Dict[str, Any]] = None
 
     # -- index configuration -------------------------------------------
     def strategy(self, name: str) -> "IndexBuilder":
@@ -212,6 +220,32 @@ class IndexBuilder:
         self._partitioner_spec = spec
         return self
 
+    def rebalance(
+        self,
+        threshold: Optional[float] = None,
+        cooldown: Optional[int] = None,
+        min_ops: Optional[int] = None,
+    ) -> "IndexBuilder":
+        """Attach the online shard rebalancer (implies a sharded topology).
+
+        The built :class:`~repro.shard.index.ShardedIndex` monitors per-shard
+        load and — when the max/mean load exceeds *threshold* after at least
+        *min_ops* observed operations, re-checked every *cooldown* operations
+        — re-cuts the partition boundaries and migrates the displaced
+        objects through conflict-scheduled engine batches.  Unset parameters
+        keep the :class:`~repro.shard.rebalance.RebalancePolicy` defaults.
+        """
+        section: Dict[str, Any] = {}
+        if threshold is not None:
+            section["threshold"] = threshold
+        if cooldown is not None:
+            section["cooldown"] = cooldown
+        if min_ops is not None:
+            section["min_ops"] = min_ops
+        self._kind = "sharded"
+        self._rebalance = section
+        return self
+
     # -- engine session defaults ---------------------------------------
     def engine(
         self,
@@ -232,7 +266,7 @@ class IndexBuilder:
     @classmethod
     def from_spec(cls, spec: Dict[str, Any]) -> "IndexBuilder":
         """A builder pre-loaded from a declarative spec dict."""
-        known = {"kind", "config", "shards", "partitioner", "engine"}
+        known = {"kind", "config", "shards", "partitioner", "engine", "rebalance"}
         unknown = set(spec) - known
         if unknown:
             raise ValueError(f"unknown spec keys {sorted(unknown)!r}")
@@ -245,13 +279,17 @@ class IndexBuilder:
             builder.shards(int(spec["shards"]))
         if spec.get("partitioner") is not None:
             builder.partitioner(dict(spec["partitioner"]))
+        if spec.get("rebalance") is not None:
+            builder._kind = "sharded"
+            builder._rebalance = dict(spec["rebalance"])
         kind = spec.get("kind")
         if kind is not None:
             if kind not in ("single", "sharded"):
                 raise ValueError(f"unknown index kind {kind!r}")
             if kind == "single" and builder._kind == "sharded":
                 raise ValueError(
-                    "kind 'single' conflicts with a shards/partitioner entry"
+                    "kind 'single' conflicts with a shards/partitioner/"
+                    "rebalance entry"
                 )
             builder._kind = kind
         builder._engine = dict(spec.get("engine", {}))
@@ -274,6 +312,14 @@ class IndexBuilder:
         }
         if self._kind == "sharded":
             spec["partitioner"] = self._grid_partitioner_spec()
+        if self._rebalance is not None:
+            # Normalise through the policy codec (defaults made explicit;
+            # a checkpoint's runtime counters are not part of the spec).
+            from repro.shard.rebalance import RebalancePolicy
+
+            policy_data = dict(self._rebalance)
+            policy_data.pop("rebalances", None)
+            spec["rebalance"] = RebalancePolicy.from_spec(policy_data).to_spec()
         if self._engine:
             spec["engine"] = dict(self._engine)
         return spec
@@ -312,6 +358,12 @@ class IndexBuilder:
                     self._shards if self._shards is not None else 4
                 )
             index = ShardedIndex(config, partitioner=partitioner)
+            if self._rebalance is not None:
+                from repro.shard.rebalance import ShardRebalancer
+
+                index.attach_rebalancer(
+                    ShardRebalancer.from_spec(self._rebalance, index.num_shards)
+                )
         else:
             index = MovingObjectIndex(config)
         if self._engine:

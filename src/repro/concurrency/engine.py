@@ -34,8 +34,9 @@ the model — the same seed always produces the identical makespan.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import repro.api.operations as api_ops
 from repro.concurrency.dgl import DGLProtocol, namespace_pairs
@@ -231,6 +232,15 @@ class OnlineOperationEngine:
             time_per_io=time_per_io,
             cpu_time_per_op=cpu_time_per_op,
         )
+        #: Facade maintenance work (e.g. rebalance migrations) pending
+        #: dispatch, shared across every client stream of a run so bursts
+        #: spread over all clients (see :meth:`_with_maintenance`).  The
+        #: queue deliberately survives an aborted run: a rebalance plan
+        #: whose boundaries are already installed must eventually complete,
+        #: and maintenance operations re-verify every member against the
+        #: live index at dispatch, so draining leftovers at the start of
+        #: the next run is safe self-healing, not stale replay.
+        self._maintenance: Deque[VirtualOperation] = deque()
 
     @property
     def num_clients(self) -> int:
@@ -249,13 +259,25 @@ class OnlineOperationEngine:
         through the deprecated :meth:`Operation.from_any` adapter.
         """
         self.index.reset_client_io()
-        return self.scheduler.run(self._live_operations(operations))
+        return self.scheduler.run(
+            self._with_maintenance(self._live_operations(operations))
+        )
 
     def run_streams(self, streams: Sequence[Iterable]) -> ScheduleResult:
-        """Execute one operation stream per virtual client."""
+        """Execute one operation stream per virtual client.
+
+        Each stream is interleaved with the facade's maintenance hook, so
+        background work a facade generates while the run is live — e.g. the
+        sharded rebalancer's migration batches — is scheduled alongside the
+        client operations under the same granule locking instead of waiting
+        for the session to drain.
+        """
         self.index.reset_client_io()
         return self.scheduler.run_streams(
-            [self._live_operations(stream) for stream in streams]
+            [
+                self._with_maintenance(self._live_operations(stream))
+                for stream in streams
+            ]
         )
 
     def run_batch(self, updates: Iterable["BatchUpdate"]) -> BatchScheduleResult:
@@ -294,6 +316,34 @@ class OnlineOperationEngine:
     def _live_operations(self, operations: Iterable) -> Iterator[_LiveOperation]:
         for operation in operations:
             yield _LiveOperation(self, api_ops.Operation.from_any(operation))
+
+    def _with_maintenance(
+        self, operations: Iterator[VirtualOperation]
+    ) -> Iterator[VirtualOperation]:
+        """Interleave the facade's maintenance work with a live stream.
+
+        Before each client operation is handed to the scheduler the facade's
+        :meth:`~repro.core.protocol.SpatialIndexFacade.maintenance_operations`
+        hook is polled and its output lands on one maintenance queue
+        **shared by every client stream**; each draw then dispatches at most
+        one queued operation ahead of the client's own work.  A burst of
+        maintenance (the sharded rebalancer emits one migration per
+        displaced object) is thereby spread across all virtual clients and
+        executed concurrently, instead of serialising on whichever client
+        happened to trigger it.  Streams that drain keep pulling from the
+        queue until it empties.  Each injected operation locks its own
+        granules all-or-nothing, so maintenance serialises only with the
+        client operations it truly conflicts with.
+        """
+        queue = self._maintenance
+        for operation in operations:
+            queue.extend(self.index.maintenance_operations(self))
+            if queue:
+                yield queue.popleft()
+            yield operation
+        queue.extend(self.index.maintenance_operations(self))
+        while queue:
+            yield queue.popleft()
 
 
 class ConcurrentSession:

@@ -134,6 +134,10 @@ def save_index(index, path: Union[str, Path]) -> None:
             "partitioner": index.partitioner.to_spec(),
             "shards": [_index_document(shard) for shard in index.shards],
         }
+        if index.rebalancer is not None:
+            # Builder spec section plus the runtime counters, so a restored
+            # index resumes the same policy with its rebalance history.
+            document["rebalance"] = index.rebalancer.state_to_spec()
     else:
         document = {"format_version": FORMAT_VERSION, **_index_document(index)}
     if index.engine_defaults:
@@ -165,6 +169,12 @@ def load_index(path: Union[str, Path]):
         shards = [_restore_index(shard) for shard in document["shards"]]
         index = ShardedIndex.from_restored_shards(partitioner, shards)
         index.configure_buffer()  # facade contract: aggregate buffer split
+        if document.get("rebalance"):
+            from repro.shard.rebalance import ShardRebalancer
+
+            index.attach_rebalancer(
+                ShardRebalancer.from_spec(document["rebalance"], index.num_shards)
+            )
     else:
         index = _restore_index(document)
     if document.get("engine"):

@@ -283,6 +283,19 @@ class SpatialIndexFacade(abc.ABC):
         callback computes the batch's I/O delta once the schedule drains.
         """
 
+    def maintenance_operations(self, engine) -> List:
+        """Background work to interleave with a live engine schedule.
+
+        The online engine polls this hook between operation draws and hands
+        whatever it returns to the scheduler ahead of the next client
+        operation, under the ordinary all-or-nothing granule locking.  The
+        default facade has no background work; a sharded index with an
+        online rebalancer attached returns its conflict-scheduled
+        rebalance migrations here (see
+        :meth:`repro.shard.index.ShardedIndex.maintenance_operations`).
+        """
+        return []
+
     # ------------------------------------------------------------------
     # Engine SPI — per-client physical-I/O attribution
     # ------------------------------------------------------------------

@@ -398,6 +398,85 @@ class RTree:
         for entry in entries:
             node.add_entry(entry)
 
+    def find_path_to_leaf(self, leaf_page_id: int, hint: Rect) -> Optional[List[Node]]:
+        """Root-to-leaf node path ending at *leaf_page_id* (reads charged).
+
+        The descent follows entries intersecting *hint* — any rectangle
+        known to lie inside the leaf's MBR, e.g. one member entry — exactly
+        like the delete-side FindLeaf; level-1 nodes are matched by child
+        page id, so no sibling leaf is ever read.  Returns ``None`` when
+        the leaf is not reachable (it was dissolved since planning).  The
+        returned path is what :meth:`_condense_tree`-style maintenance
+        needs: root first, the leaf itself last.
+        """
+
+        def descend(node: Node, path: List[Node]) -> Optional[List[Node]]:
+            path = path + [node]
+            if node.is_leaf:
+                return path if node.page_id == leaf_page_id else None
+            if node.level == 1:
+                if any(entry.child == leaf_page_id for entry in node.entries):
+                    return path + [self.read_node(leaf_page_id)]
+                return None
+            for entry in node.entries:
+                if entry.rect.intersects(hint):
+                    result = descend(self.read_node(entry.child), path)
+                    if result is not None:
+                        return result
+            return None
+
+        return descend(self.read_node(self.root_page_id), [])
+
+    def remove_group(self, path: List[Node], children: Iterable[int]) -> List[Entry]:
+        """Remove several objects from the leaf at ``path[-1]`` and condense once.
+
+        The bulk counterpart of repeated :meth:`delete_from_leaf` calls: the
+        entries are taken out of the leaf in one pass, :attr:`size` and the
+        object-removal observers are maintained per object, and a **single**
+        CondenseTree pass handles the write-back, any underflow (surviving
+        entries are re-inserted, the emptied node is dissolved) and the
+        ancestor-MBR tightening — instead of one full condense per object.
+        Returns the removed entries.  Used by the shard rebalancer, whose
+        migrations drain whole leaves at a time.
+        """
+        leaf = path[-1]
+        entries = self.remove_entries(leaf, children)
+        self.size -= len(entries)
+        for entry in entries:
+            self.observers.object_removed(entry.child)
+        self._condense_tree(path)
+        return entries
+
+    def insert_group(self, entries: Sequence[Entry]) -> None:
+        """Bulk-insert co-located object entries (one descent per leaf-full).
+
+        The group counterpart of repeated :meth:`insert` calls, used by the
+        shard rebalancer to move whole leaf buckets between shards: one
+        ChooseLeaf descent places as many entries as the chosen leaf has
+        room for, the leaf is written once, and one AdjustTree pass
+        propagates the enlargement — R-tree containment only requires the
+        ancestors to cover the entries, so sharing the placement is legal
+        and, for entries that travelled together from one source leaf,
+        spatially reasonable.  A full leaf takes one entry anyway and lets
+        the AdjustTree pass split it — the descent already paid for is
+        reused instead of repeating ChooseLeaf from the root.
+        """
+        pending = list(entries)
+        while pending:
+            path = self._choose_path(pending[0].rect, 0, self.root_page_id)
+            leaf = path[-1]
+            room = self.leaf_capacity - len(leaf.entries)
+            if room <= 0:
+                leaf.add_entry(pending.pop(0))
+                self.size += 1
+                self._handle_overflow_and_adjust(path, [])
+                continue
+            batch = pending[:room]
+            del pending[:room]
+            self.add_entries(leaf, batch)
+            self.size += len(batch)
+            self._handle_overflow_and_adjust(path, [])
+
     def adjust_upward(
         self,
         parent: Node,

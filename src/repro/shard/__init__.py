@@ -13,7 +13,11 @@ across **spatial shards**.  This package provides:
   :class:`~repro.core.index.MovingObjectIndex` shards, migrates objects
   across shard boundaries, fans queries out to only the intersecting
   shards, and composes per-shard DGL lock scopes under the online
-  concurrent operation engine.
+  concurrent operation engine;
+* :mod:`repro.shard.rebalance` — the online :class:`ShardRebalancer`:
+  per-shard load monitoring, an imbalance trigger policy, a weighted
+  boundary-adjustment planner, and conflict-scheduled migration batches
+  that re-cut the partition under hotspot drift.
 """
 
 from repro.shard.index import MigrationOperation, ShardedIndex
@@ -21,7 +25,19 @@ from repro.shard.partitioner import (
     BoundaryPartitioner,
     GridPartitioner,
     Partitioner,
+    QuantileGridPartitioner,
+    near_square_factoring,
     partitioner_from_spec,
+)
+from repro.shard.rebalance import (
+    RebalanceGroupMigration,
+    RebalanceMigration,
+    RebalancePlan,
+    RebalancePolicy,
+    RebalanceReport,
+    ShardLoadMonitor,
+    ShardRebalancer,
+    plan_boundaries,
 )
 
 __all__ = [
@@ -30,5 +46,15 @@ __all__ = [
     "Partitioner",
     "GridPartitioner",
     "BoundaryPartitioner",
+    "QuantileGridPartitioner",
+    "near_square_factoring",
     "partitioner_from_spec",
+    "RebalanceGroupMigration",
+    "RebalanceMigration",
+    "RebalancePlan",
+    "RebalancePolicy",
+    "RebalanceReport",
+    "ShardLoadMonitor",
+    "ShardRebalancer",
+    "plan_boundaries",
 ]

@@ -42,6 +42,7 @@ buckets of different shards schedule concurrently, which is what the
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 import repro.api.operations as api_ops
@@ -59,6 +60,13 @@ from repro.core.index import MovingObjectIndex
 from repro.core.protocol import SpatialIndexFacade
 from repro.geometry import Point, Rect
 from repro.shard.partitioner import GridPartitioner, Partitioner
+from repro.shard.rebalance import (
+    RebalanceGroupMigration,
+    RebalanceMigration,
+    RebalancePlan,
+    RebalanceReport,
+    ShardRebalancer,
+)
 from repro.storage import IOStatistics
 from repro.storage.buffer import ClientIOCounters
 from repro.update import UpdateOutcome
@@ -163,6 +171,16 @@ class ShardedIndex(SpatialIndexFacade):
         }
         #: Cross-shard migrations executed since the last statistics reset.
         self.migrations = 0
+        #: Optional online rebalancer (attached via :meth:`attach_rebalancer`
+        #: or the declarative ``rebalance`` spec section).  When present,
+        #: every routed operation is recorded into its load monitor and the
+        #: batch/engine paths auto-trigger boundary adjustments.
+        self.rebalancer: Optional[ShardRebalancer] = None
+        #: True while a rebalance migration executes: the rebalancer's own
+        #: traffic must not land in the load monitor's evidence window, or a
+        #: re-cut displacing more than ``cooldown`` objects would re-satisfy
+        #: the trigger gate by itself and storm.
+        self._suppress_load_recording = False
 
     @classmethod
     def from_restored_shards(
@@ -192,6 +210,282 @@ class ShardedIndex(SpatialIndexFacade):
         for shard_id in self._shard_of.values():
             populations[shard_id] += 1
         return populations
+
+    def population_imbalance(self) -> float:
+        """Max/mean of the shard populations (1.0 = balanced, also when empty)."""
+        populations = self.shard_populations()
+        total = sum(populations)
+        if total == 0:
+            return 1.0
+        return max(populations) * self.num_shards / total
+
+    def object_directory(self) -> Iterable[int]:
+        """The object ids currently routed (directory keys; do not mutate)."""
+        return self._shard_of.keys()
+
+    # ------------------------------------------------------------------
+    # Rebalancing (repro.shard.rebalance)
+    # ------------------------------------------------------------------
+    def attach_rebalancer(self, rebalancer: Optional[ShardRebalancer]) -> None:
+        """Install (or remove, with ``None``) the online rebalancer.
+
+        Once attached, every routed operation is recorded into the
+        rebalancer's per-shard load monitor, and the auto-trigger hooks —
+        the engine's maintenance interleave for live sessions, the batch
+        epilogues for serial batches — consult its policy.
+        """
+        self.rebalancer = rebalancer
+        if rebalancer is not None:
+            rebalancer.monitor.reset(self.shards)
+
+    def _record_update(self, shard_id: int, count: int = 1) -> None:
+        if self.rebalancer is not None and not self._suppress_load_recording:
+            self.rebalancer.monitor.record_update(shard_id, count)
+
+    def _record_query(self, shard_id: int, count: int = 1) -> None:
+        if self.rebalancer is not None and not self._suppress_load_recording:
+            self.rebalancer.monitor.record_query(shard_id, count)
+
+    def reroute(self, oid: int) -> bool:
+        """Migrate *oid* to the shard its *current* position routes to.
+
+        The primitive a :class:`~repro.shard.rebalance.RebalanceMigration`
+        executes: re-reading the live position makes the operation safe
+        against races with concurrent updates — an object that has already
+        moved on (or away) since the plan was drawn is re-routed to where it
+        now belongs, or not at all.  Returns ``True`` when a migration
+        actually happened.
+        """
+        position = self.position_of(oid)
+        if position is None:
+            return False
+        if self.partitioner.shard_of(position) == self._shard_of.get(oid):
+            return False
+        self._unrecorded_migration(
+            lambda: self._execute_migration(BatchUpdate(oid, position, position))
+        )
+        return True
+
+    def _unrecorded_migration(self, work):
+        """Run rebalance-migration *work* without it reading as shard load.
+
+        Both halves of the load signal are shielded: the update counters
+        (via the suppression flag the ``_record_*`` hooks consult) and the
+        physical I/O (by advancing the monitor's sampling marks past
+        whatever the work transferred).  Only the outermost frame measures
+        — a nested call (the per-object fallback inside a group) would
+        otherwise exclude its I/O twice and eat real client load.
+        """
+        previous = self._suppress_load_recording
+        self._suppress_load_recording = True
+        rebalancer = self.rebalancer
+        before = (
+            [shard.total_physical_io() for shard in self.shards]
+            if rebalancer is not None and not previous
+            else None
+        )
+        try:
+            return work()
+        finally:
+            self._suppress_load_recording = previous
+            if before is not None:
+                for shard_id, shard in enumerate(self.shards):
+                    delta = shard.total_physical_io() - before[shard_id]
+                    if delta > 0:
+                        rebalancer.monitor.exclude_io(shard_id, delta)
+
+    def migrate_leaf_group(
+        self, source_id: int, leaf_page: int, oids: List[int]
+    ) -> int:
+        """Bulk re-route a planned source-leaf bucket; returns objects moved.
+
+        The group primitive a
+        :class:`~repro.shard.rebalance.RebalanceGroupMigration` executes:
+        every member still owned by the source shard, still on the planned
+        leaf and still routed elsewhere is migrated with **one** source-side
+        removal pass (one CondenseTree for the whole bucket,
+        :meth:`~repro.rtree.tree.RTree.remove_group`) and one bulk insert
+        per destination shard
+        (:meth:`~repro.rtree.tree.RTree.insert_group`) — instead of a full
+        delete + insert per object.  Members that drifted since planning
+        (concurrent update moved them, or their leaf dissolved) fall back to
+        the per-object :meth:`reroute`, so the group races safely with live
+        client traffic.
+
+        None of the group's work — neither its operation counts nor its
+        physical I/O — is recorded into the load monitor: the rebalancer's
+        own traffic in the evidence window would re-satisfy the
+        ``cooldown`` gate whenever a re-cut displaces more objects than the
+        cooldown, storming into back-to-back rebalances.
+        """
+        return self._unrecorded_migration(
+            lambda: self._migrate_leaf_group_unrecorded(source_id, leaf_page, oids)
+        )
+
+    def _migrate_leaf_group_unrecorded(
+        self, source_id: int, leaf_page: int, oids: List[int]
+    ) -> int:
+        source = self.shards[source_id]
+        confirmed: List[Tuple[int, int, Point]] = []
+        drifted: List[int] = []
+        for oid in oids:
+            if self._shard_of.get(oid) != source_id:
+                continue  # a concurrent update already migrated it
+            position = source.position_of(oid)
+            if position is None:
+                continue
+            target = self.partitioner.shard_of(position)
+            if target == source_id:
+                continue  # moved back inside the source region meanwhile
+            if source.hash_index.peek(oid) != leaf_page:
+                # Drifted to another leaf.  Deferred to the per-object path
+                # AFTER the bulk pass: a reroute restructures the source
+                # tree (underflow re-inserts, splits) and could move a
+                # confirmed member off the planned leaf mid-group.
+                drifted.append(oid)
+                continue
+            confirmed.append((oid, target, position))
+        if not confirmed:
+            return sum(1 for oid in drifted if self.reroute(oid))
+        path = source.tree.find_path_to_leaf(
+            leaf_page, Rect.from_point(confirmed[0][2])
+        )
+        if path is None:
+            # The leaf dissolved between planning and dispatch: per-object.
+            moved_count = sum(1 for oid, _t, _p in confirmed if self.reroute(oid))
+            return moved_count + sum(1 for oid in drifted if self.reroute(oid))
+        try:
+            moved = source.tree.remove_group(
+                path, [oid for oid, _t, _p in confirmed]
+            )
+        except LookupError:
+            # A member left the (still existing) leaf after confirmation —
+            # nothing was mutated; fall back to the per-object path.
+            moved_count = sum(1 for oid, _t, _p in confirmed if self.reroute(oid))
+            return moved_count + sum(1 for oid in drifted if self.reroute(oid))
+        entry_of = {entry.child: entry for entry in moved}
+        per_target: Dict[int, List[int]] = {}
+        positions: Dict[int, Point] = {}
+        for oid, target, position in confirmed:
+            source._positions.pop(oid, None)
+            positions[oid] = position
+            per_target.setdefault(target, []).append(oid)
+        for target, group in per_target.items():
+            target_shard = self.shards[target]
+            target_shard.tree.insert_group([entry_of[oid] for oid in group])
+            for oid in group:
+                target_shard._positions[oid] = positions[oid]
+                self._shard_of[oid] = target
+        self.migrations += len(confirmed)
+        return len(confirmed) + sum(1 for oid in drifted if self.reroute(oid))
+
+    def rebalance(
+        self, force: bool = False, num_clients: Optional[int] = None
+    ) -> RebalanceReport:
+        """Adjust the partition boundaries to the observed load and migrate.
+
+        Plans new boundaries from the rebalancer's load monitor (each object
+        weighted by its owning shard's load share, so the new cut equalises
+        *load*), installs the new partitioner, and executes the required
+        migrations as one conflict-scheduled batch through the concurrent
+        engine — each migration locks its source-shard delete scope and its
+        destination-shard insert scope all-or-nothing, exactly like a
+        boundary-crossing update.
+
+        With ``force=True`` the policy trigger is bypassed and — when no
+        load has been recorded (or no rebalancer is attached) — the plan
+        falls back to equalising shard populations.
+        """
+        rebalancer = self.rebalancer
+        if rebalancer is None:
+            # One-shot controller: only meaningful with force=True, since an
+            # unattached index has recorded no load evidence.
+            rebalancer = ShardRebalancer(self.num_shards)
+            rebalancer.monitor.reset(self.shards)
+        imbalance_before = self.population_imbalance()
+        if force:
+            plan = rebalancer.plan(self, force=True)
+            if plan is not None:
+                self.partitioner = plan.partitioner
+                rebalancer.committed(self)
+        else:
+            plan = self._triggered_plan(rebalancer)
+        if plan is None:
+            return RebalanceReport(
+                triggered=False,
+                imbalance_before=imbalance_before,
+                imbalance_after=imbalance_before,
+            )
+        # The migration schedule is a run of its own: reset the per-client
+        # attribution so client_io_table() keeps meaning "the last run".
+        self.reset_client_io()
+        engine = self.engine(num_clients=num_clients).engine
+        schedule = engine.scheduler.run(iter(self._migration_batch(engine, plan)))
+        return RebalanceReport(
+            triggered=True,
+            imbalance_before=imbalance_before,
+            imbalance_after=self.population_imbalance(),
+            moves=len(plan.moves),
+            schedule=schedule,
+        )
+
+    def _triggered_plan(self, rebalancer: ShardRebalancer) -> Optional[RebalancePlan]:
+        """One step of the feedback loop: trigger, plan, install, commit.
+
+        The shared control flow of :meth:`rebalance` and
+        :meth:`maintenance_operations`: consult the policy, plan a boundary
+        adjustment, install the new partitioner and commit the evidence
+        window.  A trigger whose plan moves nothing resets the window
+        instead, so the O(N) planning scan is not repeated on every poll
+        while the (unactionable) trigger condition persists.
+        """
+        if not rebalancer.should_rebalance(self):
+            return None
+        plan = rebalancer.plan(self)
+        if plan is None:
+            rebalancer.monitor.reset(self.shards)
+            return None
+        self.partitioner = plan.partitioner
+        rebalancer.committed(self)
+        return plan
+
+    def auto_rebalance(self) -> Optional[RebalanceReport]:
+        """Policy-gated :meth:`rebalance`, called by the serial batch epilogues."""
+        if self.rebalancer is None:
+            return None
+        if not self.rebalancer.should_rebalance(self):
+            return None
+        return self.rebalance()
+
+    def maintenance_operations(self, engine) -> List[VirtualOperation]:
+        """Engine SPI: inject rebalance migrations into a live schedule.
+
+        Called by the online engine between operation draws.  When the
+        rebalancer's policy triggers (:meth:`_triggered_plan`), the new
+        boundaries are installed immediately (queries stay correct
+        mid-rebalance: shard selection also consults content MBRs) and the
+        plan's migration operations — bulk leaf groups plus loose members —
+        are handed to the scheduler, where they interleave with the live
+        client operations under ordinary all-or-nothing granule locking.
+        """
+        rebalancer = self.rebalancer
+        if rebalancer is None:
+            return []
+        plan = self._triggered_plan(rebalancer)
+        if plan is None:
+            return []
+        return self._migration_batch(engine, plan)
+
+    def _migration_batch(self, engine, plan: RebalancePlan) -> List[VirtualOperation]:
+        """A plan's moves as schedulable operations: leaf buckets + loose members."""
+        operations: List[VirtualOperation] = [
+            RebalanceGroupMigration(engine, self, shard_id, leaf_page, members)
+            for shard_id, leaf_page, members in plan.buckets
+        ]
+        operations.extend(
+            RebalanceMigration(engine, self, oid) for oid in plan.loose
+        )
+        return operations
 
     # ------------------------------------------------------------------
     # Loading
@@ -232,7 +526,20 @@ class ShardedIndex(SpatialIndexFacade):
     def _split_buffer_capacity(
         self, total_capacity: int, disk_sizes: List[int]
     ) -> None:
-        """Distribute *total_capacity* frames proportionally to shard disk sizes."""
+        """Distribute *total_capacity* frames proportionally to shard disk sizes.
+
+        Largest-remainder rounding, with a **minimum-frame rule**: whenever
+        ``total_capacity > 0``, every shard with a non-empty disk receives
+        at least one frame — a nonzero configured buffer percentage must
+        never silently run a shard at the paper's "0 % buffer"
+        configuration.  The extra frames are taken from the largest shares
+        first (ties broken towards the smaller disk, then the lower shard
+        id — so a shard holding more pages never ends up with less buffer
+        than a smaller one), keeping the aggregate exact whenever some
+        share has a frame to spare; when the capacity is scarcer than the
+        number of non-empty shards the minimum takes precedence and the
+        aggregate runs over by the deficit.
+        """
         total_pages = sum(disk_sizes)
         if total_pages == 0:
             shares = [0] * len(self.shards)
@@ -246,6 +553,17 @@ class ShardedIndex(SpatialIndexFacade):
             )
             for i in remainders[: total_capacity - sum(shares)]:
                 shares[i] += 1
+            if total_capacity > 0:
+                for i in range(len(shares)):
+                    if disk_sizes[i] > 0 and shares[i] == 0:
+                        shares[i] = 1
+                        donor = max(
+                            (j for j in range(len(shares)) if shares[j] > 1),
+                            key=lambda j: (shares[j], -disk_sizes[j], -j),
+                            default=None,
+                        )
+                        if donor is not None:
+                            shares[donor] -= 1
         for shard, share in zip(self.shards, shares):
             shard.buffer.clear()
             shard.buffer.capacity = share
@@ -257,6 +575,7 @@ class ShardedIndex(SpatialIndexFacade):
         if oid in self._shard_of:
             raise DuplicateObjectError(oid)
         shard_id = self.partitioner.shard_of(location)
+        self._record_update(shard_id)
         self.shards[shard_id].insert(oid, location)
         self._shard_of[oid] = shard_id
 
@@ -267,6 +586,7 @@ class ShardedIndex(SpatialIndexFacade):
             raise UnknownObjectError(oid)
         target = self.partitioner.shard_of(new_location)
         if target == source:
+            self._record_update(source)
             return self.shards[source].update(oid, new_location)
         self._execute_migration(
             BatchUpdate(oid, self.position_of(oid), new_location)
@@ -279,6 +599,7 @@ class ShardedIndex(SpatialIndexFacade):
             if strict:
                 raise UnknownObjectError(oid)
             return False
+        self._record_update(shard_id)
         return self.shards[shard_id].delete(oid)
 
     def _query_shards(self, window: Rect) -> List[int]:
@@ -304,6 +625,7 @@ class ShardedIndex(SpatialIndexFacade):
         """Fan the window out to the shards whose boundaries intersect it."""
         results: List[int] = []
         for shard_id in self._query_shards(window):
+            self._record_query(shard_id)
             results.extend(self.shards[shard_id].range_query(window))
         return results
 
@@ -318,6 +640,7 @@ class ShardedIndex(SpatialIndexFacade):
 
         def hits() -> Iterator[int]:
             for shard_id in self._query_shards(window):
+                self._record_query(shard_id)
                 yield from self.shards[shard_id].strategy.iter_range_query(window)
 
         return QueryCursor(hits())
@@ -327,9 +650,9 @@ class ShardedIndex(SpatialIndexFacade):
 
         Cross-shard kNN needs every contributing shard's candidates before
         the global order is known, so the merge itself is materialised (the
-        per-shard searches still prune against each other's bounds); the
-        cursor provides the uniform streaming interface over the merged
-        result.
+        per-shard searches prune against the running k-th distance, see
+        :meth:`knn`); the cursor provides the uniform streaming interface
+        over the merged result.
         """
         return QueryCursor(iter(self.knn(point, k)))
 
@@ -342,6 +665,16 @@ class ShardedIndex(SpatialIndexFacade):
         correct one even for positions stored outside the unit square).
         Once *k* candidates are held, any shard whose bound lies strictly
         beyond the current k-th distance cannot contribute and is pruned.
+
+        The running k-th distance is also threaded *into* each per-shard
+        search: the shard's incremental best-first stream
+        (:meth:`~repro.rtree.tree.RTree.iter_knn`) is consumed only while
+        its candidates can still enter the merged top *k*, so a shard whose
+        bound forces a visit but whose objects mostly lie beyond the
+        current radius pays the I/O of the few candidates actually
+        inspected, not of a full k-search.  Equal-distance candidates are
+        still consumed (and merged in ``(distance, oid)`` order), keeping
+        ties bit-identical to the single-index facade.
         """
         if k <= 0:
             return []
@@ -356,9 +689,12 @@ class ShardedIndex(SpatialIndexFacade):
         for bound, shard_id in bounds:
             if len(best) >= k and bound > best[-1][0]:
                 break
-            best.extend(self.shards[shard_id].knn(point, k))
-            best.sort()
-            del best[k:]
+            self._record_query(shard_id)
+            for candidate in self.shards[shard_id].tree.iter_knn(point, k):
+                if len(best) >= k and candidate[0] > best[-1][0]:
+                    break  # stream is distance-ordered: nothing closer follows
+                bisect.insort(best, candidate)
+                del best[k:]
         return best
 
     def position_of(self, oid: int) -> Optional[Point]:
@@ -429,6 +765,7 @@ class ShardedIndex(SpatialIndexFacade):
                 raise TypeError(f"unsupported batch operation {op!r}")
         self._flush_updates(run, result)
         self._merge_io_delta(result, before)
+        self.auto_rebalance()
         return result
 
     def _execute_batch(self, ops: List[BatchUpdate]) -> BatchResult:
@@ -436,6 +773,7 @@ class ShardedIndex(SpatialIndexFacade):
         before = [shard.stats.snapshot() for shard in self.shards]
         self._flush_updates(list(ops), result)
         self._merge_io_delta(result, before)
+        self.auto_rebalance()
         return result
 
     def _flush_updates(self, run: List[BatchUpdate], result: BatchResult) -> None:
@@ -455,6 +793,7 @@ class ShardedIndex(SpatialIndexFacade):
                 per_shard.setdefault(source, []).append(request)
         for shard_id, requests in per_shard.items():
             shard = self.shards[shard_id]
+            self._record_update(shard_id, len(requests))
             for request in requests:
                 shard._positions[request.oid] = request.new_location
             sub = shard.batch.execute(requests)
@@ -469,12 +808,14 @@ class ShardedIndex(SpatialIndexFacade):
         source = self._shard_of.get(request.oid)
         target = self.partitioner.shard_of(request.new_location)
         if source is not None:
+            self._record_update(source)
             self.shards[source].delete(request.oid)
             self.migrations += 1
             if result is not None:
                 result.migrations += 1
         elif result is not None:
             result.residuals += 1  # not indexed yet: plain insert
+        self._record_update(target)
         self.shards[target].insert(request.oid, request.new_location)
         self._shard_of[request.oid] = target
 
@@ -616,6 +957,7 @@ class ShardedIndex(SpatialIndexFacade):
                 per_shard.setdefault(source, []).append(request)
         for shard_id, requests in per_shard.items():
             shard = self.shards[shard_id]
+            self._record_update(shard_id, len(requests))
             plan = shard.batch.plan(requests)
             for bucket in plan.buckets.values():
                 for request in bucket:
@@ -638,6 +980,10 @@ class ShardedIndex(SpatialIndexFacade):
 
         def finalize() -> None:
             self._merge_io_delta(result, before)
+            # Batch-path auto-trigger: the schedule has drained and every
+            # pre-committed position is applied, so a boundary adjustment is
+            # planned against consistent state.
+            self.auto_rebalance()
 
         return PreparedBatch(operations=operations, result=result, finalize=finalize)
 
@@ -669,6 +1015,8 @@ class ShardedIndex(SpatialIndexFacade):
         for shard in self.shards:
             shard.reset_statistics()
         self.migrations = 0
+        if self.rebalancer is not None:
+            self.rebalancer.monitor.reset(self.shards)
 
     def io_snapshot(self) -> IOStatistics:
         """The shards' I/O counters merged into one aggregate snapshot."""
@@ -716,8 +1064,11 @@ class ShardedIndex(SpatialIndexFacade):
 
     def describe(self) -> str:
         populations = self.shard_populations()
-        return (
+        text = (
             f"sharded[{self.num_shards}x] {self.partitioner.describe()} | "
             f"{self.config.describe()} | objects={len(self._shard_of)} "
             f"populations={populations} migrations={self.migrations}"
         )
+        if self.rebalancer is not None:
+            text += f" rebalances={self.rebalancer.rebalances}"
+        return text

@@ -23,9 +23,26 @@ page images were split.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence
+import bisect
+from typing import Dict, List, Sequence, Tuple
 
 from repro.geometry import Point, Rect
+
+
+def near_square_factoring(num_shards: int) -> Tuple[int, int]:
+    """The most-square ``(columns, rows)`` factoring with exactly *num_shards* cells.
+
+    Shared by :meth:`GridPartitioner.for_shards` and the rebalancer's
+    boundary planner, so a rebalanced partition keeps the same
+    ``columns x rows`` shape a fresh grid of the same shard count would
+    have.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    rows = int(num_shards**0.5)
+    while num_shards % rows:
+        rows -= 1
+    return num_shards // rows, rows
 
 
 class Partitioner(abc.ABC):
@@ -87,12 +104,8 @@ class GridPartitioner(Partitioner):
     @classmethod
     def for_shards(cls, num_shards: int) -> "GridPartitioner":
         """The most-square ``columns x rows`` grid with exactly *num_shards* cells."""
-        if num_shards <= 0:
-            raise ValueError("num_shards must be positive")
-        rows = int(num_shards ** 0.5)
-        while num_shards % rows:
-            rows -= 1
-        return cls(columns=num_shards // rows, rows=rows)
+        columns, rows = near_square_factoring(num_shards)
+        return cls(columns=columns, rows=rows)
 
     # ------------------------------------------------------------------
     @property
@@ -163,6 +176,64 @@ class BoundaryPartitioner(Partitioner):
         return f"boundaries[{len(self._boundaries)}]"
 
 
+class QuantileGridPartitioner(BoundaryPartitioner):
+    """A ``columns x rows`` grid with per-column quantile cuts, O(log n) routing.
+
+    The shape the rebalancer's boundary planner emits: x-cuts split the unit
+    square into columns and each column carries its own y-cuts.  The
+    boundary rectangles (column-major: all rows of column 0 first) make this
+    a :class:`BoundaryPartitioner`, but :meth:`shard_of` routes by bisecting
+    the cut arrays instead of scanning every rectangle — the post-rebalance
+    routing stays as cheap as the uniform grid it replaced.  A point exactly
+    on an interior cut belongs to the lower/left cell, matching the
+    first-containing-rectangle rule of the rectangle list.
+    """
+
+    def __init__(self, x_cuts: Sequence[float], y_cuts: Sequence[Sequence[float]]) -> None:
+        if len(x_cuts) < 2:
+            raise ValueError("x_cuts must have at least two entries (0.0 and 1.0)")
+        if len(y_cuts) != len(x_cuts) - 1:
+            raise ValueError("one y-cut list is required per column")
+        rows = {len(cuts) - 1 for cuts in y_cuts}
+        if len(rows) != 1:
+            raise ValueError("every column must have the same number of rows")
+        self._x_cuts = [float(value) for value in x_cuts]
+        self._y_cuts = [[float(value) for value in cuts] for cuts in y_cuts]
+        self._rows = rows.pop()
+        super().__init__(
+            [
+                Rect(
+                    self._x_cuts[column],
+                    column_cuts[row],
+                    self._x_cuts[column + 1],
+                    column_cuts[row + 1],
+                )
+                for column, column_cuts in enumerate(self._y_cuts)
+                for row in range(self._rows)
+            ]
+        )
+
+    def shard_of(self, point: Point) -> int:
+        clamped = point.clamped()
+        # bisect_left over the interior cuts: a coordinate equal to a cut
+        # lands in the lower/left cell, exactly like the first-containing
+        # scan over the column-major rectangle list.
+        column = bisect.bisect_left(self._x_cuts, clamped.x, 1, len(self._x_cuts) - 1) - 1
+        column_cuts = self._y_cuts[column]
+        row = bisect.bisect_left(column_cuts, clamped.y, 1, len(column_cuts) - 1) - 1
+        return column * self._rows + row
+
+    def to_spec(self) -> Dict:
+        return {
+            "kind": "quantile_grid",
+            "x_cuts": list(self._x_cuts),
+            "y_cuts": [list(cuts) for cuts in self._y_cuts],
+        }
+
+    def describe(self) -> str:
+        return f"quantile grid {len(self._y_cuts)}x{self._rows}"
+
+
 def partitioner_from_spec(spec: Dict) -> Partitioner:
     """Rebuild a partitioner from its :meth:`~Partitioner.to_spec` dict."""
     kind = spec.get("kind")
@@ -172,4 +243,6 @@ def partitioner_from_spec(spec: Dict) -> Partitioner:
         return BoundaryPartitioner(
             [Rect(*values) for values in spec["boundaries"]]
         )
+    if kind == "quantile_grid":
+        return QuantileGridPartitioner(spec["x_cuts"], spec["y_cuts"])
     raise ValueError(f"unknown partitioner spec kind {kind!r}")

@@ -223,18 +223,28 @@ class BufferPool:
 
         Pins nest (a pin count is kept per page).  While pages are pinned the
         pool may temporarily exceed its capacity: when every frame is pinned,
-        admission stops evicting rather than deadlock, and the excess frames
-        are reclaimed by later admissions once the pins are released.
+        admission stops evicting rather than deadlock; the overrun is
+        recorded in :attr:`IOStatistics.over_capacity_peak` and the excess
+        frames are evicted as soon as :meth:`unpin` releases a pin.
         """
         self._pins[page_id] = self._pins.get(page_id, 0) + 1
 
     def unpin(self, page_id: int) -> None:
-        """Release one pin on *page_id* (no-op when the page is not pinned)."""
+        """Release one pin on *page_id* (no-op when the page is not pinned).
+
+        Releasing a pin also shrinks an over-capacity pool back towards its
+        configured capacity: frames admitted while every frame was pinned
+        (see :meth:`pin`) are evicted here, LRU-first, rather than lingering
+        until some later admission happens to reclaim them.
+        """
         count = self._pins.get(page_id, 0)
         if count <= 1:
             self._pins.pop(page_id, None)
         else:
             self._pins[page_id] = count - 1
+        while len(self._frames) > self.capacity:
+            if not self._evict_one():
+                break  # the remaining excess frames are all still pinned
 
     def is_pinned(self, page_id: int) -> bool:
         return page_id in self._pins
@@ -276,6 +286,13 @@ class BufferPool:
             if not self._evict_one():
                 break  # every frame is pinned; run over capacity for now
         self._frames[page_id] = payload
+        overflow = len(self._frames) - self.capacity
+        if overflow > 0:
+            # Pinned frames forced the pool over capacity: record the
+            # high-water mark (unpin() shrinks the pool back).
+            self.stats.over_capacity_peak = max(
+                self.stats.over_capacity_peak, overflow
+            )
 
     def _evict_one(self) -> bool:
         """Evict the least recently used unpinned frame; ``False`` if none."""

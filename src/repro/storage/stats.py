@@ -33,6 +33,12 @@ class IOStatistics:
     hash_index_reads:
         Probes of the secondary object-ID index that were charged as disk
         reads (the paper's cost model charges one I/O per probe).
+    over_capacity_peak:
+        High-water mark of frames a buffer pool has held *beyond* its
+        configured capacity.  Nonzero only when every frame was pinned at
+        admission time (the pool runs over rather than deadlock); the pool
+        shrinks back as pins release.  Aggregations (:meth:`merge`) take
+        the maximum — a peak is a level, not a flow.
     """
 
     physical_reads: int = 0
@@ -42,6 +48,7 @@ class IOStatistics:
     buffer_hits: int = 0
     dirty_evictions: int = 0
     hash_index_reads: int = 0
+    over_capacity_peak: int = 0
     # Optional labelled counters for ad-hoc instrumentation (e.g. per update
     # kind).  Not part of the core metrics but handy in tests and ablations.
     extra: Dict[str, int] = field(default_factory=dict)
@@ -82,6 +89,7 @@ class IOStatistics:
         self.buffer_hits += other.buffer_hits
         self.dirty_evictions += other.dirty_evictions
         self.hash_index_reads += other.hash_index_reads
+        self.over_capacity_peak = max(self.over_capacity_peak, other.over_capacity_peak)
         for key, value in other.extra.items():
             self.extra[key] = self.extra.get(key, 0) + value
         return self
@@ -115,6 +123,7 @@ class IOStatistics:
             buffer_hits=self.buffer_hits,
             dirty_evictions=self.dirty_evictions,
             hash_index_reads=self.hash_index_reads,
+            over_capacity_peak=self.over_capacity_peak,
         )
         copy.extra = dict(self.extra)
         return copy
@@ -129,6 +138,11 @@ class IOStatistics:
             buffer_hits=self.buffer_hits - earlier.buffer_hits,
             dirty_evictions=self.dirty_evictions - earlier.dirty_evictions,
             hash_index_reads=self.hash_index_reads - earlier.hash_index_reads,
+            # A peak is a level, not a flow: the delta reports how far the
+            # high-water mark rose over the interval (never negative).
+            over_capacity_peak=max(
+                0, self.over_capacity_peak - earlier.over_capacity_peak
+            ),
         )
         keys = set(self.extra) | set(earlier.extra)
         delta.extra = {
@@ -145,6 +159,7 @@ class IOStatistics:
         self.buffer_hits = 0
         self.dirty_evictions = 0
         self.hash_index_reads = 0
+        self.over_capacity_peak = 0
         self.extra.clear()
 
     def as_dict(self) -> Dict[str, int]:
@@ -157,6 +172,7 @@ class IOStatistics:
             "buffer_hits": self.buffer_hits,
             "dirty_evictions": self.dirty_evictions,
             "hash_index_reads": self.hash_index_reads,
+            "over_capacity_peak": self.over_capacity_peak,
             "total_physical_io": self.total_physical_io,
         }
         result.update(self.extra)

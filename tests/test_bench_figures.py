@@ -159,3 +159,24 @@ class TestBatchThroughputFigure:
         for row in rows:
             assert row.extras["concurrent_makespan"] < row.extras["serial_makespan"]
             assert row.extras["speedup"] > 1.0
+
+
+class TestRebalanceHotspotFigure:
+    def test_rebalancer_beats_the_static_grid_and_nears_uniform(self):
+        """Acceptance criterion of the rebalancing PR: with the rebalancer
+        enabled, the 4-shard hotspot makespan — including the one-off
+        migration cost — is strictly below the static hotspot makespan and
+        within 1.5x of the uniform-workload makespan."""
+        rows = get_figure("rebalance_hotspot").run(scale=TINY, seed=5)
+        makespan = {row.x_value: row.extras["makespan"] for row in rows}
+        imbalance = {row.x_value: row.extras["imbalance"] for row in rows}
+        rebalances = {row.x_value: row.extras["rebalances"] for row in rows}
+        assert set(makespan) == {"uniform", "hotspot", "hotspot+rebalance"}
+        assert makespan["hotspot+rebalance"] < makespan["hotspot"]
+        assert makespan["hotspot+rebalance"] <= 1.5 * makespan["uniform"]
+        # The control loop ran exactly once (the cooldown prevents thrash)
+        # and actually balanced the shard populations.
+        assert rebalances["hotspot+rebalance"] == 1
+        assert rebalances["hotspot"] == 0
+        assert imbalance["hotspot"] > 1.5
+        assert imbalance["hotspot+rebalance"] < imbalance["hotspot"]

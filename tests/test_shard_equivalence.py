@@ -10,6 +10,8 @@ as two update orders may shape one tree differently.
 """
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.core import IndexConfig, MovingObjectIndex
 from repro.geometry import Point, Rect
@@ -112,3 +114,113 @@ class TestBatchEquivalence:
                 config, partitioner=GridPartitioner.for_shards(num_shards)
             )
             assert run_engine_batch(sharded) == expected
+
+
+class TestCrossShardKNNTies:
+    """Equidistant candidates straddling shard boundaries keep the facade order."""
+
+    @staticmethod
+    def tie_objects():
+        # Four candidates exactly 0.25 from the centre (the coordinates are
+        # powers of two, so the distances are bit-identical floats), plus
+        # equidistant diagonal candidates and filler points farther out.
+        objects = [
+            (11, Point(0.25, 0.5)),   # west  -> shard 2 of a 2x2 grid
+            (3, Point(0.75, 0.5)),    # east  -> shard 3
+            (7, Point(0.5, 0.25)),    # south -> shard 1
+            (5, Point(0.5, 0.75)),    # north -> shard 3
+            (20, Point(0.25, 0.25)),  # diagonals: all at the same distance
+            (21, Point(0.75, 0.75)),
+            (22, Point(0.25, 0.75)),
+            (23, Point(0.75, 0.25)),
+        ]
+        filler = 100
+        for bx, by in ((0.02, 0.02), (0.82, 0.02), (0.02, 0.82), (0.82, 0.82)):
+            for i in range(3):
+                for j in range(3):
+                    objects.append(
+                        (filler, Point(bx + 0.03 * i, by + 0.03 * j))
+                    )
+                    filler += 1
+        return objects
+
+    def test_constructed_tie_case_matches_single_index(self):
+        config = IndexConfig(strategy="TD", page_size=SMALL_PAGE_SIZE)
+        objects = self.tie_objects()
+        single = MovingObjectIndex(config)
+        single.load(objects)
+        sharded = ShardedIndex(config, partitioner=GridPartitioner(2, 2))
+        sharded.load(objects)
+        centre = Point(0.5, 0.5)
+        for k in (1, 2, 3, 4, 5, 6, 8, 12, len(objects)):
+            expected = single.knn(centre, k)
+            assert sharded.knn(centre, k) == expected, f"tie order broke at k={k}"
+        # The tie group really is a tie: the first four distances are equal
+        # and the oids surface in ascending order.
+        top = single.knn(centre, 4)
+        assert len({distance for distance, _oid in top}) == 1
+        assert [oid for _d, oid in top] == sorted(oid for _d, oid in top)
+
+    def test_ties_survive_boundary_crossing_updates(self):
+        config = IndexConfig(strategy="TD", page_size=SMALL_PAGE_SIZE)
+        objects = self.tie_objects()
+        single = MovingObjectIndex(config)
+        single.load(objects)
+        sharded = ShardedIndex(config, partitioner=GridPartitioner(2, 2))
+        sharded.load(objects)
+        # Swap two tie members across the vertical boundary (a migration in
+        # the sharded index) and move a filler onto the tie circle.
+        moves = [
+            (11, Point(0.75, 0.5)),
+            (3, Point(0.25, 0.5)),
+            (100, Point(0.5, 0.75)),
+        ]
+        for oid, destination in moves:
+            single.update(oid, destination)
+            sharded.update(oid, destination)
+        assert sharded.migrations > 0
+        centre = Point(0.5, 0.5)
+        for k in (2, 4, 5, 9):
+            assert sharded.knn(centre, k) == single.knn(centre, k)
+
+
+class TestKNNBoundaryProperty:
+    """Property test: kNN equivalence under movement near shard boundaries."""
+
+    #: Coordinates biased onto and around the 2x2 grid boundaries at 0.5.
+    coordinate = st.sampled_from(
+        [0.0, 0.25, 0.49, 0.499, 0.5, 0.501, 0.51, 0.75, 1.0]
+    ) | st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+    @given(
+        positions=st.lists(
+            st.tuples(coordinate, coordinate), min_size=4, max_size=24
+        ),
+        moves=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=23),
+                      st.tuples(coordinate, coordinate)),
+            max_size=8,
+        ),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sharded_knn_equals_single_after_boundary_movement(
+        self, positions, moves, k
+    ):
+        config = IndexConfig(strategy="TD", page_size=SMALL_PAGE_SIZE)
+        objects = [(oid, Point(x, y)) for oid, (x, y) in enumerate(positions)]
+        single = MovingObjectIndex(config)
+        single.load(objects)
+        sharded = ShardedIndex(config, partitioner=GridPartitioner(2, 2))
+        sharded.load(objects)
+        for oid, (x, y) in moves:
+            if oid >= len(objects):
+                continue
+            single.update(oid, Point(x, y))
+            sharded.update(oid, Point(x, y))
+        for query in (Point(0.5, 0.5), Point(0.499, 0.501), Point(0.1, 0.9)):
+            assert sharded.knn(query, k) == single.knn(query, k)

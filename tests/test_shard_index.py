@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.api import UnknownObjectError
-from repro.core import IndexConfig, SpatialIndexFacade
+from repro.core import IndexConfig, MovingObjectIndex, SpatialIndexFacade
 from repro.geometry import Point, Rect
 from repro.shard import GridPartitioner, ShardedIndex
 from repro.update import UpdateOutcome
@@ -256,3 +256,101 @@ class TestStatistics:
         index.reset_statistics()
         assert index.migrations == 0
         assert index.io_snapshot().total() == 0
+
+
+class TestKNNPruningRadius:
+    """The running k-th distance is threaded into each per-shard search."""
+
+    @staticmethod
+    def build_two_shards():
+        index = ShardedIndex(
+            IndexConfig(strategy="TD", page_size=SMALL_PAGE_SIZE, buffer_percent=0.0),
+            partitioner=GridPartitioner(2, 1),
+        )
+        # Left shard: a tight cluster of 9 objects around the query point.
+        objects = [(i, Point(0.24 + 0.002 * i, 0.5)) for i in range(9)]
+        # Right shard: one near object (the eventual 10th neighbour) plus a
+        # large spread-out population the pruned search must never visit.
+        objects.append((9, Point(0.6, 0.5)))
+        oid = 10
+        for i in range(15):
+            for j in range(15):
+                objects.append((oid, Point(0.62 + 0.024 * i, 0.03 + 0.064 * j)))
+                oid += 1
+        index.load(objects)
+        return index, list(objects)
+
+    def test_answer_matches_the_single_index_facade(self):
+        index, objects = self.build_two_shards()
+        single = MovingObjectIndex(
+            IndexConfig(strategy="TD", page_size=SMALL_PAGE_SIZE, buffer_percent=0.0)
+        )
+        single.load(objects)
+        for k in (1, 5, 10, 20):
+            assert index.knn(Point(0.25, 0.5), k) == single.knn(Point(0.25, 0.5), k)
+
+    def test_visited_shard_pays_less_io_than_a_full_k_search(self):
+        index, _objects = self.build_two_shards()
+        point = Point(0.25, 0.5)
+        right = index.shards[1]
+
+        index.reset_statistics()
+        result = index.knn(point, 10)
+        pruned_reads = right.stats.logical_reads
+        # The right shard had to be visited (it supplies the 10th neighbour)...
+        assert any(oid == 9 for _distance, oid in result)
+        assert pruned_reads > 0
+
+        # ...but consuming its stream only until the candidate distance
+        # exceeds the running k-th distance costs strictly less I/O than the
+        # full k-search the old fan-out paid.
+        right.reset_statistics()
+        right.tree.knn(point, 10)
+        full_reads = right.stats.logical_reads
+        assert pruned_reads < full_reads
+
+    def test_shards_beyond_the_radius_pay_nothing(self):
+        index, _objects = self.build_two_shards()
+        index.reset_statistics()
+        index.knn(Point(0.25, 0.5), 5)  # the left cluster alone satisfies k
+        assert index.shards[1].stats.logical_reads == 0
+
+
+class TestBufferSplitMinimumFrame:
+    """A nonzero aggregate buffer never leaves a non-empty shard at 0 frames."""
+
+    def test_scarce_capacity_gives_every_nonempty_shard_one_frame(self):
+        index = build_sharded(num_shards=4)
+        sizes = [len(shard.disk) for shard in index.shards]
+        index._split_buffer_capacity(2, sizes)
+        caps = [shard.buffer.capacity for shard in index.shards]
+        assert all(cap >= 1 for cap in caps)
+        # Documented tie-break: the minimum takes precedence, the aggregate
+        # runs over by the deficit.
+        assert sum(caps) == 4
+
+    def test_skewed_sizes_steal_from_the_largest_share(self):
+        index = build_sharded(num_shards=4)
+        index._split_buffer_capacity(5, [96, 2, 1, 1])
+        caps = [shard.buffer.capacity for shard in index.shards]
+        assert caps == [2, 1, 1, 1]  # aggregate stays exact: donors had spare
+
+    def test_zero_capacity_stays_zero(self):
+        index = build_sharded(num_shards=4)
+        index._split_buffer_capacity(0, [10, 10, 10, 10])
+        assert [shard.buffer.capacity for shard in index.shards] == [0, 0, 0, 0]
+
+    def test_empty_shard_gets_no_frame(self):
+        index = build_sharded(num_shards=4)
+        index._split_buffer_capacity(3, [10, 0, 10, 10])
+        caps = [shard.buffer.capacity for shard in index.shards]
+        assert caps[1] == 0
+        assert all(cap >= 1 for i, cap in enumerate(caps) if i != 1)
+        assert sum(caps) == 3
+
+    def test_configured_percentage_respects_the_minimum(self):
+        index = build_sharded(num_shards=4, num_objects=60)
+        index.configure_buffer(1.0)  # tiny database: capacity < shard count
+        for shard in index.shards:
+            if len(shard.disk) > 0:
+                assert shard.buffer.capacity >= 1

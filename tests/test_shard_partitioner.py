@@ -102,3 +102,66 @@ class TestBoundaryPartitioner:
     def test_unknown_spec_kind_rejected(self):
         with pytest.raises(ValueError):
             partitioner_from_spec({"kind": "voronoi"})
+
+
+class TestQuantileGridPartitioner:
+    def build(self):
+        from repro.shard import QuantileGridPartitioner
+
+        return QuantileGridPartitioner(
+            [0.0, 0.3, 0.7, 1.0],
+            [[0.0, 0.5, 1.0], [0.0, 0.2, 1.0], [0.0, 0.8, 1.0]],
+        )
+
+    def test_is_a_boundary_partitioner_with_bisect_routing(self):
+        from repro.shard import BoundaryPartitioner
+
+        partitioner = self.build()
+        assert isinstance(partitioner, BoundaryPartitioner)
+        assert partitioner.num_shards == 6
+
+    def test_routing_matches_first_containing_rectangle(self):
+        """The bisect fast path must agree with the base class's linear scan
+        for every point — including points exactly on interior cuts."""
+        from repro.shard import BoundaryPartitioner
+
+        partitioner = self.build()
+        reference = BoundaryPartitioner(partitioner.boundaries())
+        coords = [0.0, 0.1, 0.2, 0.3, 0.44, 0.5, 0.7, 0.8, 0.99, 1.0]
+        for x in coords:
+            for y in coords:
+                point = Point(x, y)
+                assert partitioner.shard_of(point) == reference.shard_of(point)
+
+    def test_degenerate_zero_width_columns_route_like_the_scan(self):
+        from repro.shard import BoundaryPartitioner, QuantileGridPartitioner
+
+        partitioner = QuantileGridPartitioner(
+            [0.0, 0.5, 0.5, 1.0],
+            [[0.0, 1.0], [0.0, 1.0], [0.0, 1.0]],
+        )
+        reference = BoundaryPartitioner(partitioner.boundaries())
+        for x in (0.0, 0.4999, 0.5, 0.5001, 1.0):
+            point = Point(x, 0.5)
+            assert partitioner.shard_of(point) == reference.shard_of(point)
+
+    def test_spec_round_trip(self):
+        from repro.shard import QuantileGridPartitioner, partitioner_from_spec
+
+        partitioner = self.build()
+        spec = partitioner.to_spec()
+        assert spec["kind"] == "quantile_grid"
+        restored = partitioner_from_spec(spec)
+        assert isinstance(restored, QuantileGridPartitioner)
+        assert restored.to_spec() == spec
+        assert restored.boundaries() == partitioner.boundaries()
+
+    def test_invalid_shapes_rejected(self):
+        from repro.shard import QuantileGridPartitioner
+
+        with pytest.raises(ValueError):
+            QuantileGridPartitioner([0.0], [[0.0, 1.0]])
+        with pytest.raises(ValueError):
+            QuantileGridPartitioner([0.0, 1.0], [[0.0, 1.0], [0.0, 1.0]])
+        with pytest.raises(ValueError):
+            QuantileGridPartitioner([0.0, 0.5, 1.0], [[0.0, 1.0], [0.0, 0.5, 1.0]])

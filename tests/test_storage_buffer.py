@@ -241,3 +241,67 @@ class TestPeek:
         page = disk.allocate_page()
         disk.write_page(page, "on-disk")
         assert pool.peek(page) == "on-disk"
+
+
+class TestPinOverrun:
+    def test_fully_pinned_pool_runs_over_and_records_the_peak(self):
+        stats, disk, pool = make_stack(capacity=2)
+        pages = [disk.allocate_page() for _ in range(3)]
+        for page in pages:
+            disk.write_page(page, f"p{page}")
+        pool.read(pages[0])
+        pool.read(pages[1])
+        pool.pin(pages[0])
+        pool.pin(pages[1])
+        # Every frame is pinned: admitting one more must not deadlock and
+        # must not evict a pinned frame — the pool runs over capacity.
+        pool.read(pages[2])
+        assert len(pool) == 3
+        assert pool.resident_pages()[:2] == [pages[0], pages[1]]
+        assert stats.over_capacity_peak == 1
+
+    def test_unpin_shrinks_the_pool_back_to_capacity(self):
+        stats, disk, pool = make_stack(capacity=2)
+        pages = [disk.allocate_page() for _ in range(3)]
+        for page in pages:
+            disk.write_page(page, f"p{page}")
+        pool.read(pages[0])
+        pool.read(pages[1])
+        pool.pin(pages[0])
+        pool.pin(pages[1])
+        pool.read(pages[2])
+        assert len(pool) == 3
+        pool.unpin(pages[0])
+        # The release itself reclaims the excess frame (LRU-first among the
+        # unpinned), instead of waiting for some later admission.
+        assert len(pool) == 2
+        assert not pool.is_pinned(pages[0])
+
+    def test_unpin_shrink_writes_back_dirty_overflow(self):
+        stats, disk, pool = make_stack(capacity=1)
+        a, b = disk.allocate_page(), disk.allocate_page()
+        disk.write_page(a, "a0")
+        disk.write_page(b, "b0")
+        pool.write(a, "a1")
+        pool.pin(a)
+        pool.write(b, "b1")  # over capacity: a is pinned
+        assert len(pool) == 2
+        assert stats.over_capacity_peak == 1
+        pool.unpin(a)
+        assert len(pool) == 1
+        assert disk.peek(a) == "a1"  # the dirty evictee was written back
+
+    def test_nested_pins_keep_the_page_protected(self):
+        stats, disk, pool = make_stack(capacity=1)
+        a, b = disk.allocate_page(), disk.allocate_page()
+        disk.write_page(a, "a0")
+        disk.write_page(b, "b0")
+        pool.read(a)
+        pool.pin(a)
+        pool.pin(a)
+        pool.read(b)
+        pool.unpin(a)  # still pinned once: the overflow frame b is evicted
+        assert len(pool) == 1
+        assert pool.resident_pages() == [a]
+        pool.unpin(a)
+        assert not pool.is_pinned(a)

@@ -119,3 +119,32 @@ class TestResetAndExport:
         assert exported["physical_reads"] == 1
         assert exported["total_physical_io"] == 6
         assert exported["splits"] == 7
+
+
+class TestOverCapacityPeak:
+    def test_merge_takes_the_maximum_not_the_sum(self):
+        from repro.storage import IOStatistics
+
+        a = IOStatistics(over_capacity_peak=3)
+        b = IOStatistics(over_capacity_peak=5)
+        assert a.merge(b).over_capacity_peak == 5
+        assert IOStatistics.sum(
+            [IOStatistics(over_capacity_peak=2), IOStatistics(over_capacity_peak=1)]
+        ).over_capacity_peak == 2
+
+    def test_delta_reports_the_rise_and_never_goes_negative(self):
+        from repro.storage import IOStatistics
+
+        earlier = IOStatistics(over_capacity_peak=2)
+        later = IOStatistics(over_capacity_peak=5)
+        assert later.delta_since(earlier).over_capacity_peak == 3
+        assert earlier.delta_since(later).over_capacity_peak == 0
+
+    def test_snapshot_reset_and_dict_roundtrip(self):
+        from repro.storage import IOStatistics
+
+        stats = IOStatistics(over_capacity_peak=4)
+        assert stats.snapshot().over_capacity_peak == 4
+        assert stats.as_dict()["over_capacity_peak"] == 4
+        stats.reset()
+        assert stats.over_capacity_peak == 0
