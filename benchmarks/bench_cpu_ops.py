@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""CPU micro-benchmark: single-thread ops/sec per layout, strategy, and op.
+
+Measures the interpreter-level cost of the index hot paths — update, range
+query, and kNN — for the TD and GBU strategies in both physical node layouts
+(``object`` and ``packed``), and writes a schema-versioned JSON report that
+is checked in at the repository root (``BENCH_cpu_ops.json``) as the per-PR
+CPU performance trajectory.
+
+Unlike the figure benchmarks (which count simulated disk I/O), the numbers
+here are wall-clock rates: they track how fast the data structure itself
+runs, which is exactly what the packed columnar layout and the batch kernels
+change.  Both layouts execute identical logical work — the equivalence suite
+(``tests/test_layout_equivalence.py``) proves answers and I/O counts match —
+so the ratio packed/object is a pure CPU-efficiency measurement.
+
+Methodology
+-----------
+Every (strategy, layout) cell is run ``--repeats`` times with layouts
+interleaved inside each repeat (so machine-load noise hits both layouts
+alike), and each op reports its **best** repeat: noise on a shared box only
+ever makes a run slower, so the fastest repeat is the closest estimate of
+the true cost.
+
+Usage::
+
+    python benchmarks/bench_cpu_ops.py                 # full run, writes BENCH_cpu_ops.json
+    python benchmarks/bench_cpu_ops.py --scale 0.05    # CI smoke scale
+    python benchmarks/bench_cpu_ops.py --check         # validate existing JSON
+
+``--check`` validates the report's schema and fails (exit 1) when the packed
+layout regresses below ``--min-update-speedup`` (default 1.0) on any update
+benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import IndexConfig, MovingObjectIndex  # noqa: E402
+from repro.geometry import Point, Rect, kernels  # noqa: E402
+
+SCHEMA_VERSION = 1
+STRATEGIES = ("TD", "GBU")
+LAYOUTS = ("object", "packed")
+OPS = ("update", "range", "knn")
+
+#: Full-scale workload: the ISSUE's 10k-object update micro-benchmark.
+BASE_OBJECTS = 10_000
+UPDATES_PER_OBJECT = 2.0
+BASE_RANGE_QUERIES = 2_000
+BASE_KNN_QUERIES = 2_000
+KNN_K = 10
+RANGE_WINDOW_SIDE = 0.05
+
+
+def make_workload(objects: int, updates: int, ranges: int, knns: int, seed: int):
+    rng = random.Random(seed)
+    points = [(oid, Point(rng.random(), rng.random())) for oid in range(objects)]
+    moves = [
+        (rng.randrange(objects), Point(rng.random(), rng.random()))
+        for _ in range(updates)
+    ]
+    windows = []
+    for _ in range(ranges):
+        x, y = rng.random() * (1 - RANGE_WINDOW_SIDE), rng.random() * (1 - RANGE_WINDOW_SIDE)
+        windows.append(Rect(x, y, x + RANGE_WINDOW_SIDE, y + RANGE_WINDOW_SIDE))
+    knn_points = [Point(rng.random(), rng.random()) for _ in range(knns)]
+    return points, moves, windows, knn_points
+
+
+def run_cell(strategy: str, layout: str, workload) -> Dict[str, Tuple[int, float]]:
+    """One full measurement of every op for (strategy, layout).
+
+    Returns ``{op: (ops, seconds)}``.  A fresh index is built per call so the
+    update phase always starts from the same tree shape.
+    """
+    points, moves, windows, knn_points = workload
+    index = MovingObjectIndex(IndexConfig(strategy=strategy, node_layout=layout))
+    index.load(points)
+
+    timings: Dict[str, Tuple[int, float]] = {}
+
+    start = time.perf_counter()
+    for oid, location in moves:
+        index.update(oid, location)
+    timings["update"] = (len(moves), time.perf_counter() - start)
+
+    start = time.perf_counter()
+    for window in windows:
+        index.range_query(window)
+    timings["range"] = (len(windows), time.perf_counter() - start)
+
+    start = time.perf_counter()
+    for point in knn_points:
+        index.knn(point, KNN_K)
+    timings["knn"] = (len(knn_points), time.perf_counter() - start)
+
+    return timings
+
+
+def run_benchmark(scale: float, repeats: int, seed: int) -> dict:
+    objects = max(50, int(BASE_OBJECTS * scale))
+    updates = int(objects * UPDATES_PER_OBJECT)
+    ranges = max(10, int(BASE_RANGE_QUERIES * scale))
+    knns = max(10, int(BASE_KNN_QUERIES * scale))
+    workload = make_workload(objects, updates, ranges, knns, seed)
+
+    # best[strategy][layout][op] = (ops, best_seconds)
+    best: Dict[str, Dict[str, Dict[str, Tuple[int, float]]]] = {
+        s: {l: {} for l in LAYOUTS} for s in STRATEGIES
+    }
+    for repeat in range(repeats):
+        for strategy in STRATEGIES:
+            for layout in LAYOUTS:
+                timings = run_cell(strategy, layout, workload)
+                cell = best[strategy][layout]
+                for op, (ops, seconds) in timings.items():
+                    if op not in cell or seconds < cell[op][1]:
+                        cell[op] = (ops, seconds)
+                print(
+                    f"  repeat {repeat + 1}/{repeats} {strategy}/{layout}: "
+                    + " ".join(
+                        f"{op}={ops / seconds:.0f}/s"
+                        for op, (ops, seconds) in timings.items()
+                    ),
+                    file=sys.stderr,
+                )
+
+    results: List[dict] = []
+    for strategy in STRATEGIES:
+        for layout in LAYOUTS:
+            for op in OPS:
+                ops, seconds = best[strategy][layout][op]
+                results.append(
+                    {
+                        "strategy": strategy,
+                        "layout": layout,
+                        "op": op,
+                        "ops": ops,
+                        "seconds": round(seconds, 6),
+                        "ops_per_sec": round(ops / seconds, 1),
+                    }
+                )
+
+    derived = {}
+    for strategy in STRATEGIES:
+        for op in OPS:
+            obj = best[strategy]["object"][op]
+            packed = best[strategy]["packed"][op]
+            speedup = (obj[1] / obj[0]) / (packed[1] / packed[0])
+            derived[f"{op}_speedup_{strategy}"] = round(speedup, 3)
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "cpu_ops",
+        "paper": "conf_vldb_LeeHJT03",
+        "scale": scale,
+        "objects": objects,
+        "updates": updates,
+        "range_queries": ranges,
+        "knn_queries": knns,
+        "knn_k": KNN_K,
+        "repeats": repeats,
+        "seed": seed,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "kernel_backend": kernels.get_backend(),
+        "results": results,
+        "derived": derived,
+    }
+
+
+def validate_report(report: dict, min_update_speedup: float) -> List[str]:
+    """Schema + regression validation; returns a list of problems (empty = ok)."""
+    problems: List[str] = []
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {report.get('schema_version')!r}, expected {SCHEMA_VERSION}"
+        )
+    if report.get("benchmark") != "cpu_ops":
+        problems.append(f"benchmark is {report.get('benchmark')!r}, expected 'cpu_ops'")
+    for key in ("scale", "objects", "updates", "python", "kernel_backend", "results", "derived"):
+        if key not in report:
+            problems.append(f"missing key {key!r}")
+    if problems:
+        return problems
+
+    seen = set()
+    for row in report["results"]:
+        for key in ("strategy", "layout", "op", "ops", "seconds", "ops_per_sec"):
+            if key not in row:
+                problems.append(f"result row missing {key!r}: {row}")
+                break
+        else:
+            if not (isinstance(row["ops_per_sec"], (int, float)) and row["ops_per_sec"] > 0):
+                problems.append(f"non-positive ops_per_sec: {row}")
+            seen.add((row["strategy"], row["layout"], row["op"]))
+    for strategy in STRATEGIES:
+        for layout in LAYOUTS:
+            for op in OPS:
+                if (strategy, layout, op) not in seen:
+                    problems.append(f"missing result cell {(strategy, layout, op)}")
+
+    derived = report["derived"]
+    for strategy in STRATEGIES:
+        key = f"update_speedup_{strategy}"
+        if key not in derived:
+            problems.append(f"derived missing {key!r}")
+        elif derived[key] < min_update_speedup:
+            problems.append(
+                f"{key} = {derived[key]} is below the required minimum "
+                f"{min_update_speedup} (packed layout regression)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale (1.0 = 10k objects)")
+    parser.add_argument("--repeats", type=int, default=3, help="repeats per cell; best is reported")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_cpu_ops.json",
+        help="report path (default: repo root BENCH_cpu_ops.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate the existing report instead of running the benchmark",
+    )
+    parser.add_argument(
+        "--min-update-speedup", type=float, default=1.0,
+        help="with --check: fail when packed/object update speedup is below this",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        try:
+            report = json.loads(args.output.read_text())
+        except (OSError, ValueError) as error:
+            print(f"cannot read report {args.output}: {error}", file=sys.stderr)
+            return 1
+        problems = validate_report(report, args.min_update_speedup)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"OK: {args.output} valid; "
+            + ", ".join(f"{k}={v}x" for k, v in sorted(report["derived"].items()) if k.startswith("update"))
+        )
+        return 0
+
+    report = run_benchmark(args.scale, args.repeats, args.seed)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for key, value in sorted(report["derived"].items()):
+        print(f"  {key}: {value}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,6 +69,8 @@ def config_to_spec(config: IndexConfig) -> Dict[str, Any]:
         "charge_hash_io": config.charge_hash_io,
         "bulk_load_fill": config.bulk_load_fill,
         "min_fill_factor": config.min_fill_factor,
+        "node_layout": config.node_layout,
+        "page_store": config.page_store,
         "params": {
             "epsilon": config.params.epsilon,
             "distance_threshold": config.params.distance_threshold,

@@ -71,6 +71,7 @@ from repro.rtree.tree import RTree
 from repro.rtree.validation import validate_tree
 from repro.secondary import ObjectHashIndex
 from repro.storage import BufferPool, DiskManager, IOStatistics, PageLayout
+from repro.storage.serialization import NodeCodec
 from repro.summary import SummaryStructure
 from repro.update import UpdateOutcome, make_strategy
 from repro.update.base import BatchUpdate, UpdateStrategy
@@ -96,12 +97,19 @@ class MovingObjectIndex(SpatialIndexFacade):
         # The buffer is sized after loading (it depends on the database size);
         # start unbuffered so that nothing is cached before the measured phase.
         self.buffer = BufferPool(self.disk, capacity=0, stats=self.stats)
+        page_codec = (
+            NodeCodec(node_layout=self.config.node_layout)
+            if self.config.page_store == "binary"
+            else None
+        )
         self.tree = RTree(
             self.buffer,
             layout=self.layout,
             split_strategy=make_split_strategy(self.config.split),
             store_parent_pointers=self.config.needs_parent_pointers,
             reinsert_on_underflow=self.config.reinsert_on_underflow,
+            node_layout=self.config.node_layout,
+            page_codec=page_codec,
         )
         self.hash_index = ObjectHashIndex.build_from_tree(
             self.tree, stats=self.stats, charge_io=self.config.charge_hash_io

@@ -34,17 +34,21 @@ from typing import Dict, Union
 import repro.api.builder as api_builder
 from repro.core.index import MovingObjectIndex
 from repro.geometry import Point
-from repro.storage.serialization import deserialize_node, serialize_node
+from repro.storage.serialization import NodeCodec
 
-FORMAT_VERSION = 1
+# Version 2: checkpoints use the lossless columnar page codec (binary64
+# coordinates) instead of the paper's 4-byte sizing-model format, so a
+# save/load round trip reproduces every coordinate bit for bit.
+FORMAT_VERSION = 2
 
 
 def _index_document(index: MovingObjectIndex) -> Dict:
     """The checkpoint document body of one single-machine index."""
     index.buffer.flush()
+    codec = NodeCodec(node_layout=index.tree.node_layout)
     pages = {}
     for node, _parent in index.tree.iter_nodes():
-        image = serialize_node(node, index.layout)
+        image = codec.encode(node)
         pages[str(node.page_id)] = base64.b64encode(image).decode("ascii")
 
     return {
@@ -73,15 +77,17 @@ def _restore_index(document: Dict) -> MovingObjectIndex:
     index.tree._free_node(empty_root)
 
     tree_meta = document["tree"]
+    codec = NodeCodec(node_layout=index.tree.node_layout)
     restored_pages = {}
     for page_text, image_text in document["pages"].items():
         page_id = int(page_text)
         image = base64.b64decode(image_text.encode("ascii"))
-        node = deserialize_node(page_id, image, index.layout)
+        node = codec.decode(page_id, image)
         restored_pages[page_id] = node
 
     # Allocate page ids on the fresh disk until every checkpointed id exists,
-    # then write the node images into place.
+    # then write the node images into place — in whatever representation the
+    # tree's page store holds (node objects or binary page images).
     disk = index.disk
     needed = set(restored_pages)
     allocated = set()
@@ -90,7 +96,7 @@ def _restore_index(document: Dict) -> MovingObjectIndex:
     for page_id in sorted(allocated - needed):
         disk.deallocate_page(page_id)
     for page_id, node in restored_pages.items():
-        disk.write_page(page_id, node)
+        disk.write_page(page_id, index.tree.encode_page_payload(node))
 
     index.tree.root_page_id = tree_meta["root_page_id"]
     index.tree.height = tree_meta["height"]
@@ -105,12 +111,11 @@ def _restore_index(document: Dict) -> MovingObjectIndex:
     if index.summary is not None:
         index.summary.rebuild_from_tree()
 
-    # Object positions are rebuilt from the restored leaf entries rather than
-    # from the checkpoint's position table: the binary codec stores
-    # coordinates as 32-bit floats (the paper's entry format), so the leaf
-    # entries are the authoritative — and self-consistent — source.  The
-    # position table in the document is kept for human inspection and for
-    # objects that might not be point-shaped.
+    # Object positions are rebuilt from the restored leaf entries — the
+    # authoritative, self-consistent source (and since format version 2 the
+    # page codec is binary64, so this is lossless).  The position table in
+    # the document is kept for human inspection and for objects that might
+    # not be point-shaped.
     index._positions = {}
     for leaf in index.tree.leaf_nodes():
         for entry in leaf.entries:

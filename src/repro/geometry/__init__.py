@@ -11,7 +11,8 @@ Both classes are immutable value objects so they can be shared freely between
 tree nodes, the main-memory summary structure, and workload generators.
 """
 
+from repro.geometry import kernels
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect, union_all
 
-__all__ = ["Point", "Rect", "union_all"]
+__all__ = ["Point", "Rect", "kernels", "union_all"]

@@ -24,6 +24,9 @@ class Point:
 
     __slots__ = ("x", "y")
 
+    x: float
+    y: float
+
     def __init__(self, x: float, y: float) -> None:
         object.__setattr__(self, "x", float(x))
         object.__setattr__(self, "y", float(y))

@@ -30,6 +30,11 @@ class Rect:
 
     __slots__ = ("xmin", "ymin", "xmax", "ymax")
 
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
     def __init__(self, xmin: float, ymin: float, xmax: float, ymax: float) -> None:
         if xmin > xmax or ymin > ymax:
             raise ValueError(
@@ -46,9 +51,27 @@ class Rect:
 
     # -- constructors ------------------------------------------------------
     @classmethod
+    def _raw(cls, xmin: float, ymin: float, xmax: float, ymax: float) -> "Rect":
+        """Unchecked fast-path constructor for internal hot paths.
+
+        Skips the ``xmin <= xmax`` validation and the ``float()`` coercions;
+        callers must guarantee the coordinates are well-ordered floats (true
+        for every union/extension of already-valid rectangles).  The batch
+        kernels in :mod:`repro.geometry.kernels` and the union paths below
+        use it to avoid paying the validated constructor per rectangle.
+        """
+        rect = cls.__new__(cls)
+        object.__setattr__(rect, "xmin", xmin)
+        object.__setattr__(rect, "ymin", ymin)
+        object.__setattr__(rect, "xmax", xmax)
+        object.__setattr__(rect, "ymax", ymax)
+        return rect
+
+    @classmethod
     def from_point(cls, point: Point) -> "Rect":
         """Degenerate rectangle covering a single point."""
-        return cls(point.x, point.y, point.x, point.y)
+        x, y = point.x, point.y
+        return cls._raw(x, y, x, y)
 
     @classmethod
     def from_points(cls, a: Point, b: Point) -> "Rect":
@@ -151,7 +174,7 @@ class Rect:
     # -- combination ---------------------------------------------------------
     def union(self, other: "Rect") -> "Rect":
         """Smallest rectangle covering both this rectangle and *other*."""
-        return Rect(
+        return Rect._raw(
             min(self.xmin, other.xmin),
             min(self.ymin, other.ymin),
             max(self.xmax, other.xmax),
@@ -160,7 +183,7 @@ class Rect:
 
     def union_point(self, point: Point) -> "Rect":
         """Smallest rectangle covering this rectangle and *point*."""
-        return Rect(
+        return Rect._raw(
             min(self.xmin, point.x),
             min(self.ymin, point.y),
             max(self.xmax, point.x),
@@ -175,7 +198,7 @@ class Rect:
         ymax = min(self.ymax, other.ymax)
         if xmin > xmax or ymin > ymax:
             return None
-        return Rect(xmin, ymin, xmax, ymax)
+        return Rect._raw(xmin, ymin, xmax, ymax)
 
     def overlap_area(self, other: "Rect") -> float:
         """Area of the overlap region (zero if disjoint)."""
@@ -294,7 +317,7 @@ def union_all(rects: Iterable[Rect]) -> Rect:
             xmax = rect.xmax
         if rect.ymax > ymax:
             ymax = rect.ymax
-    return Rect(xmin, ymin, xmax, ymax)
+    return Rect._raw(xmin, ymin, xmax, ymax)
 
 
 def rects_from_sequence(values: Sequence[float]) -> Rect:

@@ -133,9 +133,9 @@ def _rebalance_tail(tree: RTree, nodes: List[Node], level: int) -> List[Node]:
     movable = max(0, len(donor.entries) - min_entries)
     to_move = min(needed, movable)
     if to_move > 0:
-        moved = donor.entries[-to_move:]
-        donor.entries = donor.entries[:-to_move]
-        last.entries = moved + last.entries
+        moved = list(donor.entries[-to_move:])
+        donor.entries = list(donor.entries[:-to_move])
+        last.entries = moved + list(last.entries)
         tree.write_node(donor)
         tree.write_node(last)
     return nodes

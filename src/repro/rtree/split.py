@@ -57,16 +57,26 @@ class QuadraticSplit(SplitStrategy):
     name = "quadratic"
 
     def split(self, entries: Sequence[Entry], min_entries: int) -> SplitResult:
+        # The whole algorithm runs on flat float tuples: the O(n^2) seed scan
+        # and the per-entry assignment loop dominate split cost, and unpacked
+        # coordinates avoid a Rect allocation per considered pair.  Every
+        # formula mirrors the Rect methods operation for operation, so the
+        # resulting groups are identical to the object-based implementation.
         self._validate(entries, min_entries)
         remaining = list(entries)
-        seed_a, seed_b = self._pick_seeds(remaining)
+        bounds = [entry.rect.as_tuple() for entry in remaining]
+        areas = [(b[2] - b[0]) * (b[3] - b[1]) for b in bounds]
+        seed_a, seed_b = self._pick_seeds_from_bounds(bounds, areas)
+        axmin, aymin, axmax, aymax = bounds[seed_a]
+        bxmin, bymin, bxmax, bymax = bounds[seed_b]
+        area_a = areas[seed_a]
+        area_b = areas[seed_b]
         # Remove the later index first so the earlier index stays valid.
         for index in sorted((seed_a, seed_b), reverse=True):
             remaining.pop(index)
+            bounds.pop(index)
         group_a = [entries[seed_a]]
         group_b = [entries[seed_b]]
-        mbr_a = group_a[0].rect
-        mbr_b = group_b[0].rect
 
         while remaining:
             # Force-assign when one group needs every remaining entry.
@@ -79,36 +89,91 @@ class QuadraticSplit(SplitStrategy):
                 remaining.clear()
                 break
 
-            index = self._pick_next(remaining, mbr_a, mbr_b)
-            entry = remaining.pop(index)
-            enlargement_a = mbr_a.enlargement_to_include(entry.rect)
-            enlargement_b = mbr_b.enlargement_to_include(entry.rect)
-            if enlargement_a < enlargement_b:
+            # PickNext: the entry with the greatest |d1 - d2| preference.
+            best_index = 0
+            best_difference = -1.0
+            best_d1 = best_d2 = 0.0
+            for index, (exmin, eymin, exmax, eymax) in enumerate(bounds):
+                uw = (axmax if axmax > exmax else exmax) - (
+                    axmin if axmin < exmin else exmin
+                )
+                uh = (aymax if aymax > eymax else eymax) - (
+                    aymin if aymin < eymin else eymin
+                )
+                d1 = uw * uh - area_a
+                uw = (bxmax if bxmax > exmax else exmax) - (
+                    bxmin if bxmin < exmin else exmin
+                )
+                uh = (bymax if bymax > eymax else eymax) - (
+                    bymin if bymin < eymin else eymin
+                )
+                d2 = uw * uh - area_b
+                difference = abs(d1 - d2)
+                if difference > best_difference:
+                    best_difference = difference
+                    best_index = index
+                    best_d1 = d1
+                    best_d2 = d2
+
+            entry = remaining.pop(best_index)
+            exmin, eymin, exmax, eymax = bounds.pop(best_index)
+            if best_d1 < best_d2:
                 choose_a = True
-            elif enlargement_b < enlargement_a:
+            elif best_d2 < best_d1:
                 choose_a = False
-            elif mbr_a.area() != mbr_b.area():
-                choose_a = mbr_a.area() < mbr_b.area()
+            elif area_a != area_b:
+                choose_a = area_a < area_b
             else:
                 choose_a = len(group_a) <= len(group_b)
             if choose_a:
                 group_a.append(entry)
-                mbr_a = mbr_a.union(entry.rect)
+                if exmin < axmin:
+                    axmin = exmin
+                if eymin < aymin:
+                    aymin = eymin
+                if exmax > axmax:
+                    axmax = exmax
+                if eymax > aymax:
+                    aymax = eymax
+                area_a = (axmax - axmin) * (aymax - aymin)
             else:
                 group_b.append(entry)
-                mbr_b = mbr_b.union(entry.rect)
+                if exmin < bxmin:
+                    bxmin = exmin
+                if eymin < bymin:
+                    bymin = eymin
+                if exmax > bxmax:
+                    bxmax = exmax
+                if eymax > bymax:
+                    bymax = eymax
+                area_b = (bxmax - bxmin) * (bymax - bymin)
         return group_a, group_b
 
     @staticmethod
     def _pick_seeds(entries: Sequence[Entry]) -> Tuple[int, int]:
+        bounds = [entry.rect.as_tuple() for entry in entries]
+        areas = [(b[2] - b[0]) * (b[3] - b[1]) for b in bounds]
+        return QuadraticSplit._pick_seeds_from_bounds(bounds, areas)
+
+    @staticmethod
+    def _pick_seeds_from_bounds(
+        bounds: Sequence[Tuple[float, float, float, float]],
+        areas: Sequence[float],
+    ) -> Tuple[int, int]:
         worst_waste = -1.0
         seeds = (0, 1)
-        for i in range(len(entries)):
-            rect_i = entries[i].rect
-            area_i = rect_i.area()
-            for j in range(i + 1, len(entries)):
-                rect_j = entries[j].rect
-                waste = rect_i.union(rect_j).area() - area_i - rect_j.area()
+        for i in range(len(bounds)):
+            ixmin, iymin, ixmax, iymax = bounds[i]
+            area_i = areas[i]
+            for j in range(i + 1, len(bounds)):
+                jxmin, jymin, jxmax, jymax = bounds[j]
+                uw = (ixmax if ixmax > jxmax else jxmax) - (
+                    ixmin if ixmin < jxmin else jxmin
+                )
+                uh = (iymax if iymax > jymax else jymax) - (
+                    iymin if iymin < jymin else jymin
+                )
+                waste = uw * uh - area_i - areas[j]
                 if waste > worst_waste:
                     worst_waste = waste
                     seeds = (i, j)

@@ -34,10 +34,11 @@ import heapq
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.geometry import Point, Rect
-from repro.rtree.node import Entry, Node
+from repro.rtree.node import Entry, Node, make_node
 from repro.rtree.observers import ObserverList, TreeObserver
 from repro.rtree.split import QuadraticSplit, SplitStrategy
 from repro.storage.buffer import BufferPool
+from repro.storage.serialization import NodeCodec
 from repro.storage.sizing import PageLayout
 
 
@@ -60,6 +61,19 @@ class RTree:
         When ``True`` (default) deletion uses Guttman's CondenseTree:
         underflowing nodes are dissolved and their entries re-inserted.
         When ``False`` underflowing nodes are simply left sparse.
+    node_layout:
+        Physical in-memory node representation: ``"object"`` (a list of
+        :class:`Entry` objects, the default) or ``"packed"`` (flat columnar
+        coordinate/id buffers swept by the batch kernels).  Both layouts
+        produce identical answers and identical I/O counts.
+    page_codec:
+        When given, pages hold fixed-format binary images instead of node
+        objects: every :meth:`write_node` encodes and every
+        :meth:`read_node`/:meth:`peek_node` decodes through the codec.  The
+        default (``None``) keeps the simulated-disk object store, whose I/O
+        counts the paper figures are calibrated against (the mapping is 1:1
+        either way — the codec changes what a page holds, never how many
+        pages are touched).
     """
 
     def __init__(
@@ -69,6 +83,8 @@ class RTree:
         split_strategy: Optional[SplitStrategy] = None,
         store_parent_pointers: bool = False,
         reinsert_on_underflow: bool = True,
+        node_layout: str = "object",
+        page_codec: Optional[NodeCodec] = None,
     ) -> None:
         self.buffer = buffer
         self.disk = buffer.disk
@@ -76,6 +92,8 @@ class RTree:
         self.split_strategy = split_strategy if split_strategy is not None else QuadraticSplit()
         self.store_parent_pointers = store_parent_pointers
         self.reinsert_on_underflow = reinsert_on_underflow
+        self.node_layout = node_layout
+        self.page_codec = page_codec
 
         self.leaf_capacity = self.layout.leaf_capacity(
             with_parent_pointer=store_parent_pointers
@@ -88,7 +106,7 @@ class RTree:
         self.size = 0  # number of indexed objects
         self.height = 1
 
-        root = Node(page_id=self.disk.allocate_page(), level=0)
+        root = make_node(self.node_layout, page_id=self.disk.allocate_page(), level=0)
         self.root_page_id = root.page_id
         self.observers.node_created(root)
         self.write_node(root)
@@ -109,14 +127,19 @@ class RTree:
     # ------------------------------------------------------------------
     def read_node(self, page_id: int) -> Node:
         """Read the node stored on *page_id* through the buffer pool."""
-        node = self.buffer.read(page_id)
-        if node is None:
+        payload = self.buffer.read(page_id)
+        if payload is None:
             raise LookupError(f"page {page_id} does not hold an R-tree node")
-        return node
+        if self.page_codec is not None:
+            return self.page_codec.decode(page_id, payload)
+        return payload
 
     def write_node(self, node: Node) -> None:
         """Write *node* back to its page and notify observers."""
-        self.buffer.write(node.page_id, node)
+        if self.page_codec is not None:
+            self.buffer.write(node.page_id, self.page_codec.encode(node))
+        else:
+            self.buffer.write(node.page_id, node)
         self.observers.node_written(node)
 
     def peek_node(self, page_id: int) -> Node:
@@ -126,10 +149,23 @@ class RTree:
         reached the disk yet are seen — lock-scope prediction runs against
         the live tree, not the possibly stale on-disk image.
         """
-        return self.buffer.peek(page_id)
+        payload = self.buffer.peek(page_id)
+        if self.page_codec is not None:
+            return self.page_codec.decode(page_id, payload)
+        return payload
+
+    def encode_page_payload(self, node: Node) -> object:
+        """What a page holds for *node*: a binary image or the node itself.
+
+        Used by checkpoint restore, which writes pages directly to the disk
+        manager and must match the store the tree is configured with.
+        """
+        if self.page_codec is not None:
+            return self.page_codec.encode(node)
+        return node
 
     def _allocate_node(self, level: int) -> Node:
-        node = Node(page_id=self.disk.allocate_page(), level=level)
+        node = make_node(self.node_layout, page_id=self.disk.allocate_page(), level=level)
         self.observers.node_created(node)
         return node
 
@@ -222,28 +258,9 @@ class RTree:
             )
         path = [node]
         while node.level > target_level:
-            child_entry = self._choose_subtree(node, rect)
-            node = self.read_node(child_entry.child)
+            node = self.read_node(node.choose_subtree_child(rect))
             path.append(node)
         return path
-
-    def _choose_subtree(self, node: Node, rect: Rect) -> Entry:
-        """Guttman's ChooseLeaf criterion: least enlargement, then least area."""
-        best_entry: Optional[Entry] = None
-        best_enlargement = float("inf")
-        best_area = float("inf")
-        for entry in node.entries:
-            enlargement = entry.rect.enlargement_to_include(rect)
-            area = entry.rect.area()
-            if enlargement < best_enlargement or (
-                enlargement == best_enlargement and area < best_area
-            ):
-                best_entry = entry
-                best_enlargement = enlargement
-                best_area = area
-        if best_entry is None:
-            raise LookupError("cannot choose a subtree in an empty internal node")
-        return best_entry
 
     def _handle_overflow_and_adjust(
         self,
@@ -267,10 +284,19 @@ class RTree:
             node = path[index]
             capacity = self.capacity_for_level(node.level)
 
-            if len(node.entries) > capacity:
+            if len(node) > capacity:
                 split_sibling = self._split_node(node)
             else:
                 if node.page_id in modified:
+                    # The parent entry below is refreshed to the tight MBR,
+                    # voiding any ε-slack; clear it *before* the write so the
+                    # page image (binary page store) matches the object's
+                    # final state.  Semantically a no-op when the parent entry
+                    # already equals the tight bound (the slack was inside it).
+                    if len(node) and (
+                        index > 0 or upper_path or node.page_id != self.root_page_id
+                    ):
+                        node.stored_mbr = None
                     self.write_node(node)
                 split_sibling = None
 
@@ -299,7 +325,6 @@ class RTree:
             new_mbr = node.mbr()
             if parent_entry.rect != new_mbr:
                 parent_entry.rect = new_mbr
-                node.stored_mbr = None  # the tight bound replaced any ε-slack
                 modified.add(parent.page_id)
             if split_sibling is not None:
                 parent.add_entry(Entry(split_sibling.mbr(), split_sibling.page_id))
@@ -310,7 +335,9 @@ class RTree:
     def _split_node(self, node: Node) -> Node:
         """Split an overflowing *node*; return the newly created sibling."""
         min_entries = self.min_entries_for_level(node.level)
-        group_a, group_b = self.split_strategy.split(node.entries, min_entries)
+        group_a, group_b = self.split_strategy.split(
+            node.materialized_entries(), min_entries
+        )
         sibling = self._allocate_node(node.level)
         node.entries = list(group_a)
         sibling.entries = list(group_b)
@@ -355,8 +382,8 @@ class RTree:
         """
         if not self.store_parent_pointers or parent.level != 1:
             return
-        for entry in parent.entries:
-            child = self.read_node(entry.child)
+        for child_page in parent.child_ids():
+            child = self.read_node(child_page)
             if child.parent_page_id != parent.page_id:
                 child.parent_page_id = parent.page_id
                 self.write_node(child)
@@ -415,14 +442,13 @@ class RTree:
             if node.is_leaf:
                 return path if node.page_id == leaf_page_id else None
             if node.level == 1:
-                if any(entry.child == leaf_page_id for entry in node.entries):
+                if node.has_child(leaf_page_id):
                     return path + [self.read_node(leaf_page_id)]
                 return None
-            for entry in node.entries:
-                if entry.rect.intersects(hint):
-                    result = descend(self.read_node(entry.child), path)
-                    if result is not None:
-                        return result
+            for child in node.intersecting_children(hint):
+                result = descend(self.read_node(child), path)
+                if result is not None:
+                    return result
             return None
 
         return descend(self.read_node(self.root_page_id), [])
@@ -465,7 +491,7 @@ class RTree:
         while pending:
             path = self._choose_path(pending[0].rect, 0, self.root_page_id)
             leaf = path[-1]
-            room = self.leaf_capacity - len(leaf.entries)
+            room = self.leaf_capacity - len(leaf)
             if room <= 0:
                 leaf.add_entry(pending.pop(0))
                 self.size += 1
@@ -499,7 +525,7 @@ class RTree:
 
         Returns ``True`` when the parent was written.
         """
-        before = parent.mbr() if parent.entries else None
+        before = parent.mbr() if len(parent) else None
         changed = False
         for child in children:
             entry = parent.find_entry(child.page_id)
@@ -549,7 +575,7 @@ class RTree:
         if found is None:
             return False
         path, leaf = found
-        leaf.remove_entry(oid)
+        leaf.discard_entry(oid)
         self.size -= 1
         self.observers.object_removed(oid)
         self._condense_tree(path + [leaf])
@@ -563,7 +589,7 @@ class RTree:
         underflow; they call this method with whatever parent path they have
         already paid to read.
         """
-        if leaf.remove_entry(oid) is None:
+        if not leaf.discard_entry(oid):
             raise LookupError(f"object {oid} not found in leaf {leaf.page_id}")
         self.size -= 1
         self.observers.object_removed(oid)
@@ -575,14 +601,18 @@ class RTree:
         """Locate the leaf containing *oid*; returns the root-to-parent path and leaf."""
         node = self.read_node(page_id)
         if node.is_leaf:
-            if node.find_entry(oid) is not None:
+            if node.has_child(oid):
                 return list(path), node
             return None
-        for entry in node.entries:
-            if entry.rect.intersects(rect):
-                result = self._find_leaf(entry.child, oid, rect, path + [node])
-                if result is not None:
-                    return result
+        # One shared path list, append/pop around the recursion: FindLeaf
+        # visits many partial paths, and copying the prefix per visited node
+        # dominated the search cost.  The snapshot happens only on a hit.
+        path.append(node)
+        for child in node.intersecting_children(rect):
+            result = self._find_leaf(child, oid, rect, path)
+            if result is not None:
+                return result
+        path.pop()
         return None
 
     def _condense_tree(self, path: List[Node]) -> None:
@@ -602,7 +632,7 @@ class RTree:
             parent = path[index - 1]
             min_entries = self.min_entries_for_level(node.level)
             if self.reinsert_on_underflow and node.underflows(min_entries):
-                parent.remove_entry(node.page_id)
+                parent.discard_entry(node.page_id)
                 modified.add(parent.page_id)
                 orphans.extend((node.level, entry) for entry in node.entries)
                 self._free_node(node)
@@ -613,12 +643,16 @@ class RTree:
                         f"node {node.page_id} not found in parent {parent.page_id}"
                     )
                 if node.page_id in modified:
+                    # The parent entry is tightened below; clear the ε-slack
+                    # before the write so the page image matches (no-op when
+                    # the parent entry already equals the tight bound).
+                    if len(node):
+                        node.stored_mbr = None
                     self.write_node(node)
-                if node.entries:
+                if len(node):
                     new_mbr = node.mbr()
                     if parent_entry.rect != new_mbr:
                         parent_entry.rect = new_mbr
-                        node.stored_mbr = None  # the tight bound replaced any ε-slack
                         modified.add(parent.page_id)
             index -= 1
 
@@ -638,8 +672,8 @@ class RTree:
         """Collapse the root while it is an internal node with a single child."""
         changed = False
         root = self.read_node(self.root_page_id)
-        while not root.is_leaf and len(root.entries) == 1:
-            child_page = root.entries[0].child
+        while not root.is_leaf and len(root) == 1:
+            child_page = root.entry_at(0).child
             child = self.read_node(child_page)
             self._free_node(root)
             self.root_page_id = child.page_id
@@ -669,13 +703,9 @@ class RTree:
         while stack:
             node = self.read_node(stack.pop())
             if node.is_leaf:
-                for entry in node.entries:
-                    if entry.rect.intersects(window):
-                        yield entry.child
+                yield from node.intersecting_children(window)
             else:
-                for entry in node.entries:
-                    if entry.rect.intersects(window):
-                        stack.append(entry.child)
+                stack.extend(node.intersecting_children(window))
 
     def point_query(self, point: Point) -> List[int]:
         """Return the object ids whose MBRs contain *point*."""
@@ -727,12 +757,12 @@ class RTree:
                 distance, _, identifier, is_node = heapq.heappop(frontier)
                 if is_node:
                     node = self.read_node(identifier)
-                    for entry in node.entries:
+                    child_is_node = not node.is_leaf
+                    for entry_distance, child in node.entry_distances(point):
                         counter += 1
-                        entry_distance = entry.rect.min_distance_to_point(point)
                         heapq.heappush(
                             frontier,
-                            (entry_distance, counter, entry.child, not node.is_leaf),
+                            (entry_distance, counter, child, child_is_node),
                         )
                 else:
                     heapq.heappush(ready, (distance, identifier))
@@ -760,8 +790,8 @@ class RTree:
             node = reader(page_id)
             yield node, parent_id
             if not node.is_leaf:
-                for entry in node.entries:
-                    stack.append((entry.child, page_id))
+                for child in node.child_ids():
+                    stack.append((child, page_id))
 
     def leaf_nodes(self, charge_io: bool = False):
         """Yield every leaf node."""
@@ -809,9 +839,7 @@ class RTree:
             if node.is_leaf:
                 pages.append(node.page_id)
             else:
-                for entry in node.entries:
-                    if entry.rect.intersects(rect):
-                        stack.append(entry.child)
+                stack.extend(node.intersecting_children(rect))
         return sorted(pages)
 
     def predict_insert_leaf(
@@ -830,7 +858,7 @@ class RTree:
             self.root_page_id if start_page_id is None else start_page_id
         )
         while not node.is_leaf:
-            node = self.peek_node(self._choose_subtree(node, rect).child)
+            node = self.peek_node(node.choose_subtree_child(rect))
         return node.page_id
 
     def __len__(self) -> int:

@@ -17,6 +17,7 @@ hash index is charged per probe, not per maintenance operation).
 
 from __future__ import annotations
 
+from itertools import repeat
 from typing import Dict, Optional
 
 from repro.rtree.node import Node
@@ -94,8 +95,9 @@ class ObjectHashIndex(TreeObserver):
         """Record the current leaf of every object stored in a written leaf."""
         if not node.is_leaf:
             return
-        for entry in node.entries:
-            self._leaf_of[entry.child] = node.page_id
+        # dict.update over a zip runs the per-object loop in C; leaf writes
+        # are the single most frequent observer event on the update path.
+        self._leaf_of.update(zip(node.child_ids(), repeat(node.page_id)))
 
     def on_node_deleted(self, node: Node) -> None:
         """Forget objects whose recorded leaf was deleted.
@@ -108,9 +110,9 @@ class ObjectHashIndex(TreeObserver):
         """
         if not node.is_leaf:
             return
-        for entry in node.entries:
-            if self._leaf_of.get(entry.child) == node.page_id:
-                del self._leaf_of[entry.child]
+        for child in node.child_ids():
+            if self._leaf_of.get(child) == node.page_id:
+                del self._leaf_of[child]
 
     def on_object_removed(self, oid: int) -> None:
         self._leaf_of.pop(oid, None)

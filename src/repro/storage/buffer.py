@@ -25,6 +25,9 @@ from repro.storage.stats import IOStatistics
 #: One entry of an access trace: ``("read" | "write", page_id)``.
 AccessRecord = Tuple[str, int]
 
+#: Sentinel distinguishing "frame absent" from any real payload.
+_MISSING = object()
+
 
 @dataclass
 class ClientIOCounters:
@@ -174,10 +177,13 @@ class BufferPool:
         self.stats.logical_reads += 1
         if self._access_log is not None:
             self._access_log.append(("read", page_id))
-        if self.capacity > 0 and page_id in self._frames:
-            self.stats.buffer_hits += 1
-            self._frames.move_to_end(page_id)
-            return self._frames[page_id]
+        if self.capacity > 0:
+            frames = self._frames
+            payload = frames.get(page_id, _MISSING)
+            if payload is not _MISSING:
+                self.stats.buffer_hits += 1
+                frames.move_to_end(page_id)
+                return payload
         payload = self.disk.read_page(page_id)
         self._charge_client(reads=1)
         self._admit(page_id, payload)
@@ -296,9 +302,14 @@ class BufferPool:
 
     def _evict_one(self) -> bool:
         """Evict the least recently used unpinned frame; ``False`` if none."""
-        victim_id = next(
-            (page_id for page_id in self._frames if page_id not in self._pins), None
-        )
+        if not self._pins:
+            # Fast path: no pins, so the LRU head is always the victim.
+            victim_id = next(iter(self._frames), None)
+        else:
+            victim_id = next(
+                (page_id for page_id in self._frames if page_id not in self._pins),
+                None,
+            )
         if victim_id is None:
             return False
         payload = self._frames.pop(victim_id)

@@ -70,10 +70,6 @@ def iter_summary_guided_range_query(
     # the qualifying leaves to obtain the objects.
     for entry in frontier:
         level1_node = tree.read_node(entry.page_id)
-        for child in level1_node.entries:
-            if not child.rect.intersects(window):
-                continue
-            leaf = tree.read_node(child.child)
-            for leaf_entry in leaf.entries:
-                if leaf_entry.rect.intersects(window):
-                    yield leaf_entry.child
+        for child_page in level1_node.intersecting_children(window):
+            leaf = tree.read_node(child_page)
+            yield from leaf.intersecting_children(window)

@@ -95,10 +95,10 @@ class SummaryStructure(TreeObserver):
     def _record_node(self, node: Node) -> None:
         if node.is_leaf:
             self.leaf_bits.set_fullness(
-                node.page_id, len(node.entries) >= self.tree.leaf_capacity
+                node.page_id, len(node) >= self.tree.leaf_capacity
             )
             return
-        if not node.entries:
+        if not len(node):
             # An internal node is never legitimately empty; skip rather than
             # store an entry without an MBR (the node is about to be removed).
             return

@@ -136,7 +136,7 @@ class UpdateStrategy:
         bound, so the initial effective MBR remains a valid bound for every
         member of the group (and is itself contained in the parent's entry).
         """
-        mbr = leaf.effective_mbr() if leaf.entries else None
+        mbr = leaf.effective_mbr() if len(leaf) else None
         residuals: List[BatchUpdate] = []
         dirty = False
         for request in group:

@@ -190,10 +190,11 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
 
         # 3. Batched sibling shifting (bit vector plans, one read per sibling).
         if residuals and parent_entry is not None:
+            is_full = self.summary.leaf_bits.is_full
             candidates = [
                 page
                 for page in parent_entry.child_page_ids
-                if page != leaf.page_id and not self.summary.is_leaf_full(page)
+                if page != leaf.page_id and not is_full(page)
             ]
             if candidates:
                 parent_node = self.tree.read_node(parent_entry.page_id)
@@ -238,7 +239,7 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
         objects are routed only to siblings whose parent entry already
         contains the new position.
         """
-        removable = len(leaf.entries) - self.tree.min_leaf_entries
+        removable = len(leaf) - self.tree.min_leaf_entries
         candidate_set = frozenset(candidates)
         siblings: Dict[int, Node] = {}
         planned: Dict[int, int] = {}  # sibling page -> objects routed so far
@@ -249,11 +250,8 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
                 residuals.append(request)
                 continue
             target: Optional[int] = None
-            for child_entry in parent_node.entries:
-                page = child_entry.child
+            for page in parent_node.contains_point_children(request.new_location):
                 if page not in candidate_set or page == leaf.page_id:
-                    continue
-                if not child_entry.rect.contains_point(request.new_location):
                     continue
                 if page not in siblings:
                     siblings[page] = self.tree.read_node(page)
@@ -314,7 +312,7 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
         tree_intention = GranuleLockRequest(
             TREE_GRANULE, LockMode.INTENTION_EXCLUSIVE
         )
-        if leaf.entries and leaf.effective_mbr().contains_point(new_location):
+        if len(leaf) and leaf.effective_mbr().contains_point(new_location):
             requests.append(tree_intention)
             return merge_requests(requests)
 
@@ -326,26 +324,26 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
             )
 
         extend_ok = False
-        if leaf.entries:
+        if len(leaf):
             candidate = leaf.effective_mbr().extended_towards(
                 new_location, self.params.epsilon, bound=parent_mbr
             )
             extend_ok = candidate.contains_point(new_location)
 
-        can_remove = len(leaf.entries) - 1 >= self.tree.min_leaf_entries
+        can_remove = len(leaf) - 1 >= self.tree.min_leaf_entries
         shift_candidates: List[int] = []
         if parent_entry is not None and can_remove:
             parent_node = self.tree.peek_node(parent_entry.page_id)
+            is_full = self.summary.leaf_bits.is_full
             eligible = {
                 page
                 for page in parent_entry.child_page_ids
-                if page != leaf_page and not self.summary.is_leaf_full(page)
+                if page != leaf_page and not is_full(page)
             }
             shift_candidates = [
-                entry.child
-                for entry in parent_node.entries
-                if entry.child in eligible
-                and entry.rect.contains_point(new_location)
+                page
+                for page in parent_node.contains_point_children(new_location)
+                if page in eligible
             ]
 
         fast_mover = (
@@ -415,7 +413,7 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
             GranuleLockRequest(parent_entry.page_id, LockMode.INTENTION_EXCLUSIVE)
         )
         leaf = self.tree.peek_node(leaf_page_id)
-        leaf_mbr = leaf.effective_mbr() if leaf.entries else None
+        leaf_mbr = leaf.effective_mbr() if len(leaf) else None
         escaping = [
             request.new_location
             for request in group
@@ -423,16 +421,19 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
         ]
         if escaping:
             parent_node = self.tree.peek_node(parent_entry.page_id)
+            is_full = self.summary.leaf_bits.is_full
             eligible = {
                 page
                 for page in parent_entry.child_page_ids
-                if page != leaf_page_id and not self.summary.is_leaf_full(page)
+                if page != leaf_page_id and not is_full(page)
             }
+            covering: set = set()
+            for location in escaping:
+                covering.update(parent_node.contains_point_children(location))
             requests.extend(
-                GranuleLockRequest(entry.child, LockMode.EXCLUSIVE)
-                for entry in parent_node.entries
-                if entry.child in eligible
-                and any(entry.rect.contains_point(location) for location in escaping)
+                GranuleLockRequest(page, LockMode.EXCLUSIVE)
+                for page in parent_node.child_ids()
+                if page in eligible and page in covering
             )
         return merge_requests(requests)
 
@@ -483,26 +484,25 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
         if parent_entry is None:
             return None
         # Removing the object must not underflow the leaf.
-        if len(leaf.entries) - 1 < self.tree.min_leaf_entries:
+        if len(leaf) - 1 < self.tree.min_leaf_entries:
             return None
 
         # The bit vector identifies non-full siblings without disk access, but
         # the sibling MBRs live in the parent node, which has to be read.
-        candidate_pages = [
+        is_full = self.summary.leaf_bits.is_full
+        candidate_pages = {
             page
             for page in parent_entry.child_page_ids
-            if page != leaf.page_id and not self.summary.is_leaf_full(page)
-        ]
+            if page != leaf.page_id and not is_full(page)
+        }
         if not candidate_pages:
             return None
 
         parent_node = self.tree.read_node(parent_entry.page_id)
         chosen_page: Optional[int] = None
-        for child_entry in parent_node.entries:
-            if child_entry.child in candidate_pages and child_entry.rect.contains_point(
-                new_location
-            ):
-                chosen_page = child_entry.child
+        for page in parent_node.contains_point_children(new_location):
+            if page in candidate_pages:
+                chosen_page = page
                 break
         if chosen_page is None:
             return None
@@ -513,8 +513,8 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
             # only; a full sibling here means another update filled it first.
             return None
 
-        removed = leaf.remove_entry(oid)
-        assert removed is not None
+        removed = leaf.discard_entry(oid)
+        assert removed
         sibling.add_entry(Entry(Rect.from_point(new_location), oid))
 
         # Piggyback other objects of the source leaf that also fit in the
@@ -522,17 +522,23 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
         if self.params.piggyback:
             self._piggyback(leaf, sibling)
 
+        # Tightening the source leaf's MBR in the parent (below) voids any
+        # ε-slack; decide before the leaf write so the page image matches.
+        source_entry = parent_node.find_entry(leaf.page_id)
+        tightened: Optional[Rect] = None
+        if source_entry is not None and len(leaf):
+            candidate = leaf.mbr()
+            if source_entry.rect != candidate:
+                tightened = candidate
+                leaf.stored_mbr = None
+
         self.tree.write_node(leaf)
         self.tree.write_node(sibling)
 
         # Tighten the source leaf's MBR in the parent to reduce overlap.
-        source_entry = parent_node.find_entry(leaf.page_id)
-        if source_entry is not None and leaf.entries:
-            tightened = leaf.mbr()
-            if source_entry.rect != tightened:
-                source_entry.rect = tightened
-                leaf.stored_mbr = None
-                self.tree.write_node(parent_node)
+        if source_entry is not None and tightened is not None:
+            source_entry.rect = tightened
+            self.tree.write_node(parent_node)
         return UpdateOutcome.SIBLING_SHIFT
 
     def _piggyback(self, source: Node, sibling: Node) -> None:
@@ -542,23 +548,22 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
         current MBR (so the sibling MBR does not grow), the sibling has spare
         capacity, and the source stays above its minimum fill.
         """
-        sibling_mbr = sibling.mbr()
-        moved = 0
-        index = 0
-        while index < len(source.entries):
-            if moved >= self.params.max_piggyback_objects:
-                break
-            if len(sibling.entries) >= self.tree.leaf_capacity:
-                break
-            if len(source.entries) <= self.tree.min_leaf_entries:
-                break
-            entry = source.entries[index]
-            if sibling_mbr.contains_rect(entry.rect):
-                source.entries.pop(index)
-                sibling.add_entry(entry)
-                moved += 1
-                continue
-            index += 1
+        # The containment test never changes as entries move (the sibling MBR
+        # is fixed and moves only shrink the source), so a single batch scan
+        # of the pristine source finds every eligible entry; the move budget
+        # caps how many of them (in entry order) actually transfer.
+        budget = min(
+            self.params.max_piggyback_objects,
+            self.tree.leaf_capacity - len(sibling),
+            len(source) - self.tree.min_leaf_entries,
+        )
+        if budget <= 0:
+            return
+        sxmin, symin, sxmax, symax = sibling.mbr().as_tuple()
+        eligible = source.contained_entry_indices(sxmin, symin, sxmax, symax)
+        # Each pop shifts the remaining (ascending) indices left by one.
+        for moved, index in enumerate(eligible[:budget]):
+            sibling.add_entry(source.pop_entry_at(index - moved))
 
     # ------------------------------------------------------------------
     # FindParent ascent (Algorithm 3)
@@ -581,7 +586,7 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
 
         # Removing the object must not underflow the leaf (Algorithm 2 issues
         # a top-down update in that case).
-        if len(leaf.entries) - 1 < self.tree.min_leaf_entries:
+        if len(leaf) - 1 < self.tree.min_leaf_entries:
             return self._top_down_update(oid, old_location, new_location)
 
         if level_threshold < 1:
@@ -596,8 +601,8 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
             # Global re-insert: start the insert descent at the root.
             ancestor_page, ancestor_path = self.tree.root_page_id, []
 
-        removed = leaf.remove_entry(oid)
-        assert removed is not None
+        removed = leaf.discard_entry(oid)
+        assert removed
         self.tree.write_node(leaf)
         self.tree.size -= 1  # insert_at_subtree() below counts the object again
 

@@ -100,7 +100,7 @@ class LocalizedBottomUpUpdate(UpdateStrategy):
 
         # 3. Removing the object must not underflow the leaf; otherwise the
         #    reorganisation belongs to the top-down machinery.
-        if len(leaf.entries) - 1 < self.tree.min_leaf_entries:
+        if len(leaf) - 1 < self.tree.min_leaf_entries:
             return self._top_down_update(oid, old_location, new_location)
 
         removed = leaf.remove_entry(oid)
@@ -197,7 +197,7 @@ class LocalizedBottomUpUpdate(UpdateStrategy):
         tree_intention = GranuleLockRequest(
             TREE_GRANULE, LockMode.INTENTION_EXCLUSIVE
         )
-        if leaf.entries and leaf.effective_mbr().contains_point(new_location):
+        if len(leaf) and leaf.effective_mbr().contains_point(new_location):
             requests.append(tree_intention)
             return merge_requests(requests)
 
@@ -212,7 +212,7 @@ class LocalizedBottomUpUpdate(UpdateStrategy):
 
         enlarged = (
             leaf.effective_mbr().expanded(self.params.epsilon)
-            if leaf.entries
+            if len(leaf)
             else None
         )
         if (
@@ -223,13 +223,13 @@ class LocalizedBottomUpUpdate(UpdateStrategy):
             requests.append(tree_intention)
             return merge_requests(requests)
 
-        if len(leaf.entries) - 1 < self.tree.min_leaf_entries:
+        if len(leaf) - 1 < self.tree.min_leaf_entries:
             return super().lock_scope(oid, old_location, new_location)
 
         candidates = [
-            entry.child
-            for entry in parent.entries
-            if entry.child != leaf_page and entry.rect.contains_point(new_location)
+            page
+            for page in parent.contains_point_children(new_location)
+            if page != leaf_page
         ]
         if candidates:
             requests.extend(
@@ -266,12 +266,10 @@ class LocalizedBottomUpUpdate(UpdateStrategy):
         self, parent: Node, exclude_page: int, location: Point
     ) -> Optional[Node]:
         """Read candidate siblings until a non-full one containing *location* is found."""
-        for candidate in parent.entries:
-            if candidate.child == exclude_page:
+        for candidate_page in parent.contains_point_children(location):
+            if candidate_page == exclude_page:
                 continue
-            if not candidate.rect.contains_point(location):
-                continue
-            sibling = self.tree.read_node(candidate.child)
+            sibling = self.tree.read_node(candidate_page)
             if sibling.is_full(self.tree.leaf_capacity):
                 continue
             return sibling

@@ -1,0 +1,308 @@
+"""Property tests: the batch kernels agree exactly with the scalar Rect ops.
+
+The packed node layout answers every geometric question through
+:mod:`repro.geometry.kernels` instead of per-entry :class:`Rect` calls, so
+layout equivalence rests on one contract: **each kernel reproduces the scalar
+predicate exactly** — same floats, same booleans, same tie-breaks — on every
+backend.  These properties drive random rectangle buffers (including
+degenerate point-rects and exactly-touching edges, the cases the moving-point
+workload hits constantly) through every kernel and compare against a scalar
+reference loop.
+"""
+
+from array import array
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, Rect, kernels, union_all
+
+# Mix plain floats with ones snapped to a coarse grid so exact ties and
+# exactly-touching edges occur often instead of almost never.
+_fine = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+_coarse = st.integers(min_value=0, max_value=8).map(lambda n: n / 8.0)
+coordinates = st.one_of(_fine, _coarse)
+
+
+@st.composite
+def rect_tuples(draw):
+    x1, x2 = sorted((draw(coordinates), draw(coordinates)))
+    y1, y2 = sorted((draw(coordinates), draw(coordinates)))
+    return (x1, y1, x2, y2)
+
+
+@st.composite
+def coord_buffers(draw, min_rects=1, max_rects=12):
+    count = draw(st.integers(min_value=min_rects, max_value=max_rects))
+    buffer = array("d")
+    for _ in range(count):
+        buffer.extend(draw(rect_tuples()))
+    return buffer
+
+
+def rects_of(coords):
+    return [Rect(*coords[base : base + 4]) for base in range(0, len(coords), 4)]
+
+
+BACKENDS = kernels.available_backends()
+
+
+@contextmanager
+def using_backend(name):
+    previous = kernels.get_backend()
+    kernels.set_backend(name)
+    try:
+        yield
+    finally:
+        kernels.set_backend(previous)
+
+
+def on_every_backend(check):
+    """Run *check* once per available backend (python always, numpy if present)."""
+    for name in BACKENDS:
+        with using_backend(name):
+            check(name)
+
+
+class TestBackendSelection:
+    def test_python_backend_always_available(self):
+        assert "python" in kernels.available_backends()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.set_backend("fortran")
+
+    def test_set_backend_returns_effective_backend(self):
+        with using_backend("python"):
+            assert kernels.get_backend() == "python"
+            # Requesting numpy either engages it or degrades to python —
+            # never an error (the pure-Python fallback is mandatory).
+            assert kernels.set_backend("numpy") in ("python", "numpy")
+
+
+class TestUnionBounds:
+    @settings(max_examples=150)
+    @given(coord_buffers())
+    def test_matches_union_all(self, coords):
+        expected = union_all(rects_of(coords)).as_tuple()
+        on_every_backend(
+            lambda name: _check_equal(kernels.union_bounds(coords), expected, name)
+        )
+
+    def test_empty_buffer_rejected(self):
+        def check(name):
+            with pytest.raises(ValueError):
+                kernels.union_bounds(array("d"))
+
+        on_every_backend(check)
+
+    def test_union_rect_is_exact(self):
+        coords = array("d", [0.1, 0.2, 0.3, 0.4, 0.25, 0.1, 0.9, 0.35])
+        on_every_backend(
+            lambda name: _check_equal(
+                kernels.union_rect(coords), Rect(0.1, 0.1, 0.9, 0.4), name
+            )
+        )
+
+
+class TestIntersectsMany:
+    @settings(max_examples=150)
+    @given(coord_buffers(), rect_tuples())
+    def test_matches_scalar_intersects(self, coords, window):
+        expected = [
+            index
+            for index, rect in enumerate(rects_of(coords))
+            if rect.intersects(Rect(*window))
+        ]
+        on_every_backend(
+            lambda name: _check_equal(
+                kernels.intersects_many(coords, *window), expected, name
+            )
+        )
+
+    def test_touching_edge_counts_as_intersection(self):
+        coords = array("d", [0.0, 0.0, 0.5, 0.5])
+
+        def check(name):
+            assert kernels.intersects_many(coords, 0.5, 0.5, 1.0, 1.0) == [0]
+            assert kernels.intersects_many(coords, 0.5 + 1e-12, 0.5, 1.0, 1.0) == []
+
+        on_every_backend(check)
+
+    def test_degenerate_point_rects(self):
+        coords = array("d", [0.25, 0.25, 0.25, 0.25, 0.75, 0.75, 0.75, 0.75])
+
+        def check(name):
+            assert kernels.intersects_many(coords, 0.0, 0.0, 0.5, 0.5) == [0]
+            assert kernels.intersects_many(coords, 0.25, 0.25, 0.75, 0.75) == [0, 1]
+
+        on_every_backend(check)
+
+
+class TestGatherVariants:
+    """The *_ids kernels return ``ids[i]`` for exactly the matching indices."""
+
+    @settings(max_examples=150)
+    @given(coord_buffers(), rect_tuples())
+    def test_intersects_ids_matches_index_variant(self, coords, window):
+        ids = array("I", range(100, 100 + len(coords) // 4))
+        expected = [ids[i] for i in kernels.intersects_many(coords, *window)]
+        on_every_backend(
+            lambda name: _check_equal(
+                kernels.intersects_ids(coords, ids, *window), expected, name
+            )
+        )
+
+    @settings(max_examples=150)
+    @given(coord_buffers(), coordinates, coordinates)
+    def test_contains_point_ids_matches_index_variant(self, coords, x, y):
+        ids = array("I", range(100, 100 + len(coords) // 4))
+        expected = [ids[i] for i in kernels.contains_point_many(coords, x, y)]
+        on_every_backend(
+            lambda name: _check_equal(
+                kernels.contains_point_ids(coords, ids, x, y), expected, name
+            )
+        )
+
+
+class TestContainedInMany:
+    @settings(max_examples=150)
+    @given(coord_buffers(), rect_tuples())
+    def test_matches_scalar_contains_rect(self, coords, window):
+        container = Rect(*window)
+        expected = [
+            index
+            for index, rect in enumerate(rects_of(coords))
+            if container.contains_rect(rect)
+        ]
+        on_every_backend(
+            lambda name: _check_equal(
+                kernels.contained_in_many(coords, *window), expected, name
+            )
+        )
+
+    def test_boundary_touch_is_contained(self):
+        coords = array("d", [0.0, 0.0, 0.5, 0.5, 0.0, 0.0, 0.5 + 1e-12, 0.5])
+
+        def check(name):
+            assert kernels.contained_in_many(coords, 0.0, 0.0, 0.5, 0.5) == [0]
+            assert kernels.contained_in_many(coords, 0.0, 0.0, 1.0, 1.0) == [0, 1]
+
+        on_every_backend(check)
+
+
+class TestContainsPointMany:
+    @settings(max_examples=150)
+    @given(coord_buffers(), coordinates, coordinates)
+    def test_matches_scalar_contains_point(self, coords, x, y):
+        expected = [
+            index
+            for index, rect in enumerate(rects_of(coords))
+            if rect.contains_point(Point(x, y))
+        ]
+        on_every_backend(
+            lambda name: _check_equal(
+                kernels.contains_point_many(coords, x, y), expected, name
+            )
+        )
+
+    def test_boundary_is_inclusive(self):
+        coords = array("d", [0.0, 0.0, 0.5, 0.5])
+
+        def check(name):
+            assert kernels.contains_point_many(coords, 0.5, 0.0) == [0]
+            assert kernels.contains_point_many(coords, 0.5, 0.5) == [0]
+
+        on_every_backend(check)
+
+    def test_point_rect_contains_only_itself(self):
+        coords = array("d", [0.3, 0.7, 0.3, 0.7])
+
+        def check(name):
+            assert kernels.contains_point_many(coords, 0.3, 0.7) == [0]
+            assert kernels.contains_point_many(coords, 0.3, 0.7 + 1e-12) == []
+
+        on_every_backend(check)
+
+
+class TestEnlargement:
+    @settings(max_examples=150)
+    @given(coord_buffers(), rect_tuples())
+    def test_matches_scalar_enlargement_exactly(self, coords, query):
+        query_rect = Rect(*query)
+        # Bit-exact, not approximate: the kernel mirrors the scalar
+        # operation order, so == must hold for every float.
+        expected = [
+            rect.enlargement_to_include(query_rect) for rect in rects_of(coords)
+        ]
+        on_every_backend(
+            lambda name: _check_equal(
+                kernels.enlargement_many(coords, *query), expected, name
+            )
+        )
+
+    @settings(max_examples=150)
+    @given(coord_buffers(), rect_tuples())
+    def test_argmin_matches_sequential_first_wins_scan(self, coords, query):
+        query_rect = Rect(*query)
+        best_index = 0
+        best_enlargement = float("inf")
+        best_area = float("inf")
+        for index, rect in enumerate(rects_of(coords)):
+            enlargement = rect.enlargement_to_include(query_rect)
+            area = rect.area()
+            if enlargement < best_enlargement or (
+                enlargement == best_enlargement and area < best_area
+            ):
+                best_index = index
+                best_enlargement = enlargement
+                best_area = area
+        on_every_backend(
+            lambda name: _check_equal(
+                kernels.argmin_enlargement(coords, *query), best_index, name
+            )
+        )
+
+    def test_tie_broken_by_first_index(self):
+        # Two identical rects already containing the query: zero enlargement,
+        # equal area — the first one must win, like the sequential scan.
+        coords = array("d", [0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0])
+        on_every_backend(
+            lambda name: _check_equal(
+                kernels.argmin_enlargement(coords, 0.4, 0.4, 0.6, 0.6), 0, name
+            )
+        )
+
+    def test_empty_buffer_rejected(self):
+        def check(name):
+            with pytest.raises(ValueError):
+                kernels.argmin_enlargement(array("d"), 0.0, 0.0, 1.0, 1.0)
+
+        on_every_backend(check)
+
+
+class TestMinDistanceMany:
+    @settings(max_examples=150)
+    @given(coord_buffers(), coordinates, coordinates)
+    def test_matches_scalar_distance_exactly(self, coords, x, y):
+        point = Point(x, y)
+        expected = [rect.min_distance_to_point(point) for rect in rects_of(coords)]
+        on_every_backend(
+            lambda name: _check_equal(
+                kernels.min_distance_many(coords, x, y), expected, name
+            )
+        )
+
+    def test_zero_inside_and_on_boundary(self):
+        coords = array("d", [0.0, 0.0, 1.0, 1.0])
+
+        def check(name):
+            assert kernels.min_distance_many(coords, 0.5, 0.5) == [0.0]
+            assert kernels.min_distance_many(coords, 1.0, 0.5) == [0.0]
+
+        on_every_backend(check)
+
+
+def _check_equal(actual, expected, backend_name):
+    assert actual == expected, f"backend {backend_name!r}: {actual!r} != {expected!r}"
