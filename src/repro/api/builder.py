@@ -111,6 +111,8 @@ def index_spec(index: "SpatialIndexFacade") -> Dict[str, Any]:
         }
         if index.rebalancer is not None:
             spec["rebalance"] = index.rebalancer.to_spec()
+        if index.parallel_spec is not None:
+            spec["parallel"] = dict(index.parallel_spec)
     else:
         spec = {"kind": "single", "config": config_to_spec(index.config)}
     if index.engine_defaults:
@@ -134,6 +136,8 @@ def open_index(
                        "cpu_time_per_op": ...},  # session defaults
             "rebalance": {"threshold": ..., "cooldown": ...,
                           "min_ops": ...},       # sharded: online rebalancer
+            "parallel": {"backend": "thread" | "process",
+                         "workers": N},          # sharded: execution backend
         }
 
     Keyword *overrides* are merged over the spec's top level, so
@@ -164,6 +168,7 @@ class IndexBuilder:
         self._partitioner_spec: Optional[Dict[str, Any]] = None
         self._engine: Dict[str, Any] = {}
         self._rebalance: Optional[Dict[str, Any]] = None
+        self._parallel: Optional[Dict[str, Any]] = None
 
     # -- index configuration -------------------------------------------
     def strategy(self, name: str) -> "IndexBuilder":
@@ -248,6 +253,31 @@ class IndexBuilder:
         self._rebalance = section
         return self
 
+    def parallel(
+        self, backend: str = "process", workers: Optional[int] = None
+    ) -> "IndexBuilder":
+        """Attach a shard-execution backend (implies a sharded topology).
+
+        ``backend`` is ``"serial"`` (the default in-process execution —
+        clears any previous setting), ``"thread"`` (concurrent fan-out over
+        the in-process shards) or ``"process"`` (one long-lived worker
+        process per shard group; see :mod:`repro.shard.parallel`).
+        *workers* caps the worker/pool count and defaults to one per shard.
+        """
+        from repro.shard.parallel import BACKENDS
+
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown parallel backend {backend!r}")
+        self._kind = "sharded"
+        if backend == "serial":
+            self._parallel = None
+            return self
+        section: Dict[str, Any] = {"backend": backend}
+        if workers is not None:
+            section["workers"] = int(workers)
+        self._parallel = section
+        return self
+
     # -- engine session defaults ---------------------------------------
     def engine(
         self,
@@ -268,7 +298,15 @@ class IndexBuilder:
     @classmethod
     def from_spec(cls, spec: Dict[str, Any]) -> "IndexBuilder":
         """A builder pre-loaded from a declarative spec dict."""
-        known = {"kind", "config", "shards", "partitioner", "engine", "rebalance"}
+        known = {
+            "kind",
+            "config",
+            "shards",
+            "partitioner",
+            "engine",
+            "rebalance",
+            "parallel",
+        }
         unknown = set(spec) - known
         if unknown:
             raise ValueError(f"unknown spec keys {sorted(unknown)!r}")
@@ -284,6 +322,12 @@ class IndexBuilder:
         if spec.get("rebalance") is not None:
             builder._kind = "sharded"
             builder._rebalance = dict(spec["rebalance"])
+        if spec.get("parallel") is not None:
+            section = dict(spec["parallel"])
+            builder.parallel(
+                backend=section.get("backend", "process"),
+                workers=section.get("workers"),
+            )
         kind = spec.get("kind")
         if kind is not None:
             if kind not in ("single", "sharded"):
@@ -291,7 +335,7 @@ class IndexBuilder:
             if kind == "single" and builder._kind == "sharded":
                 raise ValueError(
                     "kind 'single' conflicts with a shards/partitioner/"
-                    "rebalance entry"
+                    "rebalance/parallel entry"
                 )
             builder._kind = kind
         builder._engine = dict(spec.get("engine", {}))
@@ -322,6 +366,21 @@ class IndexBuilder:
             policy_data = dict(self._rebalance)
             policy_data.pop("rebalances", None)
             spec["rebalance"] = RebalancePolicy.from_spec(policy_data).to_spec()
+        if self._parallel is not None:
+            # Normalise the worker count to the concrete value the built
+            # index would resolve (one per shard unless capped lower), so
+            # builder.spec() matches index_spec(builder.build()).
+            from repro.shard.partitioner import partitioner_from_spec
+
+            num_shards = partitioner_from_spec(spec["partitioner"]).num_shards
+            workers = self._parallel.get("workers")
+            resolved = max(
+                1, min(workers if workers is not None else num_shards, num_shards)
+            )
+            spec["parallel"] = {
+                "backend": self._parallel["backend"],
+                "workers": resolved,
+            }
         if self._engine:
             spec["engine"] = dict(self._engine)
         return spec
@@ -370,6 +429,11 @@ class IndexBuilder:
             index = MovingObjectIndex(config)
         if self._engine:
             index.engine_defaults = dict(self._engine)
+        if self._parallel is not None:
+            index.set_parallel(
+                backend=self._parallel["backend"],
+                workers=self._parallel.get("workers"),
+            )
         return index
 
     def to_json(self) -> str:

@@ -137,12 +137,19 @@ def save_index(index, path: Union[str, Path]) -> None:
             "format_version": FORMAT_VERSION,
             "kind": "sharded",
             "partitioner": index.partitioner.to_spec(),
-            "shards": [_index_document(shard) for shard in index.shards],
+            # Under the process backend the workers hold the authoritative
+            # trees; shard_documents() checkpoints them in place (the local
+            # mirror shards would be stale).
+            "shards": index.shard_documents(),
         }
         if index.rebalancer is not None:
             # Builder spec section plus the runtime counters, so a restored
             # index resumes the same policy with its rebalance history.
             document["rebalance"] = index.rebalancer.state_to_spec()
+        if index.parallel_spec is not None:
+            # Builder spec section: the restored index re-attaches the same
+            # execution backend.
+            document["parallel"] = dict(index.parallel_spec)
     else:
         document = {"format_version": FORMAT_VERSION, **_index_document(index)}
     if index.engine_defaults:
@@ -180,6 +187,8 @@ def load_index(path: Union[str, Path]):
             index.attach_rebalancer(
                 ShardRebalancer.from_spec(document["rebalance"], index.num_shards)
             )
+        if document.get("parallel"):
+            index.set_parallel(**document["parallel"])
     else:
         index = _restore_index(document)
     if document.get("engine"):

@@ -70,6 +70,32 @@ class SpatialIndexFacade(abc.ABC):
     #: mapping; builders assign an instance attribute.
     engine_defaults: Mapping[str, Any] = {}
 
+    #: The active parallel-execution spec (``{"backend": ..., "workers": N}``)
+    #: or ``None`` for serial execution.  Only the sharded implementation
+    #: supports non-serial backends; the class-level default keeps the
+    #: attribute readable on every facade.
+    parallel_spec: Optional[Mapping[str, Any]] = None
+
+    def set_parallel(
+        self,
+        backend: str = "process",
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        """Attach a shard-execution backend (sharded indexes only).
+
+        The default facade accepts only ``"serial"`` (a no-op); the sharded
+        implementation overrides this with the real thread/process backends
+        (see :mod:`repro.shard.parallel`).
+        """
+        if backend != "serial":
+            raise ValueError(
+                f"parallel backend {backend!r} requires a sharded index"
+            )
+
+    def detach_parallel(self) -> None:
+        """Return to serial execution (no-op when nothing is attached)."""
+
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------

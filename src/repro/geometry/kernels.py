@@ -394,7 +394,12 @@ def min_distance_many(coords: CoordBuffer, x: float, y: float) -> List[float]:
         rects = _as_ndarray(coords)
         dx = np.maximum(np.maximum(rects[:, 0] - x, 0.0), x - rects[:, 2])
         dy = np.maximum(np.maximum(rects[:, 1] - y, 0.0), y - rects[:, 3])
-        return [float(v) for v in np.sqrt(dx * dx + dy * dy)]
+        # The square root goes through Python's scalar ``** 0.5`` (libm pow),
+        # not np.sqrt: the two can disagree in the last ULP, and the contract
+        # is bit-exact agreement with Rect.min_distance_to_point.  The
+        # clamped differences, squares and sum above are exactly-rounded
+        # IEEE ops, so they already match the scalar path bit for bit.
+        return [float(v) ** 0.5 for v in dx * dx + dy * dy]
     out: List[float] = []
     append = out.append
     it = iter(coords)

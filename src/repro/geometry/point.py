@@ -8,7 +8,7 @@ corners, and movement vectors.
 from __future__ import annotations
 
 import math
-from typing import Iterator, Tuple
+from typing import Iterator, Tuple, Type
 
 
 class Point:
@@ -34,6 +34,12 @@ class Point:
     # -- immutability -----------------------------------------------------
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Point is immutable")
+
+    def __reduce__(self) -> Tuple[Type["Point"], Tuple[float, float]]:
+        # The default slot-state pickle protocol restores attributes through
+        # __setattr__, which the immutability guard rejects; reconstruct
+        # through the constructor instead.
+        return (Point, (self.x, self.y))
 
     # -- basic protocol ---------------------------------------------------
     def __iter__(self) -> Iterator[float]:

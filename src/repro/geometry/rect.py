@@ -15,7 +15,7 @@ algorithms rely on:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Type
 
 from repro.geometry.point import Point
 
@@ -48,6 +48,12 @@ class Rect:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Rect is immutable")
+
+    def __reduce__(self) -> Tuple[Type["Rect"], Tuple[float, float, float, float]]:
+        # The default slot-state pickle protocol restores attributes through
+        # __setattr__, which the immutability guard rejects; reconstruct
+        # through the (validated) constructor instead.
+        return (Rect, (self.xmin, self.ymin, self.xmax, self.ymax))
 
     # -- constructors ------------------------------------------------------
     @classmethod

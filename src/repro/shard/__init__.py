@@ -17,10 +17,22 @@ across **spatial shards**.  This package provides:
 * :mod:`repro.shard.rebalance` — the online :class:`ShardRebalancer`:
   per-shard load monitoring, an imbalance trigger policy, a weighted
   boundary-adjustment planner, and conflict-scheduled migration batches
-  that re-cut the partition under hotspot drift.
+  that re-cut the partition under hotspot drift;
+* :mod:`repro.shard.parallel` — the pluggable shard-execution backends
+  (``serial`` | ``thread`` | ``process``): the process backend runs each
+  shard inside a long-lived worker process speaking a batched picklable
+  command protocol, preserving the serial path's exact answers and I/O
+  counters while overlapping per-shard work.
 """
 
 from repro.shard.index import MigrationOperation, ShardedIndex
+from repro.shard.parallel import (
+    BACKENDS,
+    ProcessBackend,
+    ShardBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.shard.partitioner import (
     BoundaryPartitioner,
     GridPartitioner,
@@ -43,6 +55,11 @@ from repro.shard.rebalance import (
 __all__ = [
     "ShardedIndex",
     "MigrationOperation",
+    "BACKENDS",
+    "ShardBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
     "Partitioner",
     "GridPartitioner",
     "BoundaryPartitioner",

@@ -59,6 +59,7 @@ from repro.core.config import IndexConfig
 from repro.core.index import MovingObjectIndex
 from repro.core.protocol import SpatialIndexFacade
 from repro.geometry import Point, Rect
+from repro.shard import parallel as shard_parallel
 from repro.shard.partitioner import GridPartitioner, Partitioner
 from repro.shard.rebalance import (
     RebalanceGroupMigration,
@@ -181,6 +182,13 @@ class ShardedIndex(SpatialIndexFacade):
         #: re-cut displacing more than ``cooldown`` objects would re-satisfy
         #: the trigger gate by itself and storm.
         self._suppress_load_recording = False
+        #: Attached parallel execution backend (``None`` = serial: the
+        #: original in-process code paths run untouched).  See
+        #: :mod:`repro.shard.parallel` and :meth:`set_parallel`.
+        self._backend: Optional[shard_parallel.ShardBackend] = None
+        #: Declarative ``parallel`` spec section of the attached backend
+        #: (``{"backend": ..., "workers": ...}``), ``None`` when serial.
+        self.parallel_spec: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_restored_shards(
@@ -222,6 +230,203 @@ class ShardedIndex(SpatialIndexFacade):
     def object_directory(self) -> Iterable[int]:
         """The object ids currently routed (directory keys; do not mutate)."""
         return self._shard_of.keys()
+
+    # ------------------------------------------------------------------
+    # Parallel execution (repro.shard.parallel)
+    # ------------------------------------------------------------------
+    def set_parallel(
+        self,
+        backend: str = "process",
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        """Attach a shard-execution backend: ``"serial"``/``"thread"``/``"process"``.
+
+        ``"serial"`` detaches any backend and restores the original
+        in-process code paths.  ``"thread"`` fans per-shard work out over a
+        thread pool while the shard objects stay authoritative in this
+        process.  ``"process"`` spawns ``workers`` long-lived worker
+        processes (default: one per shard), hydrates them from the current
+        shard state, and routes every shard-local step through the batched
+        command protocol; the local shard objects become metadata mirrors.
+        All three produce identical answers, tie-breaks and I/O counters.
+        """
+        self.detach_parallel()
+        if backend == "serial":
+            return
+        resolved = max(1, min(workers or self.num_shards, self.num_shards))
+        self._backend = shard_parallel.make_backend(
+            self, backend, workers=resolved, start_method=start_method
+        )
+        self.parallel_spec = {"backend": backend, "workers": resolved}
+
+    def detach_parallel(self) -> None:
+        """Detach the backend (syncing worker-owned state back when remote).
+
+        After a process backend detaches, the local shards hold the
+        authoritative tree/page state pulled from the workers, the exact
+        I/O counters the mirrors tracked, and their previous buffer
+        capacities — but the buffer *contents* come back cold (page images
+        travel through the checkpoint codec, cached frames do not).
+        """
+        backend = self._backend
+        if backend is None:
+            self.parallel_spec = None
+            return
+        documents = None
+        counters = None
+        if backend.remote:
+            # Detaching is maintenance, not workload: the worker-side buffer
+            # flush the checkpoint performs must not leak into the counters,
+            # so the pre-checkpoint mirror values are what detach restores.
+            counters = [shard.stats.snapshot() for shard in self.shards]
+            payloads = backend.dispatch(
+                {sid: [shard_parallel.Checkpoint()] for sid in range(self.num_shards)}
+            )
+            documents = [payloads[sid][0] for sid in range(self.num_shards)]
+        backend.close()
+        self._backend = None
+        self.parallel_spec = None
+        if documents is not None:
+            from repro.core.persistence import _restore_index
+
+            for shard_id, document in enumerate(documents):
+                mirror = self.shards[shard_id]
+                restored = _restore_index(document)
+                # _restore_index resets counters and re-sizes the buffer
+                # against the lone shard; the mirror tracked the exact
+                # counters and the aggregate buffer split — carry both over.
+                shard_parallel.assign_stats(restored.stats, counters[shard_id])
+                restored.buffer.clear()
+                restored.buffer.capacity = mirror.buffer.capacity
+                restored.disk.io_latency_s = mirror.disk.io_latency_s
+                self.shards[shard_id] = restored
+
+    def _dispatch(
+        self, per_shard: Dict[int, List[object]]
+    ) -> Dict[int, List[object]]:
+        assert self._backend is not None
+        return self._backend.dispatch(per_shard)
+
+    def _dispatch_one(self, shard_id: int, command: object) -> object:
+        return self._dispatch({shard_id: [command]})[shard_id][0]
+
+    def _shard_insert(self, shard_id: int, oid: int, location: Point) -> None:
+        """Backend-routed ``shard.insert`` keeping the position mirror exact."""
+        if self._backend is None:
+            self.shards[shard_id].insert(oid, location)
+            return
+        self._dispatch_one(shard_id, shard_parallel.Insert(oid, location))
+        if self._backend.remote:
+            self.shards[shard_id]._positions[oid] = location
+
+    def _shard_update(
+        self, shard_id: int, oid: int, new_location: Point
+    ) -> UpdateOutcome:
+        if self._backend is None:
+            return self.shards[shard_id].update(oid, new_location)
+        outcome = self._dispatch_one(
+            shard_id, shard_parallel.Update(oid, new_location)
+        )
+        if self._backend.remote:
+            self.shards[shard_id]._positions[oid] = new_location
+        return outcome
+
+    def _shard_delete(self, shard_id: int, oid: int) -> bool:
+        if self._backend is None:
+            return self.shards[shard_id].delete(oid)
+        removed = self._dispatch_one(shard_id, shard_parallel.Delete(oid))
+        if self._backend.remote:
+            self.shards[shard_id]._positions.pop(oid, None)
+        return bool(removed)
+
+    def _shard_root_mbr(self, shard_id: int) -> Optional[Rect]:
+        """A shard's content MBR — from the worker mirror when remote."""
+        backend = self._backend
+        if backend is not None and backend.remote:
+            return backend.root_mbrs[shard_id]
+        return self.shards[shard_id].tree.root_mbr()
+
+    def _shard_disk_sizes(self) -> List[int]:
+        backend = self._backend
+        if backend is not None and backend.remote:
+            return list(backend.disk_pages)
+        return [len(shard.disk) for shard in self.shards]
+
+    def leaf_pages_of(
+        self, shard_id: int, oids: List[int]
+    ) -> List[Optional[int]]:
+        """Uncharged leaf-page lookups for *oids* in one shard (batched).
+
+        The rebalance planner resolves every planned move's current leaf
+        through this method — one round trip per shard under the process
+        backend instead of one per object.
+        """
+        backend = self._backend
+        if backend is not None and backend.remote:
+            return self._dispatch_one(
+                shard_id, shard_parallel.LeafOf(tuple(oids))
+            )
+        shard = self.shards[shard_id]
+        return [shard.hash_index.peek(oid) for oid in oids]
+
+    def set_io_latency(self, seconds: float) -> None:
+        """Charge *seconds* of real wall time per physical page transfer.
+
+        Applied to every shard's simulated disk — and, when a process
+        backend is attached, to the authoritative worker-side disks too —
+        so serial and parallel runs pay the identical per-transfer cost.
+        """
+        for shard in self.shards:
+            shard.disk.io_latency_s = seconds
+        backend = self._backend
+        if backend is not None and backend.remote:
+            self._dispatch(
+                {
+                    sid: [shard_parallel.SetIOLatency(seconds)]
+                    for sid in range(self.num_shards)
+                }
+            )
+
+    def worker_kernel_backends(self) -> List[str]:
+        """The geometry-kernel backend each shard's executor resolved.
+
+        Serial (and thread) execution reports this process's backend for
+        every shard; the process backend queries each worker — the
+        regression surface for kernel-backend propagation into workers.
+        """
+        from repro.geometry import kernels
+
+        if self._backend is None or not self._backend.remote:
+            return [kernels.get_backend()] * self.num_shards
+        payloads = self._dispatch(
+            {
+                sid: [shard_parallel.KernelBackendQuery()]
+                for sid in range(self.num_shards)
+            }
+        )
+        return [payloads[sid][0] for sid in range(self.num_shards)]
+
+    def shard_documents(self) -> List[Dict]:
+        """Checkpoint document bodies of every shard (worker-side when remote)."""
+        backend = self._backend
+        if backend is not None and backend.remote:
+            payloads = self._dispatch(
+                {sid: [shard_parallel.Checkpoint()] for sid in range(self.num_shards)}
+            )
+            return [payloads[sid][0] for sid in range(self.num_shards)]
+        from repro.core.persistence import _index_document
+
+        return [_index_document(shard) for shard in self.shards]
+
+    def engine(self, *args, **kwargs):
+        if self._backend is not None and self._backend.remote:
+            raise RuntimeError(
+                "the concurrent operation engine drives shard state "
+                "in-process; detach the process backend first "
+                "(set_parallel('serial') or set_parallel('thread'))"
+            )
+        return super().engine(*args, **kwargs)
 
     # ------------------------------------------------------------------
     # Rebalancing (repro.shard.rebalance)
@@ -325,6 +530,8 @@ class ShardedIndex(SpatialIndexFacade):
     def _migrate_leaf_group_unrecorded(
         self, source_id: int, leaf_page: int, oids: List[int]
     ) -> int:
+        if self._backend is not None and self._backend.remote:
+            return self._migrate_leaf_group_remote(source_id, leaf_page, oids)
         source = self.shards[source_id]
         confirmed: List[Tuple[int, int, Point]] = []
         drifted: List[int] = []
@@ -379,6 +586,82 @@ class ShardedIndex(SpatialIndexFacade):
         self.migrations += len(confirmed)
         return len(confirmed) + sum(1 for oid in drifted if self.reroute(oid))
 
+    def _migrate_leaf_group_remote(
+        self, source_id: int, leaf_page: int, oids: List[int]
+    ) -> int:
+        """The leaf-group handoff as a two-worker exchange via the coordinator.
+
+        Same confirmation/fallback semantics as the serial path: membership
+        and routing are confirmed against the (exact) coordinator mirrors, a
+        batched uncharged leaf lookup separates drifted members, the source
+        worker removes the confirmed bucket in one pass
+        (:class:`~repro.shard.parallel.ExportGroup` — nothing is mutated
+        when the leaf dissolved), and each destination worker bulk-inserts
+        its share of the exported entries.
+        """
+        source = self.shards[source_id]
+        candidates: List[Tuple[int, int, Point]] = []
+        for oid in oids:
+            if self._shard_of.get(oid) != source_id:
+                continue  # a concurrent update already migrated it
+            position = source._positions.get(oid)
+            if position is None:
+                continue
+            target = self.partitioner.shard_of(position)
+            if target == source_id:
+                continue  # moved back inside the source region meanwhile
+            candidates.append((oid, target, position))
+        if not candidates:
+            return 0
+        leaf_pages = self.leaf_pages_of(source_id, [oid for oid, _t, _p in candidates])
+        confirmed: List[Tuple[int, int, Point]] = []
+        drifted: List[int] = []
+        for (oid, target, position), page in zip(candidates, leaf_pages):
+            if page != leaf_page:
+                drifted.append(oid)
+            else:
+                confirmed.append((oid, target, position))
+        if not confirmed:
+            return sum(1 for oid in drifted if self.reroute(oid))
+        export = self._dispatch_one(
+            source_id,
+            shard_parallel.ExportGroup(
+                leaf_page,
+                tuple(oid for oid, _t, _p in confirmed),
+                confirmed[0][2],
+            ),
+        )
+        if not export["ok"]:
+            # Leaf dissolved or a member left it: nothing was mutated
+            # worker-side; fall back to the per-object path.
+            moved_count = sum(1 for oid, _t, _p in confirmed if self.reroute(oid))
+            return moved_count + sum(1 for oid in drifted if self.reroute(oid))
+        rect_of: Dict[int, Rect] = dict(export["entries"])
+        per_target: Dict[int, List[int]] = {}
+        positions: Dict[int, Point] = {}
+        for oid, target, position in confirmed:
+            source._positions.pop(oid, None)
+            positions[oid] = position
+            per_target.setdefault(target, []).append(oid)
+        self._dispatch(
+            {
+                target: [
+                    shard_parallel.ImportGroup(
+                        tuple((oid, rect_of[oid]) for oid in group),
+                        tuple((oid, positions[oid]) for oid in group),
+                    )
+                ]
+                for target, group in per_target.items()
+            }
+        )
+        for target, group in per_target.items():
+            target_shard = self.shards[target]
+            for oid in group:
+                target_shard._positions[oid] = positions[oid]
+                self._shard_of[oid] = target
+        self.migrations += len(confirmed)
+        return len(confirmed) + sum(1 for oid in drifted if self.reroute(oid))
+
     def rebalance(
         self, force: bool = False, num_clients: Optional[int] = None
     ) -> RebalanceReport:
@@ -415,6 +698,21 @@ class ShardedIndex(SpatialIndexFacade):
                 triggered=False,
                 imbalance_before=imbalance_before,
                 imbalance_after=imbalance_before,
+            )
+        if self._backend is not None and self._backend.remote:
+            # Worker-owned shards: the engine cannot schedule in-process
+            # migrations, so the plan executes directly — bulk leaf-group
+            # handoffs between workers, then the loose members.
+            for shard_id, leaf_page, members in plan.buckets:
+                self.migrate_leaf_group(shard_id, leaf_page, members)
+            for oid in plan.loose:
+                self.reroute(oid)
+            return RebalanceReport(
+                triggered=True,
+                imbalance_before=imbalance_before,
+                imbalance_after=self.population_imbalance(),
+                moves=len(plan.moves),
+                schedule=None,
             )
         # The migration schedule is a run of its own: reset the per-client
         # attribution so client_io_table() keeps meaning "the last run".
@@ -468,6 +766,11 @@ class ShardedIndex(SpatialIndexFacade):
         are handed to the scheduler, where they interleave with the live
         client operations under ordinary all-or-nothing granule locking.
         """
+        if self._backend is not None and self._backend.remote:
+            # Remote shards cannot participate in the engine's in-process
+            # lock schedule; rebalancing under the process backend runs
+            # through :meth:`rebalance` instead.
+            return []
         rebalancer = self.rebalancer
         if rebalancer is None:
             return []
@@ -491,7 +794,16 @@ class ShardedIndex(SpatialIndexFacade):
     # Loading
     # ------------------------------------------------------------------
     def load(self, objects: Iterable[Tuple[int, Point]], bulk: bool = True) -> None:
-        """Partition the initial objects spatially and load every shard."""
+        """Partition the initial objects spatially and load every shard.
+
+        Loading is bulk construction, not routed operation traffic: with a
+        backend attached it detaches first (syncing any worker-owned state),
+        loads locally, and re-attaches the same backend over the fresh
+        contents.
+        """
+        parallel_spec = self.parallel_spec
+        if self._backend is not None:
+            self.detach_parallel()
         groups: List[List[Tuple[int, Point]]] = [[] for _ in range(self.num_shards)]
         for oid, location in objects:
             shard_id = self.partitioner.shard_of(location)
@@ -504,6 +816,8 @@ class ShardedIndex(SpatialIndexFacade):
         # aggregate and apportions by shard weight.
         self.configure_buffer()
         self.migrations = 0
+        if parallel_spec is not None:
+            self.set_parallel(**parallel_spec)
 
     def configure_buffer(self, percent: Optional[float] = None) -> None:
         """Size the aggregate buffer and split its capacity across the shards.
@@ -519,7 +833,7 @@ class ShardedIndex(SpatialIndexFacade):
         from repro.storage import BufferPool  # local: keep module imports light
 
         percent = self.config.buffer_percent if percent is None else percent
-        disk_sizes = [len(shard.disk) for shard in self.shards]
+        disk_sizes = self._shard_disk_sizes()
         total_capacity = BufferPool.capacity_for_percentage(percent, sum(disk_sizes))
         self._split_buffer_capacity(total_capacity, disk_sizes)
 
@@ -567,6 +881,14 @@ class ShardedIndex(SpatialIndexFacade):
         for shard, share in zip(self.shards, shares):
             shard.buffer.clear()
             shard.buffer.capacity = share
+        if self._backend is not None and self._backend.remote:
+            # Push each share to the authoritative worker-side pools too.
+            self._dispatch(
+                {
+                    shard_id: [shard_parallel.ConfigureBuffer(share)]
+                    for shard_id, share in enumerate(shares)
+                }
+            )
 
     # ------------------------------------------------------------------
     # Data operations
@@ -576,7 +898,7 @@ class ShardedIndex(SpatialIndexFacade):
             raise DuplicateObjectError(oid)
         shard_id = self.partitioner.shard_of(location)
         self._record_update(shard_id)
-        self.shards[shard_id].insert(oid, location)
+        self._shard_insert(shard_id, oid, location)
         self._shard_of[oid] = shard_id
 
     def update(self, oid: int, new_location: Point) -> UpdateOutcome:
@@ -587,7 +909,7 @@ class ShardedIndex(SpatialIndexFacade):
         target = self.partitioner.shard_of(new_location)
         if target == source:
             self._record_update(source)
-            return self.shards[source].update(oid, new_location)
+            return self._shard_update(source, oid, new_location)
         self._execute_migration(
             BatchUpdate(oid, self.position_of(oid), new_location)
         )
@@ -600,7 +922,7 @@ class ShardedIndex(SpatialIndexFacade):
                 raise UnknownObjectError(oid)
             return False
         self._record_update(shard_id)
-        return self.shards[shard_id].delete(oid)
+        return self._shard_delete(shard_id, oid)
 
     def _query_shards(self, window: Rect) -> List[int]:
         """Shards a window query must visit.
@@ -613,18 +935,34 @@ class ShardedIndex(SpatialIndexFacade):
         identical to a single index for every input.
         """
         selected = set(self.partitioner.shards_intersecting(window))
-        for shard_id, shard in enumerate(self.shards):
+        for shard_id in range(self.num_shards):
             if shard_id in selected:
                 continue
-            content = shard.tree.root_mbr()
+            content = self._shard_root_mbr(shard_id)
             if content is not None and content.intersects(window):
                 selected.add(shard_id)
         return sorted(selected)
 
     def range_query(self, window: Rect) -> List[int]:
-        """Fan the window out to the shards whose boundaries intersect it."""
-        results: List[int] = []
-        for shard_id in self._query_shards(window):
+        """Fan the window out to the shards whose boundaries intersect it.
+
+        With a backend attached, the per-shard traversals dispatch
+        concurrently — the results still merge in shard-id order, so the
+        answer (order included) is identical to the serial path.
+        """
+        shard_ids = self._query_shards(window)
+        if self._backend is not None:
+            for shard_id in shard_ids:
+                self._record_query(shard_id)
+            payloads = self._dispatch(
+                {sid: [shard_parallel.Range(window)] for sid in shard_ids}
+            )
+            results: List[int] = []
+            for shard_id in shard_ids:
+                results.extend(payloads[shard_id][0])
+            return results
+        results = []
+        for shard_id in shard_ids:
             self._record_query(shard_id)
             results.extend(self.shards[shard_id].range_query(window))
         return results
@@ -635,13 +973,22 @@ class ShardedIndex(SpatialIndexFacade):
         The qualifying shards are selected up front (an uncharged check of
         partition boundaries and root MBRs); each shard's own traversal then
         streams lazily, in the same shard order — and therefore the same
-        result order — as :meth:`range_query`.
+        result order — as :meth:`range_query`.  With a backend attached,
+        laziness degrades to shard granularity: reaching into a shard
+        fetches (and charges) that whole shard's hits at once.
         """
 
         def hits() -> Iterator[int]:
             for shard_id in self._query_shards(window):
                 self._record_query(shard_id)
-                yield from self.shards[shard_id].strategy.iter_range_query(window)
+                if self._backend is not None:
+                    yield from self._dispatch_one(
+                        shard_id, shard_parallel.Range(window)
+                    )
+                else:
+                    yield from self.shards[shard_id].strategy.iter_range_query(
+                        window
+                    )
 
         return QueryCursor(hits())
 
@@ -679,8 +1026,8 @@ class ShardedIndex(SpatialIndexFacade):
         if k <= 0:
             return []
         bounds: List[Tuple[float, int]] = []
-        for shard_id, shard in enumerate(self.shards):
-            content = shard.tree.root_mbr()
+        for shard_id in range(self.num_shards):
+            content = self._shard_root_mbr(shard_id)
             if content is None:
                 continue  # empty shard: nothing to contribute
             bounds.append((content.min_distance_to_point(point), shard_id))
@@ -690,6 +1037,17 @@ class ShardedIndex(SpatialIndexFacade):
             if len(best) >= k and bound > best[-1][0]:
                 break
             self._record_query(shard_id)
+            if self._backend is not None:
+                # The probe carries the running best list (the pruning
+                # radius) and replays the exact serial consumption loop in
+                # the shard's executor.  Probes stay sequential: each one's
+                # radius depends on the previous shard's answer, and a
+                # speculative parallel probe would charge I/O the serial
+                # path never pays.
+                best = self._dispatch_one(
+                    shard_id, shard_parallel.KNNProbe(point, k, tuple(best))
+                )
+                continue
             for candidate in self.shards[shard_id].tree.iter_knn(point, k):
                 if len(best) >= k and candidate[0] > best[-1][0]:
                     break  # stream is distance-ordered: nothing closer follows
@@ -791,6 +1149,32 @@ class ShardedIndex(SpatialIndexFacade):
                 self._execute_migration(request, result)
             else:
                 per_shard.setdefault(source, []).append(request)
+        if self._backend is not None:
+            # The parallel payoff path: every shard's bucket dispatches in
+            # one go — the backend runs them concurrently (the process
+            # backend sends one batched message per worker) and each
+            # executes the identical pre-commit + group-by-leaf step.
+            for shard_id, requests in per_shard.items():
+                self._record_update(shard_id, len(requests))
+            if self._backend.remote:
+                for shard_id, requests in per_shard.items():
+                    mirror = self.shards[shard_id]._positions
+                    for request in requests:
+                        mirror[request.oid] = request.new_location
+            payloads = self._dispatch(
+                {
+                    shard_id: [shard_parallel.ApplyBatch(tuple(requests))]
+                    for shard_id, requests in per_shard.items()
+                }
+            )
+            for shard_id in per_shard:
+                sub = payloads[shard_id][0]
+                result.groups += sub["groups"]
+                result.largest_group = max(
+                    result.largest_group, sub["largest_group"]
+                )
+                result.residuals += sub["residuals"]
+            return
         for shard_id, requests in per_shard.items():
             shard = self.shards[shard_id]
             self._record_update(shard_id, len(requests))
@@ -809,14 +1193,14 @@ class ShardedIndex(SpatialIndexFacade):
         target = self.partitioner.shard_of(request.new_location)
         if source is not None:
             self._record_update(source)
-            self.shards[source].delete(request.oid)
+            self._shard_delete(source, request.oid)
             self.migrations += 1
             if result is not None:
                 result.migrations += 1
         elif result is not None:
             result.residuals += 1  # not indexed yet: plain insert
         self._record_update(target)
-        self.shards[target].insert(request.oid, request.new_location)
+        self._shard_insert(target, request.oid, request.new_location)
         self._shard_of[request.oid] = target
 
     def parse_updates(self, updates: Iterable[Tuple[int, Point]]) -> List[BatchUpdate]:
@@ -1014,6 +1398,13 @@ class ShardedIndex(SpatialIndexFacade):
     def reset_statistics(self) -> None:
         for shard in self.shards:
             shard.reset_statistics()
+        if self._backend is not None and self._backend.remote:
+            self._dispatch(
+                {
+                    sid: [shard_parallel.ResetStats()]
+                    for sid in range(self.num_shards)
+                }
+            )
         self.migrations = 0
         if self.rebalancer is not None:
             self.rebalancer.monitor.reset(self.shards)
@@ -1023,22 +1414,49 @@ class ShardedIndex(SpatialIndexFacade):
         return IOStatistics.sum(shard.io_snapshot() for shard in self.shards)
 
     def refresh_summary(self) -> None:
+        if self._backend is not None and self._backend.remote:
+            self._dispatch(
+                {
+                    sid: [shard_parallel.RefreshSummary()]
+                    for sid in range(self.num_shards)
+                }
+            )
+            return
         for shard in self.shards:
             shard.refresh_summary()
 
     def validate(self, check_min_fill: bool = False) -> dict:
-        """Validate every shard, the directory, and the spatial routing."""
-        reports = []
+        """Validate every shard, the directory, and the spatial routing.
+
+        Structural validation runs where the authoritative trees live —
+        in-process normally, in the workers under the process backend; the
+        directory and routing invariants are checked against the (exact)
+        coordinator position mirrors either way.
+        """
+        if self._backend is not None and self._backend.remote:
+            payloads = self._dispatch(
+                {
+                    sid: [shard_parallel.Validate(check_min_fill)]
+                    for sid in range(self.num_shards)
+                }
+            )
+            reports = [payloads[sid][0]["report"] for sid in range(self.num_shards)]
+            heights = [payloads[sid][0]["height"] for sid in range(self.num_shards)]
+        else:
+            reports = [
+                shard.validate(check_min_fill=check_min_fill)
+                for shard in self.shards
+            ]
+            heights = [shard.tree.height for shard in self.shards]
         errors: List[str] = []
         for shard_id, shard in enumerate(self.shards):
-            reports.append(shard.validate(check_min_fill=check_min_fill))
             for oid in shard._positions:
                 if self._shard_of.get(oid) != shard_id:
                     errors.append(
                         f"object {oid}: directory says shard "
                         f"{self._shard_of.get(oid)}, shard {shard_id} holds it"
                     )
-                position = shard.position_of(oid)
+                position = shard._positions.get(oid)
                 # Routing consistency: the partitioner (which clamps into
                 # the unit square) must still assign the stored position to
                 # the shard holding it — the invariant update() maintains.
@@ -1058,7 +1476,7 @@ class ShardedIndex(SpatialIndexFacade):
         return {
             "shards": len(self.shards),
             "objects": len(self._shard_of),
-            "heights": [shard.tree.height for shard in self.shards],
+            "heights": heights,
             "reports": reports,
         }
 
@@ -1071,4 +1489,6 @@ class ShardedIndex(SpatialIndexFacade):
         )
         if self.rebalancer is not None:
             text += f" rebalances={self.rebalancer.rebalances}"
+        if self._backend is not None:
+            text += f" parallel={self._backend.describe()}"
         return text

@@ -1,0 +1,678 @@
+"""Parallel shard-execution backends: serial, thread, and process workers.
+
+A :class:`~repro.shard.index.ShardedIndex` owns N fully independent
+:class:`~repro.core.index.MovingObjectIndex` shards — disjoint trees, disks,
+buffers and counters — so shard-local work commutes freely across shards.
+This module turns that structural independence into wall-clock parallelism
+behind one small seam: every shard-local step becomes a picklable **command**
+(:class:`Insert`, :class:`ApplyBatch`, :class:`Range`, :class:`KNNProbe`,
+the rebalance leaf-group :class:`ExportGroup`/:class:`ImportGroup` pair, …),
+one function (:func:`execute_command`) interprets a command against one
+shard, and a pluggable backend decides *where* that interpreter runs:
+
+* **serial** — no backend attached; the sharded index runs its original
+  in-process loops untouched (the default, and the baseline every other
+  backend must match bit for bit);
+* :class:`ThreadBackend` — the same in-process shard objects, but fan-out
+  dispatches (per-shard batch buckets, multi-shard range queries) run on a
+  thread pool.  Shards are disjoint object graphs, so per-shard commands
+  never share mutable state;
+* :class:`ProcessBackend` — one long-lived worker process per shard slot
+  (``workers`` may be smaller than the shard count; shard *i* lives in
+  worker ``i % workers``).  Each worker owns the authoritative copy of its
+  shards, hydrated once at attach time from the shared checkpoint page
+  images, and the coordinator keeps per-shard **mirrors** of the metadata
+  the router needs between dispatches (object positions, I/O counters, root
+  MBRs, disk sizes).  Commands are batched **per worker per dispatch** —
+  one pipe message carries every command a dispatch has for that worker —
+  which amortises IPC over whole batch buckets instead of paying a round
+  trip per operation.
+
+Determinism and exactness
+-------------------------
+Backends are not allowed to change answers or costs: every command is the
+literal shard-local half of the serial code path (``ApplyBatch`` pre-commits
+positions then runs the shard's group-by-leaf executor exactly as
+``_flush_updates`` does; ``KNNProbe`` replays the serial candidate-
+consumption loop against the running cross-shard best list), so results,
+tie-breaks, and logical/physical I/O counters are identical across all
+three backends — the shard-equivalence suite asserts this per strategy.
+Cross-shard kNN probes stay sequential even under the process backend: the
+pruning radius each probe carries comes from the previous shard's answer,
+and probing speculatively in parallel would charge I/O the serial path
+never pays.
+
+Every worker reply carries, besides the command payloads, a state envelope
+per touched shard: a full :class:`~repro.storage.stats.IOStatistics`
+snapshot (copied field-wise into the coordinator's mirror, so
+``io_snapshot``/batch I/O deltas/rebalance load sampling keep working
+unchanged), the tree's root MBR, and the disk page count.
+"""
+
+from __future__ import annotations
+
+import bisect
+import multiprocessing
+import os
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry import Point, Rect, kernels
+from repro.storage.stats import IOStatistics
+from repro.update.base import BatchUpdate
+
+# ---------------------------------------------------------------------------
+# The command protocol (everything here must pickle cleanly)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Insert a new object into the shard."""
+
+    oid: int
+    location: Point
+
+
+@dataclass(frozen=True)
+class Update:
+    """In-shard move through the shard's update strategy; returns the outcome."""
+
+    oid: int
+    new_location: Point
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Remove an object from the shard; returns whether it existed."""
+
+    oid: int
+
+
+@dataclass(frozen=True)
+class ApplyBatch:
+    """One shard's coalesced batch bucket, run through the group-by-leaf executor.
+
+    Mirrors the serial ``_flush_updates`` shard step exactly: positions are
+    pre-committed, then the shard's :class:`~repro.update.batch.BatchExecutor`
+    runs.  Returns the sub-result counters (groups, largest group, residuals).
+    """
+
+    requests: Tuple[BatchUpdate, ...]
+
+
+@dataclass(frozen=True)
+class Range:
+    """Window query against this shard; returns the shard's hits in order."""
+
+    window: Rect
+
+
+@dataclass(frozen=True)
+class KNNProbe:
+    """One shard's step of the cross-shard best-first kNN.
+
+    Carries the running merged best list (the pruning radius); the worker
+    replays the exact serial consumption loop — consume the shard's
+    distance-ordered stream only while candidates can still enter the top
+    *k* — and returns the updated best list.
+    """
+
+    point: Point
+    k: int
+    best: Tuple[Tuple[float, int], ...]
+
+
+@dataclass(frozen=True)
+class LeafOf:
+    """Uncharged leaf-page lookups (rebalance planning); one entry per oid."""
+
+    oids: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ExportGroup:
+    """Source half of a rebalance leaf-group handoff.
+
+    Removes the confirmed members from the planned leaf with one
+    CondenseTree pass (:meth:`~repro.rtree.tree.RTree.remove_group`) and
+    returns their entry rectangles.  When the leaf dissolved or a member
+    left it since planning, nothing is mutated and ``ok`` is False — the
+    coordinator falls back to per-object reroutes, exactly like the serial
+    path.
+    """
+
+    leaf_page: int
+    oids: Tuple[int, ...]
+    hint: Point
+
+
+@dataclass(frozen=True)
+class ImportGroup:
+    """Destination half of a rebalance handoff: bulk-insert exported entries."""
+
+    entries: Tuple[Tuple[int, Rect], ...]
+    positions: Tuple[Tuple[int, Point], ...]
+
+
+@dataclass(frozen=True)
+class ConfigureBuffer:
+    """Install this shard's share of the aggregate buffer capacity (clears it)."""
+
+    capacity: int
+
+
+@dataclass(frozen=True)
+class ResetStats:
+    """Zero the shard's I/O and outcome counters."""
+
+
+@dataclass(frozen=True)
+class Validate:
+    """Run the shard's structural validation; returns its report and height."""
+
+    check_min_fill: bool = False
+
+
+@dataclass(frozen=True)
+class RefreshSummary:
+    """Rebuild the shard's summary structure from the tree (GBU)."""
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Return the shard's full checkpoint document (page images + config)."""
+
+
+@dataclass(frozen=True)
+class KernelBackendQuery:
+    """Report which geometry kernel backend this process resolved."""
+
+
+@dataclass(frozen=True)
+class SetIOLatency:
+    """Charge real wall-clock *seconds* per physical page transfer."""
+
+    seconds: float
+
+
+Command = Any  # any of the dataclasses above
+
+
+# ---------------------------------------------------------------------------
+# The shared interpreter: one command against one shard
+# ---------------------------------------------------------------------------
+
+
+def execute_command(shard, command: Command) -> Any:
+    """Run one *command* against one :class:`MovingObjectIndex` shard.
+
+    This is the single interpreter every backend shares — the thread
+    backend calls it in-process, the worker main loop calls it in its own
+    process — so a command means exactly one thing regardless of where the
+    shard lives.  Each branch is the literal shard-local half of the
+    corresponding serial :class:`~repro.shard.index.ShardedIndex` code path.
+    """
+    if isinstance(command, Insert):
+        shard.insert(command.oid, command.location)
+        return None
+    if isinstance(command, Update):
+        return shard.update(command.oid, command.new_location)
+    if isinstance(command, Delete):
+        return shard.delete(command.oid)
+    if isinstance(command, ApplyBatch):
+        requests = list(command.requests)
+        for request in requests:
+            shard._positions[request.oid] = request.new_location
+        sub = shard.batch.execute(requests)
+        return {
+            "groups": sub.groups,
+            "largest_group": sub.largest_group,
+            "residuals": sub.residuals,
+        }
+    if isinstance(command, Range):
+        return shard.range_query(command.window)
+    if isinstance(command, KNNProbe):
+        best: List[Tuple[float, int]] = list(command.best)
+        for candidate in shard.tree.iter_knn(command.point, command.k):
+            if len(best) >= command.k and candidate[0] > best[-1][0]:
+                break  # stream is distance-ordered: nothing closer follows
+            bisect.insort(best, candidate)
+            del best[command.k :]
+        return best
+    if isinstance(command, LeafOf):
+        return [shard.hash_index.peek(oid) for oid in command.oids]
+    if isinstance(command, ExportGroup):
+        path = shard.tree.find_path_to_leaf(
+            command.leaf_page, Rect.from_point(command.hint)
+        )
+        if path is None:
+            return {"ok": False}
+        try:
+            moved = shard.tree.remove_group(path, list(command.oids))
+        except LookupError:
+            # A member left the (still existing) leaf — nothing was mutated.
+            return {"ok": False}
+        for oid in command.oids:
+            shard._positions.pop(oid, None)
+        return {"ok": True, "entries": [(entry.child, entry.rect) for entry in moved]}
+    if isinstance(command, ImportGroup):
+        from repro.rtree.node import Entry  # local: keep module imports light
+
+        shard.tree.insert_group(
+            [Entry(rect, oid) for oid, rect in command.entries]
+        )
+        for oid, position in command.positions:
+            shard._positions[oid] = position
+        return None
+    if isinstance(command, ConfigureBuffer):
+        shard.buffer.clear()
+        shard.buffer.capacity = command.capacity
+        return None
+    if isinstance(command, ResetStats):
+        shard.reset_statistics()
+        return None
+    if isinstance(command, Validate):
+        return {
+            "report": shard.validate(check_min_fill=command.check_min_fill),
+            "height": shard.tree.height,
+        }
+    if isinstance(command, RefreshSummary):
+        shard.refresh_summary()
+        return None
+    if isinstance(command, Checkpoint):
+        from repro.core.persistence import _index_document
+
+        return _index_document(shard)
+    if isinstance(command, KernelBackendQuery):
+        return kernels.get_backend()
+    if isinstance(command, SetIOLatency):
+        shard.disk.io_latency_s = command.seconds
+        return None
+    raise TypeError(f"unknown shard command {command!r}")
+
+
+def assign_stats(target: IOStatistics, source: IOStatistics) -> None:
+    """Overwrite *target*'s counters in place with *source*'s values.
+
+    The coordinator keeps each shard's :class:`IOStatistics` object identity
+    stable (the buffer pool, disk manager and hash index of the mirror all
+    hold references to it), so syncing worker counters must assign fields,
+    not replace the object.
+    """
+    target.physical_reads = source.physical_reads
+    target.physical_writes = source.physical_writes
+    target.logical_reads = source.logical_reads
+    target.logical_writes = source.logical_writes
+    target.buffer_hits = source.buffer_hits
+    target.dirty_evictions = source.dirty_evictions
+    target.hash_index_reads = source.hash_index_reads
+    target.over_capacity_peak = source.over_capacity_peak
+    target.extra = dict(source.extra)
+
+
+def _shard_state(shard) -> Dict[str, Any]:
+    """The per-shard state envelope piggybacked on every worker reply."""
+    mbr = shard.tree.root_mbr()
+    return {
+        "stats": shard.stats.snapshot(),
+        "root_mbr": None if mbr is None else tuple(mbr),
+        "pages": len(shard.disk),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Worker process main loop
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(conn, init: Dict[int, Dict[str, Any]], kernel_backend: str) -> None:
+    """Own a set of shards and serve batched command dispatches over *conn*.
+
+    ``init`` maps shard id -> hydration payload: the shard's checkpoint
+    document (page images + embedded config spec), the coordinator's current
+    counter values (restoring resets them; the worker continues the
+    coordinator's sequence), the buffer share, and the disk latency knob.
+    """
+    try:
+        if kernel_backend in kernels.available_backends():
+            kernels.set_backend(kernel_backend)
+        from repro.core.persistence import _restore_index
+
+        shards: Dict[int, Any] = {}
+        for shard_id, payload in init.items():
+            shard = _restore_index(payload["document"])
+            assign_stats(shard.stats, payload["stats"])
+            shard.buffer.clear()
+            shard.buffer.capacity = payload["buffer_capacity"]
+            shard.disk.io_latency_s = payload["io_latency"]
+            shards[shard_id] = shard
+        conn.send({"ok": True})
+    except BaseException as error:  # hydration failed: report, then exit
+        conn.send({"ok": False, "error": f"worker hydration failed: {error!r}"})
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        if message[0] == "shutdown":
+            conn.send({"ok": True})
+            return
+        _tag, per_shard = message
+        try:
+            payloads = {
+                shard_id: [
+                    execute_command(shards[shard_id], command)
+                    for command in commands
+                ]
+                for shard_id, commands in per_shard.items()
+            }
+            state = {shard_id: _shard_state(shards[shard_id]) for shard_id in per_shard}
+            conn.send({"ok": True, "payloads": payloads, "state": state})
+        except BaseException as error:
+            import traceback
+
+            conn.send(
+                {"ok": False, "error": f"{error!r}\n{traceback.format_exc()}"}
+            )
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class ShardBackend:
+    """Common surface of the pluggable execution backends.
+
+    ``dispatch`` takes per-shard command lists, runs all shards' lists
+    concurrently (each shard's own list stays in order), and returns the
+    per-shard result payload lists.  ``remote`` tells the coordinator
+    whether its local shard objects are authoritative (thread) or mirrors
+    synced from worker state envelopes (process).
+    """
+
+    name = "serial"
+    remote = False
+
+    def dispatch(
+        self, per_shard: Dict[int, Sequence[Command]]
+    ) -> Dict[int, List[Any]]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def describe(self) -> str:
+        return self.name
+
+
+class ThreadBackend(ShardBackend):
+    """Fan shard-local commands out over an in-process thread pool.
+
+    The shard objects stay authoritative in the coordinator process;
+    per-shard command lists for *different* shards run concurrently on the
+    pool (shards share no mutable state), single-shard dispatches run
+    inline.  Useful when the simulated disk charges real device latency —
+    sleeping transfers overlap across shards — and as the bridge backend
+    that keeps the full engine SPI available.
+    """
+
+    name = "thread"
+    remote = False
+
+    def __init__(self, sharded, workers: Optional[int] = None) -> None:
+        self.sharded = sharded
+        self.workers = max(1, min(workers or sharded.num_shards, sharded.num_shards))
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-shard"
+        )
+
+    def _run(self, shard_id: int, commands: Sequence[Command]) -> List[Any]:
+        shard = self.sharded.shards[shard_id]
+        return [execute_command(shard, command) for command in commands]
+
+    def dispatch(
+        self, per_shard: Dict[int, Sequence[Command]]
+    ) -> Dict[int, List[Any]]:
+        if len(per_shard) <= 1 or self.workers == 1:
+            return {
+                shard_id: self._run(shard_id, commands)
+                for shard_id, commands in per_shard.items()
+            }
+        futures = {
+            shard_id: self._pool.submit(self._run, shard_id, commands)
+            for shard_id, commands in per_shard.items()
+        }
+        return {shard_id: future.result() for shard_id, future in futures.items()}
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def describe(self) -> str:
+        return f"thread[{self.workers}]"
+
+
+def _terminate_workers(processes, connections, owner_pid) -> None:
+    """Finalizer: make sure worker processes never outlive the backend.
+
+    Fork-started workers inherit the coordinator's finalizer registry, so
+    this also runs inside each worker at its own exit — where the Process
+    handles belong to another process and must not be touched.
+    """
+    if os.getpid() != owner_pid:
+        return
+    for conn in connections:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=2.0)
+
+
+class ProcessBackend(ShardBackend):
+    """Long-lived per-shard worker processes with batched pipe IPC.
+
+    Worker ``w`` owns shards ``{i : i % workers == w}`` — with fewer workers
+    than shards each worker serialises its own shards, which is exactly the
+    serial-vs-2-vs-4-workers axis the scaling benchmark sweeps.  Workers are
+    hydrated once (checkpoint page images + the coordinator's live counter
+    values) and then serve command batches until detached; the coordinator's
+    shard objects become mirrors, refreshed from the state envelope every
+    reply carries.
+
+    The coordinator's kernel backend is propagated two ways: via the
+    ``REPRO_KERNEL_BACKEND`` environment variable (honoured at import by
+    spawn-started children) and explicitly in the hydration payload (fork-
+    started children imported the module long ago).
+    """
+
+    name = "process"
+    remote = True
+
+    def __init__(
+        self,
+        sharded,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.sharded = sharded
+        num_shards = sharded.num_shards
+        self.workers = max(1, min(workers or num_shards, num_shards))
+        self.root_mbrs: List[Optional[Rect]] = [
+            shard.tree.root_mbr() for shard in sharded.shards
+        ]
+        self.disk_pages: List[int] = [len(shard.disk) for shard in sharded.shards]
+
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else methods[0]
+        context = multiprocessing.get_context(start_method)
+
+        # Propagate the kernel backend and make the package importable for
+        # spawn-started children (fork inherits both anyway).
+        backend_name = kernels.get_backend()
+        os.environ["REPRO_KERNEL_BACKEND"] = backend_name
+        package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        existing = os.environ.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            os.environ["PYTHONPATH"] = (
+                package_root + (os.pathsep + existing if existing else "")
+            )
+
+        from repro.core.persistence import _index_document
+
+        self._owner: List[int] = [
+            shard_id % self.workers for shard_id in range(num_shards)
+        ]
+        self._connections = []
+        self._processes = []
+        for worker_id in range(self.workers):
+            init: Dict[int, Dict[str, Any]] = {}
+            for shard_id in range(num_shards):
+                if self._owner[shard_id] != worker_id:
+                    continue
+                shard = sharded.shards[shard_id]
+                init[shard_id] = {
+                    "document": _index_document(shard),
+                    "stats": shard.stats.snapshot(),
+                    "buffer_capacity": shard.buffer.capacity,
+                    "io_latency": getattr(shard.disk, "io_latency_s", 0.0),
+                }
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, init, backend_name),
+                daemon=True,
+                name=f"repro-shard-worker-{worker_id}",
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        for worker_id, conn in enumerate(self._connections):
+            reply = conn.recv()
+            if not reply.get("ok"):
+                self.close()
+                raise RuntimeError(
+                    f"shard worker {worker_id} failed to start: "
+                    f"{reply.get('error')}"
+                )
+        self._finalizer = weakref.finalize(
+            self,
+            _terminate_workers,
+            list(self._processes),
+            list(self._connections),
+            os.getpid(),
+        )
+
+    def dispatch(
+        self, per_shard: Dict[int, Sequence[Command]]
+    ) -> Dict[int, List[Any]]:
+        per_worker: Dict[int, Dict[int, List[Command]]] = {}
+        for shard_id, commands in per_shard.items():
+            per_worker.setdefault(self._owner[shard_id], {})[shard_id] = list(commands)
+        # One message per involved worker — send everything first so workers
+        # run concurrently, then collect.
+        for worker_id, bundle in per_worker.items():
+            self._connections[worker_id].send(("dispatch", bundle))
+        payloads: Dict[int, List[Any]] = {}
+        errors: List[str] = []
+        for worker_id in per_worker:
+            try:
+                reply = self._connections[worker_id].recv()
+            except EOFError:
+                errors.append(f"shard worker {worker_id} died mid-dispatch")
+                continue
+            if not reply.get("ok"):
+                errors.append(
+                    f"shard worker {worker_id} failed: {reply.get('error')}"
+                )
+                continue
+            payloads.update(reply["payloads"])
+            for shard_id, state in reply["state"].items():
+                assign_stats(self.sharded.shards[shard_id].stats, state["stats"])
+                mbr = state["root_mbr"]
+                self.root_mbrs[shard_id] = None if mbr is None else Rect(*mbr)
+                self.disk_pages[shard_id] = state["pages"]
+        if errors:
+            raise RuntimeError("; ".join(errors))
+        return payloads
+
+    def close(self) -> None:
+        for worker_id, conn in enumerate(self._connections):
+            try:
+                conn.send(("shutdown",))
+            except (OSError, BrokenPipeError):
+                continue
+        for conn in self._connections:
+            try:
+                conn.recv()
+            except (EOFError, OSError):
+                pass
+        for conn in self._connections:
+            conn.close()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=2.0)
+        if hasattr(self, "_finalizer"):
+            self._finalizer.detach()
+
+    def describe(self) -> str:
+        return f"process[{self.workers}]"
+
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def make_backend(
+    sharded,
+    backend: str,
+    workers: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> Optional[ShardBackend]:
+    """Construct the named backend for *sharded* (``None`` for serial)."""
+    if backend == "serial":
+        return None
+    if backend == "thread":
+        return ThreadBackend(sharded, workers=workers)
+    if backend == "process":
+        return ProcessBackend(sharded, workers=workers, start_method=start_method)
+    raise ValueError(
+        f"unknown parallel backend {backend!r}; expected one of {BACKENDS}"
+    )
+
+
+__all__ = [
+    "ApplyBatch",
+    "BACKENDS",
+    "Checkpoint",
+    "ConfigureBuffer",
+    "Delete",
+    "ExportGroup",
+    "ImportGroup",
+    "Insert",
+    "KNNProbe",
+    "KernelBackendQuery",
+    "LeafOf",
+    "ProcessBackend",
+    "Range",
+    "RefreshSummary",
+    "ResetStats",
+    "SetIOLatency",
+    "ShardBackend",
+    "ThreadBackend",
+    "Update",
+    "Validate",
+    "assign_stats",
+    "execute_command",
+    "make_backend",
+]

@@ -519,19 +519,33 @@ class ShardRebalancer:
             sharded.num_shards,
         )
         moves: List[int] = []
-        grouped: Dict[Tuple[int, int], List[int]] = {}
-        loose: List[int] = []
+        pending: List[Tuple[int, int]] = []
         for oid, position, shard_id in records:
             if partitioner.shard_of(position) == shard_id:
                 continue
             moves.append(oid)
-            leaf_page = sharded.shards[shard_id].hash_index.peek(oid)
+            pending.append((oid, shard_id))
+        if not moves:
+            return None
+        # Resolve leaf ownership in one batched (uncharged) lookup per shard
+        # rather than one hash probe per object — under the process backend
+        # each shard's batch is a single worker round-trip.
+        by_shard: Dict[int, List[int]] = {}
+        for oid, shard_id in pending:
+            by_shard.setdefault(shard_id, []).append(oid)
+        leaf_of: Dict[Tuple[int, int], Optional[int]] = {}
+        for shard_id, oids in by_shard.items():
+            pages = sharded.leaf_pages_of(shard_id, oids)
+            for oid, leaf_page in zip(oids, pages):
+                leaf_of[(shard_id, oid)] = leaf_page
+        grouped: Dict[Tuple[int, int], List[int]] = {}
+        loose: List[int] = []
+        for oid, shard_id in pending:
+            leaf_page = leaf_of[(shard_id, oid)]
             if leaf_page is None:
                 loose.append(oid)
             else:
                 grouped.setdefault((shard_id, leaf_page), []).append(oid)
-        if not moves:
-            return None
         return RebalancePlan(
             partitioner=partitioner,
             moves=moves,

@@ -210,3 +210,59 @@ class TestResultEnvelopes:
         assert report.neighbors == [[(0.1, 7)]]
         assert report.operations == 10 + 2 + 1 + 1 + 1
         assert "knn=1" in report.describe()
+
+
+class TestPicklability:
+    """Operations and result envelopes cross process boundaries intact.
+
+    The parallel shard-execution backend (``repro.shard.parallel``) ships
+    commands and results between the coordinator and its worker processes by
+    pickling them, so every value object of the typed API must round-trip.
+    """
+
+    OPERATIONS = [
+        Insert(7, Point(0.1, 0.2)),
+        Update(7, Point(0.3, 0.4)),
+        Migrate(7, Point(0.5, 0.6)),
+        Delete(7),
+        RangeQuery(Rect(0.1, 0.1, 0.5, 0.5)),
+        KNN(Point(0.25, 0.75), 5),
+    ]
+
+    def test_every_operation_round_trips(self):
+        import pickle
+
+        for operation in self.OPERATIONS:
+            clone = pickle.loads(pickle.dumps(operation))
+            assert clone == operation
+            assert type(clone) is type(operation)
+
+    def test_operation_result_round_trips(self):
+        import pickle
+
+        from repro.update import UpdateOutcome
+
+        result = OperationResult(
+            Update(3, Point(0.2, 0.9)), outcome=UpdateOutcome.IN_PLACE
+        )
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result
+        assert clone.ok
+
+    def test_batch_report_round_trips(self):
+        import pickle
+
+        report = BatchReport.from_batch_result(
+            BatchResult(
+                updates=5,
+                queries=[[1, 2], []],
+                neighbors=[[(0.1, 4)]],
+                coalesced=1,
+                groups=2,
+                largest_group=3,
+                residuals=1,
+            )
+        )
+        clone = pickle.loads(pickle.dumps(report))
+        assert clone == report
+        assert clone.io.as_dict() == report.io.as_dict()

@@ -224,3 +224,91 @@ class TestKNNBoundaryProperty:
             sharded.update(oid, Point(x, y))
         for query in (Point(0.5, 0.5), Point(0.499, 0.501), Point(0.1, 0.9)):
             assert sharded.knn(query, k) == single.knn(query, k)
+
+
+class TestExecutionBackendEquivalence:
+    """serial == thread == process: the backends change *where* shard work
+    runs, never *what* it computes — answers, positions, update outcomes and
+    every I/O counter must match the serial path exactly.
+    """
+
+    #: Fast movement over a 2x2 grid: the stream is migration-heavy, so the
+    #: cross-shard delete+insert handoff runs under every backend.
+    BACKEND_SPEC = WorkloadSpec(
+        num_objects=400,
+        num_updates=900,
+        num_queries=12,
+        seed=11,
+        max_distance=0.09,
+    )
+
+    def run_with_backend(self, strategy, backend, workers=None):
+        config = IndexConfig(strategy=strategy, page_size=SMALL_PAGE_SIZE)
+        sharded = ShardedIndex(config, partitioner=GridPartitioner(2, 2))
+        generator = WorkloadGenerator(self.BACKEND_SPEC)
+        sharded.load(generator.initial_objects())
+        if backend != "serial":
+            sharded.set_parallel(backend=backend, workers=workers)
+        outcomes = [
+            sharded.update(oid, new).name for oid, _old, new in generator.updates()
+        ]
+        queries = [sorted(sharded.range_query(w)) for w in generator.queries()]
+        knn = [
+            sharded.knn(Point(x, y), 7)
+            for x, y in ((0.5, 0.5), (0.26, 0.74), (0.97, 0.03))
+        ]
+        positions = {
+            oid: sharded.position_of(oid)
+            for oid in range(self.BACKEND_SPEC.num_objects)
+        }
+        io = sharded.io_snapshot().as_dict()
+        migrations = sharded.migrations
+        if backend != "serial":
+            sharded.detach_parallel()
+        sharded.validate()
+        return {
+            "outcomes": outcomes,
+            "queries": queries,
+            "knn": knn,
+            "positions": positions,
+            "io": io,
+            "migrations": migrations,
+        }
+
+    @pytest.mark.parametrize("strategy", ["TD", "NAIVE", "LBU", "GBU"])
+    def test_thread_and_process_match_serial(self, strategy):
+        expected = self.run_with_backend(strategy, "serial")
+        assert expected["migrations"] > 0  # the stream really migrates
+        for backend, workers in (("thread", 2), ("process", 2), ("process", 4)):
+            actual = self.run_with_backend(strategy, backend, workers)
+            assert actual == expected, (
+                f"{strategy}: {backend}[{workers}] diverged from serial"
+            )
+
+    def test_batched_updates_match_serial_under_process_backend(self):
+        config = IndexConfig(strategy="GBU", page_size=SMALL_PAGE_SIZE)
+
+        def run(backend):
+            sharded = ShardedIndex(config, partitioner=GridPartitioner(2, 2))
+            generator = WorkloadGenerator(self.BACKEND_SPEC)
+            sharded.load(generator.initial_objects())
+            if backend != "serial":
+                sharded.set_parallel(backend=backend)
+            for batch in generator.update_batches(150):
+                sharded.update_many((oid, new) for oid, _old, new in batch)
+            result = (
+                [sorted(sharded.range_query(w)) for w in generator.queries()],
+                {
+                    oid: sharded.position_of(oid)
+                    for oid in range(self.BACKEND_SPEC.num_objects)
+                },
+                sharded.io_snapshot().as_dict(),
+            )
+            if backend != "serial":
+                sharded.detach_parallel()
+            sharded.validate()
+            return result
+
+        expected = run("serial")
+        assert run("thread") == expected
+        assert run("process") == expected

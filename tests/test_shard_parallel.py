@@ -1,0 +1,262 @@
+"""Tests for the parallel shard-execution backends (``repro.shard.parallel``).
+
+The equivalence suite (``tests/test_shard_equivalence.py``) proves that
+serial, thread and process execution compute identical answers and I/O
+counters; this file covers the backend machinery itself: lifecycle,
+kernel-backend propagation into workers, spec/checkpoint round-trips,
+detach state sync, the engine guard, and rebalancing between workers.
+"""
+
+import os
+
+import pytest
+
+from repro.api import IndexBuilder, index_spec, open_index
+from repro.core import IndexConfig, MovingObjectIndex
+from repro.core.persistence import load_index, save_index
+from repro.geometry import Point, Rect, kernels
+from repro.shard import BACKENDS, GridPartitioner, ShardedIndex
+from repro.workload import WorkloadGenerator, WorkloadSpec
+
+from tests.conftest import SMALL_PAGE_SIZE
+
+SPEC = WorkloadSpec(
+    num_objects=200, num_updates=300, num_queries=6, seed=5, max_distance=0.08
+)
+
+
+def build_sharded(strategy="GBU", shards=4):
+    config = IndexConfig(strategy=strategy, page_size=SMALL_PAGE_SIZE)
+    index = ShardedIndex(config, partitioner=GridPartitioner.for_shards(shards))
+    generator = WorkloadGenerator(SPEC)
+    index.load(generator.initial_objects())
+    return index, generator
+
+
+class TestBackendLifecycle:
+    def test_backend_names_are_the_public_contract(self):
+        assert BACKENDS == ("serial", "thread", "process")
+
+    def test_serial_is_the_default_and_a_no_op(self):
+        index, _ = build_sharded()
+        assert index.parallel_spec is None
+        index.set_parallel("serial")
+        assert index.parallel_spec is None
+        index.detach_parallel()  # harmless when nothing is attached
+
+    def test_unknown_backend_is_rejected(self):
+        index, _ = build_sharded()
+        with pytest.raises(ValueError):
+            index.set_parallel("gpu")
+
+    def test_worker_count_is_clamped_to_the_shard_count(self):
+        index, _ = build_sharded(shards=4)
+        index.set_parallel("process", workers=64)
+        assert index.parallel_spec == {"backend": "process", "workers": 4}
+        index.detach_parallel()
+
+    def test_reattach_replaces_the_backend(self):
+        index, generator = build_sharded()
+        index.set_parallel("thread", workers=2)
+        assert "thread[2]" in index.describe()
+        index.set_parallel("process", workers=2)
+        assert "process[2]" in index.describe()
+        for oid, _old, new in generator.updates(40):
+            index.update(oid, new)
+        index.detach_parallel()
+        assert index.parallel_spec is None
+        index.validate()
+
+    def test_detach_syncs_worker_state_back(self):
+        index, generator = build_sharded()
+        serial_index, serial_generator = build_sharded()
+        index.set_parallel("process", workers=2)
+        for (oid, _o, new), (soid, _so, snew) in zip(
+            generator.updates(), serial_generator.updates()
+        ):
+            index.update(oid, new)
+            serial_index.update(soid, snew)
+        # The I/O contract holds while the backend is attached; detach
+        # restores the trees and the exact counters but (documented) brings
+        # the buffers back cold, so the snapshot is taken first.
+        attached_io = index.io_snapshot().as_dict()
+        assert attached_io == serial_index.io_snapshot().as_dict()
+        index.detach_parallel()
+        # After detach the local shards are authoritative again: the synced
+        # counters, answers and positions all match an index that never
+        # left serial.
+        assert index.io_snapshot().as_dict() == attached_io
+        window = Rect(0.2, 0.2, 0.7, 0.7)
+        assert sorted(index.range_query(window)) == sorted(
+            serial_index.range_query(window)
+        )
+        assert {oid: index.position_of(oid) for oid in range(SPEC.num_objects)} == {
+            oid: serial_index.position_of(oid) for oid in range(SPEC.num_objects)
+        }
+        index.validate()
+
+    def test_engine_is_refused_under_process_backend(self):
+        index, _ = build_sharded()
+        index.set_parallel("process", workers=2)
+        with pytest.raises(RuntimeError, match="detach"):
+            index.engine()
+        index.detach_parallel()
+        index.engine(num_clients=2)  # serial again: engine works
+
+    def test_single_index_refuses_parallel_backends(self):
+        single = MovingObjectIndex(IndexConfig(page_size=SMALL_PAGE_SIZE))
+        single.set_parallel("serial")  # accepted no-op
+        single.detach_parallel()
+        with pytest.raises(ValueError, match="sharded"):
+            single.set_parallel("process")
+
+
+class TestKernelBackendPropagation:
+    def test_workers_report_the_coordinator_backend(self):
+        index, _ = build_sharded()
+        index.set_parallel("process", workers=2)
+        assert index.worker_kernel_backends() == [kernels.get_backend()] * 4
+        index.detach_parallel()
+
+    def test_numpy_backend_reaches_the_workers(self):
+        if "numpy" not in kernels.available_backends():
+            pytest.skip("numpy backend not available in this environment")
+        previous = kernels.get_backend()
+        kernels.set_backend("numpy")
+        try:
+            index, generator = build_sharded()
+            index.set_parallel("process", workers=2)
+            # The coordinator exports REPRO_KERNEL_BACKEND before spawning,
+            # and the hydration payload pins it for fork-started workers.
+            assert os.environ.get("REPRO_KERNEL_BACKEND") == "numpy"
+            assert index.worker_kernel_backends() == ["numpy"] * 4
+            for oid, _old, new in generator.updates(40):
+                index.update(oid, new)
+            index.detach_parallel()
+            index.validate()
+        finally:
+            kernels.set_backend(previous)
+
+
+class TestSpecAndCheckpointRoundTrip:
+    def test_builder_spec_round_trips_the_parallel_section(self):
+        builder = IndexBuilder().strategy("LBU").shards(4).parallel("process", 2)
+        spec = builder.spec()
+        assert spec["parallel"] == {"backend": "process", "workers": 2}
+        index = builder.build()
+        try:
+            assert index.parallel_spec == {"backend": "process", "workers": 2}
+            assert index_spec(index)["parallel"] == spec["parallel"]
+            rebuilt = open_index(spec)
+            try:
+                assert index_spec(rebuilt) == index_spec(index)
+            finally:
+                rebuilt.detach_parallel()
+        finally:
+            index.detach_parallel()
+
+    def test_builder_serial_clears_a_previous_parallel_choice(self):
+        builder = IndexBuilder().shards(2).parallel("thread").parallel("serial")
+        assert "parallel" not in builder.spec()
+        index = builder.build()
+        assert index.parallel_spec is None
+
+    def test_parallel_spec_conflicts_with_kind_single(self):
+        with pytest.raises(ValueError, match="single"):
+            open_index(
+                {"kind": "single", "parallel": {"backend": "thread", "workers": 2}}
+            )
+
+    def test_checkpoint_round_trips_with_live_workers(self, tmp_path):
+        index, generator = build_sharded()
+        index.set_parallel("process", workers=2)
+        for oid, _old, new in generator.updates(120):
+            index.update(oid, new)
+        window = Rect(0.1, 0.1, 0.8, 0.8)
+        expected = sorted(index.range_query(window))
+        path = tmp_path / "checkpoint.json"
+        # save_index checkpoints the worker-owned trees in place — the
+        # backend stays attached and keeps serving afterwards.
+        save_index(index, path)
+        assert sorted(index.range_query(window)) == expected
+        restored = load_index(path)
+        try:
+            assert restored.parallel_spec == {"backend": "process", "workers": 2}
+            assert sorted(restored.range_query(window)) == expected
+            assert {
+                oid: restored.position_of(oid) for oid in range(SPEC.num_objects)
+            } == {oid: index.position_of(oid) for oid in range(SPEC.num_objects)}
+            restored.validate()
+        finally:
+            restored.detach_parallel()
+            index.detach_parallel()
+        index.validate()
+
+
+class TestRemoteRebalance:
+    def test_forced_rebalance_migrates_between_workers(self):
+        # A deliberately skewed population: every object in shard 0's cell.
+        config = IndexConfig(strategy="GBU", page_size=SMALL_PAGE_SIZE)
+        index = ShardedIndex(config, partitioner=GridPartitioner(2, 2))
+        import random
+
+        rng = random.Random(17)
+        index.load(
+            [
+                (oid, Point(rng.random() * 0.5, rng.random() * 0.5))
+                for oid in range(160)
+            ]
+        )
+        serial = ShardedIndex(config, partitioner=GridPartitioner(2, 2))
+        rng = random.Random(17)
+        serial.load(
+            [
+                (oid, Point(rng.random() * 0.5, rng.random() * 0.5))
+                for oid in range(160)
+            ]
+        )
+        index.set_parallel("process", workers=2)
+        report = index.rebalance(force=True)
+        serial_report = serial.rebalance(force=True)
+        assert report.triggered
+        assert report.moves == serial_report.moves > 0
+        assert index.migrations == serial.migrations > 0
+        populations = index.shard_populations()
+        assert max(populations) - min(populations) <= max(
+            serial.shard_populations()
+        ) - min(serial.shard_populations()) + 1
+        window = Rect(0.0, 0.0, 1.0, 1.0)
+        assert sorted(index.range_query(window)) == sorted(
+            serial.range_query(window)
+        )
+        index.detach_parallel()
+        index.validate()
+        serial.validate()
+
+
+class TestStreamingUnderBackend:
+    def test_stream_query_matches_range_query(self):
+        index, generator = build_sharded()
+        index.set_parallel("process", workers=2)
+        for oid, _old, new in generator.updates(60):
+            index.update(oid, new)
+        for window in generator.queries():
+            assert sorted(index.stream_query(window)) == sorted(
+                index.range_query(window)
+            )
+        index.detach_parallel()
+
+
+class TestWorkerFailureSurface:
+    def test_worker_errors_propagate_as_runtime_errors(self):
+        index, _ = build_sharded()
+        index.set_parallel("process", workers=2)
+        try:
+            from repro.shard import parallel as shard_parallel
+
+            with pytest.raises(RuntimeError, match="worker"):
+                # An update for an object the worker has never seen violates
+                # the routed-command contract and surfaces as a worker error.
+                index._dispatch_one(0, shard_parallel.Update(999_999, Point(0, 0)))
+        finally:
+            index.detach_parallel()

@@ -148,3 +148,31 @@ class TestOverCapacityPeak:
         assert stats.as_dict()["over_capacity_peak"] == 4
         stats.reset()
         assert stats.over_capacity_peak == 0
+
+
+class TestPicklability:
+    def test_statistics_round_trip_through_pickle(self):
+        """Worker processes report their counters by pickling them back."""
+        import pickle
+
+        from repro.storage import IOStatistics
+
+        stats = IOStatistics(
+            physical_reads=3,
+            physical_writes=2,
+            logical_reads=9,
+            logical_writes=4,
+            buffer_hits=6,
+            dirty_evictions=1,
+            hash_index_reads=5,
+            over_capacity_peak=2,
+        )
+        stats.bump("splits", 3)
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone == stats
+        assert clone.as_dict() == stats.as_dict()
+        # The clone is independent state, not a shared reference.
+        clone.physical_reads += 1
+        clone.bump("splits")
+        assert stats.physical_reads == 3
+        assert stats.extra["splits"] == 3
