@@ -47,6 +47,8 @@ from repro.api.builder import (
     open_index,
 )
 from repro.api.errors import (
+    CheckpointError,
+    CorruptLogError,
     DuplicateObjectError,
     InvalidNeighborCountError,
     InvalidOperationError,
@@ -83,6 +85,8 @@ __all__ = [
     "InvalidWindowError",
     "InvalidNeighborCountError",
     "InvalidOperationError",
+    "CheckpointError",
+    "CorruptLogError",
     # results
     "OperationResult",
     "BatchReport",

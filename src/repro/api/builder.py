@@ -43,6 +43,7 @@ True
 from __future__ import annotations
 
 import json
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from repro.core.config import IndexConfig
@@ -117,6 +118,8 @@ def index_spec(index: "SpatialIndexFacade") -> Dict[str, Any]:
         spec = {"kind": "single", "config": config_to_spec(index.config)}
     if index.engine_defaults:
         spec["engine"] = dict(index.engine_defaults)
+    if index.durability is not None:
+        spec["durability"] = index.durability.to_spec()
     return spec
 
 
@@ -138,6 +141,8 @@ def open_index(
                           "min_ops": ...},       # sharded: online rebalancer
             "parallel": {"backend": "thread" | "process",
                          "workers": N},          # sharded: execution backend
+            "durability": {"dir": "...", "sync": "always"|"group"|"none",
+                           "group_size": N},     # write-ahead logging
         }
 
     Keyword *overrides* are merged over the spec's top level, so
@@ -169,6 +174,7 @@ class IndexBuilder:
         self._engine: Dict[str, Any] = {}
         self._rebalance: Optional[Dict[str, Any]] = None
         self._parallel: Optional[Dict[str, Any]] = None
+        self._durability: Optional[Dict[str, Any]] = None
 
     # -- index configuration -------------------------------------------
     def strategy(self, name: str) -> "IndexBuilder":
@@ -278,6 +284,32 @@ class IndexBuilder:
         self._parallel = section
         return self
 
+    def durability(
+        self,
+        directory: Union[str, Path],
+        sync: str = "group",
+        group_size: int = 64,
+    ) -> "IndexBuilder":
+        """Attach write-ahead logging under *directory* (single or sharded).
+
+        Every mutation is logged before it is applied — one log per shard
+        plus a coordinator meta log, framed as CRC-checked commit units with
+        monotonic LSNs (see :mod:`repro.durability`).  *sync* picks the
+        fsync policy: ``"always"`` syncs every commit unit, ``"group"``
+        (default) syncs batch dispatches immediately and single operations
+        every *group_size* ops, ``"none"`` leaves syncing to the OS.
+        ``load()`` and ``checkpoint()`` write ``<directory>/checkpoint.json``
+        and rotate the logs; after a crash,
+        :func:`repro.durability.recover_index` replays the intact log tail
+        on top of that checkpoint.
+        """
+        from repro.durability.commit import normalise_spec
+
+        self._durability = normalise_spec(
+            {"dir": str(directory), "sync": sync, "group_size": group_size}
+        )
+        return self
+
     # -- engine session defaults ---------------------------------------
     def engine(
         self,
@@ -306,6 +338,7 @@ class IndexBuilder:
             "engine",
             "rebalance",
             "parallel",
+            "durability",
         }
         unknown = set(spec) - known
         if unknown:
@@ -328,6 +361,10 @@ class IndexBuilder:
                 backend=section.get("backend", "process"),
                 workers=section.get("workers"),
             )
+        if spec.get("durability") is not None:
+            from repro.durability.commit import normalise_spec
+
+            builder._durability = normalise_spec(dict(spec["durability"]))
         kind = spec.get("kind")
         if kind is not None:
             if kind not in ("single", "sharded"):
@@ -383,6 +420,10 @@ class IndexBuilder:
             }
         if self._engine:
             spec["engine"] = dict(self._engine)
+        if self._durability is not None:
+            from repro.durability.commit import normalise_spec
+
+            spec["durability"] = normalise_spec(self._durability)
         return spec
 
     def _grid_partitioner_spec(self) -> Dict[str, Any]:
@@ -429,6 +470,10 @@ class IndexBuilder:
             index = MovingObjectIndex(config)
         if self._engine:
             index.engine_defaults = dict(self._engine)
+        if self._durability is not None:
+            from repro.durability.commit import DurabilityManager
+
+            index.attach_durability(DurabilityManager.from_spec(self._durability))
         if self._parallel is not None:
             index.set_parallel(
                 backend=self._parallel["backend"],

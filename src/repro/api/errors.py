@@ -70,6 +70,32 @@ class InvalidOperationError(OperationError, ValueError):
         super().__init__(message)
 
 
+class CheckpointError(OperationError, ValueError):
+    """A checkpoint file could not be written or restored.
+
+    Raised by :func:`repro.core.persistence.load_index` for unsupported
+    format versions and truncated/garbled checkpoint documents.  Inherits
+    ``ValueError`` because that is what ``load_index`` raised pre-durability,
+    so legacy ``except ValueError`` handlers keep working.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+
+
+class CorruptLogError(OperationError, ValueError):
+    """A write-ahead-log frame is structurally corrupt.
+
+    Distinct from a *torn* frame (an incomplete tail write, which recovery
+    silently truncates at): a corrupt frame passes the length/CRC checks yet
+    decodes to nonsense — an unknown record kind, a record overrunning its
+    frame, or a log sequence number running backwards.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+
+
 __all__ = [
     "OperationError",
     "UnknownObjectError",
@@ -77,4 +103,6 @@ __all__ = [
     "InvalidWindowError",
     "InvalidNeighborCountError",
     "InvalidOperationError",
+    "CheckpointError",
+    "CorruptLogError",
 ]

@@ -63,6 +63,13 @@ from repro.concurrency.engine import (
 from repro.concurrency.locks import LockMode
 from repro.core.config import IndexConfig
 from repro.core.protocol import SpatialIndexFacade
+from repro.durability.commit import SINGLE_SHARD
+from repro.durability.wal import (
+    LogRecord,
+    delete_record,
+    insert_record,
+    update_record,
+)
 from repro.geometry import Point, Rect
 from repro.storage.buffer import ClientIOCounters
 from repro.rtree.bulk import bulk_load_str
@@ -78,6 +85,8 @@ from repro.update.base import BatchUpdate, UpdateStrategy
 from repro.update.batch import (
     BatchExecutor,
     BatchResult,
+    DeleteOp,
+    InsertOp,
     Operation,
     parse_operation_stream,
 )
@@ -159,6 +168,11 @@ class MovingObjectIndex(SpatialIndexFacade):
             self._positions[oid] = location
         self.configure_buffer()
         self.reset_statistics()
+        if self.durability is not None:
+            # Bulk construction is not representable as a cheap log tail;
+            # checkpointing here (which rotates the logs) makes the loaded
+            # state the recovery baseline.
+            self.checkpoint()
 
     def configure_buffer(self, percent: Optional[float] = None) -> None:
         """(Re)size the buffer pool as a percentage of the current database size."""
@@ -175,6 +189,8 @@ class MovingObjectIndex(SpatialIndexFacade):
         """Insert a new object (:class:`DuplicateObjectError` when it exists)."""
         if oid in self._positions:
             raise DuplicateObjectError(oid)
+        if self.durability is not None:
+            self.durability.log_record(SINGLE_SHARD, insert_record(oid, location))
         self.strategy.insert(oid, location)
         self._positions[oid] = location
 
@@ -187,6 +203,8 @@ class MovingObjectIndex(SpatialIndexFacade):
         old_location = self._positions.get(oid)
         if old_location is None:
             raise UnknownObjectError(oid)
+        if self.durability is not None:
+            self.durability.log_record(SINGLE_SHARD, update_record(oid, new_location))
         outcome = self.strategy.update(oid, old_location, new_location)
         self._positions[oid] = new_location
         return outcome
@@ -200,11 +218,14 @@ class MovingObjectIndex(SpatialIndexFacade):
         silent ``False`` return (the behaviour the tuple adapter and the
         online engine keep).
         """
-        location = self._positions.pop(oid, None)
+        location = self._positions.get(oid)
         if location is None:
             if strict:
                 raise UnknownObjectError(oid)
             return False
+        if self.durability is not None:
+            self.durability.log_record(SINGLE_SHARD, delete_record(oid))
+        del self._positions[oid]
         return self.strategy.delete(oid, location)
 
     def range_query(self, window: Rect) -> List[int]:
@@ -236,7 +257,9 @@ class MovingObjectIndex(SpatialIndexFacade):
         :class:`~repro.update.batch.BatchResult` carries a per-batch
         :class:`IOStatistics` snapshot.
         """
-        return self.batch.execute(self.parse_updates(updates))
+        parsed = self.parse_updates(updates)
+        self._log_batch_ops(parsed)
+        return self.batch.execute(parsed)
 
     def apply(self, operations: Iterable[Tuple]) -> BatchResult:
         """Execute a mixed operation stream with batched updates.
@@ -259,9 +282,29 @@ class MovingObjectIndex(SpatialIndexFacade):
         self, operations: Iterable, strict_deletes: bool
     ) -> BatchResult:
         """Validate a typed/tuple stream against the overlay and run the batch."""
-        return self.batch.execute(
-            self._parse_operations(operations, strict_deletes=strict_deletes)
-        )
+        parsed = self._parse_operations(operations, strict_deletes=strict_deletes)
+        self._log_batch_ops(parsed)
+        return self.batch.execute(parsed)
+
+    def _log_batch_ops(self, ops: Sequence) -> None:
+        """Log one parsed batch as a single group-commit frame.
+
+        The batch executor applies its operations through the strategy
+        directly (never back through the facade's per-op methods), so the
+        whole stream logs here exactly once — queries carry no records.
+        """
+        if self.durability is None:
+            return
+        records: List[LogRecord] = []
+        for op in ops:
+            if isinstance(op, BatchUpdate):
+                records.append(update_record(op.oid, op.new_location))
+            elif isinstance(op, InsertOp):
+                records.append(insert_record(op.oid, op.location))
+            elif isinstance(op, DeleteOp):
+                records.append(delete_record(op.oid))
+        if records:
+            self.durability.log_unit({SINGLE_SHARD: records}, barrier=True)
 
     def parse_updates(
         self, updates: Iterable[Tuple[int, Point]]
@@ -363,6 +406,8 @@ class MovingObjectIndex(SpatialIndexFacade):
         position (``ConcurrentSession.update_many`` already did this via
         ``parse_updates``; re-assigning the same final values is idempotent).
         """
+        updates = list(updates)
+        self._log_batch_ops(updates)
         plan = self.batch.plan(updates)
         for bucket in plan.buckets.values():
             for request in bucket:

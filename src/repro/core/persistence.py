@@ -26,12 +26,15 @@ from __future__ import annotations
 
 import base64
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Union
 
 # Module import (not name import): repro.api.builder reaches back into
 # repro.core while initialising, so its names are resolved at call time.
 import repro.api.builder as api_builder
+from repro.api.errors import CheckpointError
 from repro.core.index import MovingObjectIndex
 from repro.geometry import Point
 from repro.storage.serialization import NodeCodec
@@ -128,8 +131,38 @@ def _restore_index(document: Dict) -> MovingObjectIndex:
     return index
 
 
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Crash-atomic file replacement: temp file in the target directory,
+    fsync, then ``os.replace`` — a killed write never destroys the previous
+    checkpoint, and a reader only ever sees a complete document."""
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def save_index(index, path: Union[str, Path]) -> None:
-    """Write a checkpoint of *index* (single or sharded) to *path*."""
+    """Write a checkpoint of *index* (single or sharded) to *path*.
+
+    The write is crash-atomic (temp file + fsync + ``os.replace``).  When
+    the index has a durability manager attached, its spec section is
+    embedded in the document, and — if *path* is the manager's own
+    ``checkpoint.json`` — the write-ahead logs are rotated afterwards: the
+    new checkpoint subsumes them.  Saving anywhere else is a plain export
+    and leaves the logs untouched.
+    """
     from repro.shard.index import ShardedIndex  # local: avoids an import cycle
 
     if isinstance(index, ShardedIndex):
@@ -156,7 +189,22 @@ def save_index(index, path: Union[str, Path]) -> None:
         # Builder spec section: restored indexes keep their session defaults,
         # so spec -> index -> checkpoint -> load round-trips to the same spec.
         document["engine"] = dict(index.engine_defaults)
-    Path(path).write_text(json.dumps(document), encoding="utf-8")
+    manager = getattr(index, "durability", None)
+    if manager is not None:
+        # Builder spec section: loading this checkpoint replays the WAL
+        # tail from the manager's directory and re-attaches the manager.
+        document["durability"] = manager.to_spec()
+    target = Path(path)
+    try:
+        _atomic_write_text(target, json.dumps(document))
+    except OSError as error:
+        raise CheckpointError(
+            f"failed to write checkpoint {target}: {error}"
+        ) from error
+    if manager is not None and target.resolve() == manager.checkpoint_path.resolve():
+        # The durable checkpoint just landed: every logged record is now in
+        # the checkpoint, so the logs restart empty (the LSN keeps counting).
+        manager.rotate()
 
 
 def load_index(path: Union[str, Path]):
@@ -166,13 +214,28 @@ def load_index(path: Union[str, Path]):
     :class:`~repro.shard.index.ShardedIndex`, depending on what was saved;
     both come back with derived structures (hash indexes, summaries, the
     shard directory) rebuilt and statistics reset.
+
+    A checkpoint carrying a ``durability`` section replays the write-ahead
+    log tail from that directory on top of the restored state (truncating
+    at the first torn frame — see :mod:`repro.durability.recovery`) and
+    re-attaches the durability manager, so the returned index keeps
+    logging where the crashed process stopped.  Unsupported format versions
+    and truncated/garbled documents raise
+    :class:`~repro.api.errors.CheckpointError` (a ``ValueError``).
     """
-    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    source = Path(path)
+    try:
+        document = json.loads(source.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"checkpoint {source} is not valid JSON (torn write?): {error}"
+        ) from error
     if document.get("format_version") != FORMAT_VERSION:
-        raise ValueError(
+        raise CheckpointError(
             f"unsupported checkpoint format {document.get('format_version')!r}"
         )
 
+    durability_spec = document.get("durability")
     if document.get("kind") == "sharded":
         from repro.shard.index import ShardedIndex
         from repro.shard.partitioner import partitioner_from_spec
@@ -187,10 +250,32 @@ def load_index(path: Union[str, Path]):
             index.attach_rebalancer(
                 ShardRebalancer.from_spec(document["rebalance"], index.num_shards)
             )
+        if durability_spec:
+            # Replay before the parallel backend attaches: replay writes
+            # directly into the in-process shard facades, which must still
+            # be authoritative at that point.
+            _replay_and_attach(index, durability_spec)
         if document.get("parallel"):
             index.set_parallel(**document["parallel"])
     else:
         index = _restore_index(document)
+        if durability_spec:
+            _replay_and_attach(index, durability_spec)
     if document.get("engine"):
         index.engine_defaults = dict(document["engine"])
     return index
+
+
+def _replay_and_attach(index, spec: Dict) -> None:
+    """Replay the WAL tail described by *spec* and re-attach its manager."""
+    from repro.durability.commit import DurabilityManager
+    from repro.durability.recovery import replay_into
+
+    manager = DurabilityManager.from_spec(spec)
+    report = replay_into(index, manager.directory)
+    if report.records:
+        # Replay is maintenance, not workload: re-split the buffer against
+        # the (possibly grown) database and zero the counters again.
+        index.configure_buffer()
+        index.reset_statistics()
+    index.attach_durability(manager)

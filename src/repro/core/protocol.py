@@ -55,8 +55,11 @@ from repro.geometry import Point, Rect
 from repro.storage import IOStatistics
 
 if TYPE_CHECKING:  # typing only; avoids import cycles at runtime
+    from pathlib import Path
+
     from repro.concurrency.engine import ConcurrentSession, PreparedBatch
     from repro.concurrency.locks import LockMode
+    from repro.durability.commit import DurabilityManager
     from repro.storage.buffer import ClientIOCounters
     from repro.update import UpdateOutcome
     from repro.update.batch import BatchResult
@@ -75,6 +78,54 @@ class SpatialIndexFacade(abc.ABC):
     #: supports non-serial backends; the class-level default keeps the
     #: attribute readable on every facade.
     parallel_spec: Optional[Mapping[str, Any]] = None
+
+    #: Attached :class:`~repro.durability.commit.DurabilityManager`, or
+    #: ``None`` when the index runs without a write-ahead log.  When set,
+    #: every mutation is logged **before** it is applied, and checkpoints
+    #: rotate the logs (see :mod:`repro.durability`).
+    durability: Optional["DurabilityManager"] = None
+
+    def attach_durability(self, manager: "DurabilityManager") -> None:
+        """Start write-ahead logging every mutation through *manager*.
+
+        The manager must describe the state the index currently holds (a
+        fresh empty index, or one just restored + replayed from the
+        manager's own directory) — attaching does not checkpoint; call
+        :meth:`checkpoint` (or :meth:`load`, which checkpoints when
+        durability is attached) to establish the recovery baseline.
+        """
+        if self.durability is not None:
+            self.durability.close()
+        self.durability = manager
+
+    def detach_durability(self) -> None:
+        """Stop logging; flushes and closes the logs (no-op when detached)."""
+        if self.durability is not None:
+            self.durability.close()
+            self.durability = None
+
+    def checkpoint(self, path: Optional[Any] = None) -> "Path":
+        """Write a checkpoint and — when it lands in the durability
+        directory — rotate the write-ahead logs.
+
+        With *path* omitted the checkpoint goes to the attached durability
+        manager's ``checkpoint.json`` (requires durability).  An explicit
+        *path* elsewhere is a plain export: the logs are left untouched, so
+        the durability directory keeps its own recovery timeline.
+        """
+        from pathlib import Path as _Path
+
+        from repro.core.persistence import save_index  # local: import cycle
+
+        if path is None:
+            if self.durability is None:
+                raise ValueError(
+                    "checkpoint() without a path requires an attached "
+                    "durability manager; pass an explicit path instead"
+                )
+            path = self.durability.checkpoint_path
+        save_index(self, path)
+        return _Path(path)
 
     def set_parallel(
         self,

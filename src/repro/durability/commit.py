@@ -1,0 +1,278 @@
+"""Group commit: one manager owning every log of one durable index.
+
+A :class:`DurabilityManager` is attached to a facade (single
+:class:`~repro.core.index.MovingObjectIndex` or coordinator-side
+:class:`~repro.shard.index.ShardedIndex`) and is the only writer of its
+logs.  It owns three things the individual
+:class:`~repro.durability.wal.WriteAheadLog` files cannot decide alone:
+
+* **the LSN** — one monotonic counter shared by *all* logs of the index,
+  so a cross-shard migration can appear in two shard logs as one commit
+  unit, and so recovery can truncate every log at a single logical instant;
+* **the sync policy** — ``always`` fsyncs each commit unit, ``group``
+  fsyncs batch units immediately (the batch *is* the group) and lets
+  single-operation units accumulate until ``group_size`` of them are
+  pending, ``none`` never fsyncs;
+* **checkpoint rotation** — after a checkpoint lands, every log restarts
+  empty while the LSN keeps counting.
+
+Log layout under ``directory``::
+
+    checkpoint.json      the checkpoint the logs are relative to
+    shard-0000.wal       per-shard redo logs (shard 0 doubles as the
+    shard-0001.wal       single-index log for a non-sharded facade)
+    meta.wal             coordinator metadata (repartition records)
+
+Coordinator-side logging is what keeps the ``process`` shard backend
+answer-identical: every public mutation of ``ShardedIndex`` runs on the
+coordinator before being dispatched, so the log sees the same stream no
+matter which backend executes it.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Dict, Mapping, Sequence, Set, Union
+
+from repro.durability.wal import (
+    SYNC_POLICIES,
+    LogRecord,
+    WriteAheadLog,
+    last_lsn,
+    repartition_record,
+)
+
+#: Shard id of the single-index log (a non-sharded facade logs as shard 0).
+SINGLE_SHARD = 0
+#: Internal shard id of the coordinator metadata log.
+META_SHARD = -1
+
+_SHARD_LOG_PATTERN = re.compile(r"^shard-(\d{4})\.wal$")
+_META_LOG_NAME = "meta.wal"
+_CHECKPOINT_NAME = "checkpoint.json"
+
+DEFAULT_SYNC = "group"
+DEFAULT_GROUP_SIZE = 64
+
+
+def normalise_spec(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate and normalise a ``{"dir", "sync", "group_size"}`` section.
+
+    Side-effect free (no directories are created), so the builder can
+    normalise a spec without touching disk.
+    """
+    unknown = set(spec) - {"dir", "sync", "group_size"}
+    if unknown:
+        raise ValueError(f"unknown durability spec keys: {sorted(unknown)}")
+    if "dir" not in spec:
+        raise ValueError("durability spec requires a 'dir' key")
+    directory = str(spec["dir"])
+    sync = str(spec.get("sync", DEFAULT_SYNC))
+    if sync not in SYNC_POLICIES:
+        raise ValueError(
+            f"durability sync policy must be one of {SYNC_POLICIES}, got {sync!r}"
+        )
+    group_size = spec.get("group_size", DEFAULT_GROUP_SIZE)
+    if not isinstance(group_size, int) or isinstance(group_size, bool) or group_size < 1:
+        raise ValueError(f"durability group_size must be a positive int, got {group_size!r}")
+    return {"dir": directory, "sync": sync, "group_size": group_size}
+
+
+def shard_log_paths(directory: Union[str, Path]) -> Dict[int, Path]:
+    """Shard logs present under *directory*, keyed by shard id."""
+    directory = Path(directory)
+    paths: Dict[int, Path] = {}
+    if not directory.is_dir():
+        return paths
+    for entry in sorted(directory.iterdir()):
+        match = _SHARD_LOG_PATTERN.match(entry.name)
+        if match is not None:
+            paths[int(match.group(1))] = entry
+    return paths
+
+
+def meta_log_path(directory: Union[str, Path]) -> Path:
+    return Path(directory) / _META_LOG_NAME
+
+
+def checkpoint_path(directory: Union[str, Path]) -> Path:
+    return Path(directory) / _CHECKPOINT_NAME
+
+
+class DurabilityManager:
+    """Write-ahead logging with group commit for one index.
+
+    ``frames`` arguments map shard ids to the records that shard's log
+    receives; every log touched by one call shares one LSN, making the
+    call a single commit unit.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        sync: str = DEFAULT_SYNC,
+        group_size: int = DEFAULT_GROUP_SIZE,
+    ) -> None:
+        spec = normalise_spec(
+            {"dir": str(directory), "sync": sync, "group_size": group_size}
+        )
+        self.directory = Path(spec["dir"])
+        self.sync_policy: str = spec["sync"]
+        self.group_size: int = spec["group_size"]
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._logs: Dict[int, WriteAheadLog] = {}
+        self._dirty: Set[int] = set()
+        self._pending_ops = 0
+        # Continue the LSN sequence past whatever the existing logs hold, so
+        # re-attaching after recovery keeps the ordering total.
+        highest = 0
+        for path in shard_log_paths(self.directory).values():
+            highest = max(highest, last_lsn(path))
+        highest = max(highest, last_lsn(meta_log_path(self.directory)))
+        self._lsn = highest
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def checkpoint_path(self) -> Path:
+        """Where :func:`repro.core.persistence.save_index` checkpoints this index."""
+        return checkpoint_path(self.directory)
+
+    def log_path(self, shard_id: int) -> Path:
+        if shard_id == META_SHARD:
+            return meta_log_path(self.directory)
+        return self.directory / f"shard-{shard_id:04d}.wal"
+
+    @property
+    def last_lsn(self) -> int:
+        return self._lsn
+
+    # ------------------------------------------------------------------
+    # Commit units
+    # ------------------------------------------------------------------
+    def _log(self, shard_id: int) -> WriteAheadLog:
+        log = self._logs.get(shard_id)
+        if log is None:
+            log = WriteAheadLog(self.log_path(shard_id))
+            self._logs[shard_id] = log
+        return log
+
+    def _append_unit(self, frames: Mapping[int, Sequence[LogRecord]]) -> int:
+        self._lsn += 1
+        for shard_id, records in frames.items():
+            if records:
+                self._log(shard_id).append(self._lsn, records)
+                self._dirty.add(shard_id)
+        return self._lsn
+
+    def _sync_dirty(self) -> None:
+        for shard_id in sorted(self._dirty):
+            self._logs[shard_id].sync()
+        self._dirty.clear()
+        self._pending_ops = 0
+
+    def log_record(self, shard_id: int, record: LogRecord) -> int:
+        """Log one routed operation as its own frame (per-op commit unit)."""
+        return self.log_unit({shard_id: (record,)}, barrier=False)
+
+    def log_unit(
+        self, frames: Mapping[int, Sequence[LogRecord]], barrier: bool = True
+    ) -> int:
+        """Log one commit unit spanning one or more shard logs.
+
+        ``barrier=True`` marks a batch-shaped unit (a whole dispatch, a bulk
+        migration, a repartition): under ``group`` sync the batch *is* the
+        group, so it is fsynced immediately.  ``barrier=False`` marks a
+        single routed operation, which under ``group`` sync accumulates
+        until ``group_size`` operations are pending.
+        """
+        if not any(records for records in frames.values()):
+            return self._lsn
+        lsn = self._append_unit(frames)
+        if self.sync_policy == "always":
+            self._sync_dirty()
+        elif self.sync_policy == "group":
+            if barrier:
+                self._sync_dirty()
+            else:
+                self._pending_ops += 1
+                if self._pending_ops >= self.group_size:
+                    self._sync_dirty()
+        return lsn
+
+    def log_repartition(self, partitioner_spec: Mapping[str, Any]) -> int:
+        """Log a partitioner change to the coordinator metadata log."""
+        record = repartition_record(dict(partitioner_spec))
+        return self.log_unit({META_SHARD: (record,)}, barrier=True)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """fsync every log with unsynced frames (any policy)."""
+        self._sync_dirty()
+
+    def rotate(self) -> None:
+        """Truncate every log after a checkpoint; the LSN keeps counting.
+
+        Logs that exist on disk but have not been opened by this manager
+        (left over from a previous process) are truncated too — after a
+        checkpoint *no* log may still describe pre-checkpoint history.
+        """
+        on_disk = set(shard_log_paths(self.directory))
+        for shard_id in on_disk | set(self._logs):
+            self._log(shard_id).truncate()
+        meta = meta_log_path(self.directory)
+        if META_SHARD in self._logs or meta.exists():
+            self._log(META_SHARD).truncate()
+        self._dirty.clear()
+        self._pending_ops = 0
+
+    def close(self) -> None:
+        """fsync and close every log (detach)."""
+        for log in self._logs.values():
+            log.close(sync=True)
+        self._logs.clear()
+        self._dirty.clear()
+        self._pending_ops = 0
+
+    # ------------------------------------------------------------------
+    # Spec codec
+    # ------------------------------------------------------------------
+    def to_spec(self) -> Dict[str, Any]:
+        return {
+            "dir": str(self.directory),
+            "sync": self.sync_policy,
+            "group_size": self.group_size,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "DurabilityManager":
+        normalised = normalise_spec(spec)
+        return cls(
+            normalised["dir"],
+            sync=normalised["sync"],
+            group_size=normalised["group_size"],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DurabilityManager(dir={str(self.directory)!r}, "
+            f"sync={self.sync_policy!r}, group_size={self.group_size}, "
+            f"lsn={self._lsn})"
+        )
+
+
+__all__ = [
+    "DurabilityManager",
+    "normalise_spec",
+    "shard_log_paths",
+    "meta_log_path",
+    "checkpoint_path",
+    "SINGLE_SHARD",
+    "META_SHARD",
+    "DEFAULT_SYNC",
+    "DEFAULT_GROUP_SIZE",
+]

@@ -1,0 +1,196 @@
+"""Crash recovery: replay the WAL tail on top of the latest checkpoint.
+
+Recovery is classic redo logging.  :func:`repro.core.persistence.load_index`
+restores the checkpoint, then :func:`replay_into` re-applies every intact
+log frame in **global LSN order** — the per-shard logs and the coordinator
+meta log are merged on their shared LSN sequence, so a cross-shard
+migration's two halves replay at the logical instant they committed.  Each
+log's intact prefix ends at its first torn frame
+(:func:`repro.durability.wal.read_frames`); everything before that point is
+re-applied, everything after it is the crash's lost tail.
+
+Replay is **idempotent** (records upsert / tolerant-delete), which makes
+three things safe:
+
+* re-applying operations the checkpoint already contains (an exported
+  checkpoint does not rotate the logs, so its log covers ops on both sides
+  of the export point — replaying the full log in order still converges on
+  the final state);
+* double-logged fallback paths (a bulk leaf-group migration that degrades
+  to per-object reroutes);
+* asymmetric torn tails of a migration's two logs: an arrival record whose
+  matching departure was torn away moves the object anyway (the ownership
+  map deletes it from the stale shard), so the migration replays whole from
+  either surviving half that contains the arrival.
+
+After replay a sharded index rebuilds its object directory from the shards'
+own position tables and installs the **last** logged repartition, so routing
+matches the recovered placement.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Tuple, Union
+
+from repro.api.errors import CheckpointError, CorruptLogError
+from repro.durability.commit import checkpoint_path, meta_log_path, shard_log_paths
+from repro.durability.wal import (
+    KIND_DELETE,
+    KIND_INSERT,
+    KIND_MIGRATE_IN,
+    KIND_MIGRATE_OUT,
+    KIND_REPARTITION,
+    KIND_UPDATE,
+    LogRecord,
+    read_frames,
+)
+
+#: Record kinds that (up)place an object at a position.
+_ARRIVALS = frozenset((KIND_INSERT, KIND_UPDATE, KIND_MIGRATE_IN))
+#: Record kinds that remove an object from the logging shard.
+_DEPARTURES = frozenset((KIND_DELETE, KIND_MIGRATE_OUT))
+
+
+@dataclass
+class RecoveryReport:
+    """What one :func:`replay_into` pass re-applied."""
+
+    frames: int = 0
+    records: int = 0
+    last_lsn: int = 0
+    repartitioned: bool = False
+    applied: Dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.applied.items())
+        )
+        return (
+            f"replayed {self.records} records in {self.frames} frames "
+            f"(last lsn {self.last_lsn}){': ' + kinds if kinds else ''}"
+        )
+
+
+def _tagged_frames(
+    shard_id: int, path: Path
+) -> Iterator[Tuple[int, int, List[LogRecord]]]:
+    for lsn, records in read_frames(path):
+        yield lsn, shard_id, records
+
+
+def replay_into(index: Any, directory: Union[str, Path]) -> RecoveryReport:
+    """Re-apply the intact WAL prefix under *directory* onto *index*.
+
+    *index* is a freshly checkpoint-restored facade — a single
+    :class:`~repro.core.index.MovingObjectIndex` (replays shard log 0) or a
+    :class:`~repro.shard.index.ShardedIndex` (replays each shard's log into
+    that shard, then rebuilds the object directory and applies the last
+    logged repartition).  Must run *before* a durability manager is
+    attached, so replay itself is never re-logged.
+    """
+    from repro.shard.index import ShardedIndex  # lazy: core imports this module's package
+
+    directory = Path(directory)
+    report = RecoveryReport()
+    sharded = isinstance(index, ShardedIndex)
+    subs: List[Any] = list(index.shards) if sharded else [index]
+    logs = shard_log_paths(directory)
+    for shard_id, path in logs.items():
+        if shard_id >= len(subs):
+            raise CorruptLogError(
+                f"{path.name} names shard {shard_id}, but the checkpoint "
+                f"restored only {len(subs)} shard(s)"
+            )
+
+    #: Which sub-index currently holds each object, in replay's view.  An
+    #: arrival for an object another shard still holds deletes the stale
+    #: copy first — that is what repairs a migration whose departure record
+    #: was torn away while its arrival survived.
+    owner: Dict[int, int] = {
+        oid: shard_id
+        for shard_id, sub in enumerate(subs)
+        for oid in sub._positions
+    }
+
+    streams = [_tagged_frames(sid, path) for sid, path in sorted(logs.items())]
+    for lsn, shard_id, records in heapq.merge(*streams):
+        report.frames += 1
+        report.last_lsn = max(report.last_lsn, lsn)
+        sub = subs[shard_id]
+        for record in records:
+            report.records += 1
+            report.applied[record.kind] = report.applied.get(record.kind, 0) + 1
+            if record.kind in _ARRIVALS:
+                stale = owner.get(record.oid)
+                if stale is not None and stale != shard_id:
+                    subs[stale].delete(record.oid)
+                if record.oid in sub._positions:
+                    sub.update(record.oid, record.position())
+                else:
+                    sub.insert(record.oid, record.position())
+                owner[record.oid] = shard_id
+            elif record.kind in _DEPARTURES:
+                # Tolerant: the object may already have left this shard (a
+                # departure whose matching arrival replayed first, or a
+                # double-logged reroute fallback).
+                if owner.get(record.oid) == shard_id:
+                    sub.delete(record.oid)
+                    del owner[record.oid]
+            else:
+                raise CorruptLogError(
+                    f"record kind {record.kind!r} is not valid in shard log "
+                    f"{shard_id}"
+                )
+
+    partitioner_spec: Any = None
+    for lsn, records in read_frames(meta_log_path(directory)):
+        report.frames += 1
+        report.last_lsn = max(report.last_lsn, lsn)
+        for record in records:
+            report.records += 1
+            report.applied[record.kind] = report.applied.get(record.kind, 0) + 1
+            if record.kind != KIND_REPARTITION:
+                raise CorruptLogError(
+                    f"record kind {record.kind!r} is not valid in the meta log"
+                )
+            partitioner_spec = json.loads(record.payload.decode("utf-8"))
+
+    if sharded:
+        if partitioner_spec is not None:
+            from repro.shard.partitioner import partitioner_from_spec
+
+            index.partitioner = partitioner_from_spec(partitioner_spec)
+            report.repartitioned = True
+        # The directory is derived state; replay wrote object placement
+        # directly into the shards, so rebuild it from them.
+        index._shard_of = {
+            oid: shard_id
+            for shard_id, sub in enumerate(subs)
+            for oid in sub._positions
+        }
+    return report
+
+
+def recover_index(directory: Union[str, Path]) -> Any:
+    """Restore the durable index living under *directory*.
+
+    Convenience wrapper: loads ``<directory>/checkpoint.json`` (which
+    replays the WAL tail and re-attaches the durability manager — see
+    :func:`repro.core.persistence.load_index`).
+    """
+    from repro.core.persistence import load_index  # lazy: avoid import cycle
+
+    target = checkpoint_path(directory)
+    if not target.exists():
+        raise CheckpointError(
+            f"no checkpoint under {Path(directory)} — a durable index "
+            f"checkpoints on load()/checkpoint(), nothing to recover yet"
+        )
+    return load_index(target)
+
+
+__all__ = ["RecoveryReport", "replay_into", "recover_index"]

@@ -678,6 +678,11 @@ class RTree:
             self._free_node(root)
             self.root_page_id = child.page_id
             self.height = child.level + 1
+            if child.parent_page_id is not None:
+                # The promoted child is the root now; a bottom-up strategy
+                # following a stale pointer would read a freed page.
+                child.parent_page_id = None
+                self.write_node(child)
             root = child
             changed = True
         if changed:

@@ -58,6 +58,14 @@ from repro.concurrency.scheduler import VirtualOperation
 from repro.core.config import IndexConfig
 from repro.core.index import MovingObjectIndex
 from repro.core.protocol import SpatialIndexFacade
+from repro.durability.wal import (
+    LogRecord,
+    delete_record,
+    insert_record,
+    migrate_in_record,
+    migrate_out_record,
+    update_record,
+)
 from repro.geometry import Point, Rect
 from repro.shard import parallel as shard_parallel
 from repro.shard.partitioner import GridPartitioner, Partitioner
@@ -574,9 +582,11 @@ class ShardedIndex(SpatialIndexFacade):
         per_target: Dict[int, List[int]] = {}
         positions: Dict[int, Point] = {}
         for oid, target, position in confirmed:
-            source._positions.pop(oid, None)
             positions[oid] = position
             per_target.setdefault(target, []).append(oid)
+        self._log_group_migration(source_id, per_target, positions)
+        for oid, _target, _position in confirmed:
+            source._positions.pop(oid, None)
         for target, group in per_target.items():
             target_shard = self.shards[target]
             target_shard.tree.insert_group([entry_of[oid] for oid in group])
@@ -585,6 +595,34 @@ class ShardedIndex(SpatialIndexFacade):
                 self._shard_of[oid] = target
         self.migrations += len(confirmed)
         return len(confirmed) + sum(1 for oid in drifted if self.reroute(oid))
+
+    def _log_group_migration(
+        self,
+        source_id: int,
+        per_target: Dict[int, List[int]],
+        positions: Dict[int, Point],
+    ) -> None:
+        """Log a confirmed leaf-group handoff as one commit unit.
+
+        Arrivals before the departures (same rationale as
+        :meth:`_execute_migration`), one frame per destination log plus one
+        on the source log, all under one LSN.  Logged only once the bulk
+        removal is known to proceed — the fallback per-object reroutes log
+        through :meth:`_execute_migration` instead, and replay's idempotence
+        keeps any overlap harmless.
+        """
+        if self.durability is None or not per_target:
+            return
+        frames: Dict[int, List[LogRecord]] = {
+            target: [migrate_in_record(oid, positions[oid]) for oid in group]
+            for target, group in per_target.items()
+        }
+        frames[source_id] = [
+            migrate_out_record(oid)
+            for group in per_target.values()
+            for oid in group
+        ]
+        self.durability.log_unit(frames, barrier=True)
 
     def _migrate_leaf_group_remote(
         self, source_id: int, leaf_page: int, oids: List[int]
@@ -640,9 +678,11 @@ class ShardedIndex(SpatialIndexFacade):
         per_target: Dict[int, List[int]] = {}
         positions: Dict[int, Point] = {}
         for oid, target, position in confirmed:
-            source._positions.pop(oid, None)
             positions[oid] = position
             per_target.setdefault(target, []).append(oid)
+        self._log_group_migration(source_id, per_target, positions)
+        for oid, _target, _position in confirmed:
+            source._positions.pop(oid, None)
         self._dispatch(
             {
                 target: [
@@ -690,6 +730,7 @@ class ShardedIndex(SpatialIndexFacade):
             plan = rebalancer.plan(self, force=True)
             if plan is not None:
                 self.partitioner = plan.partitioner
+                self._log_repartition()
                 rebalancer.committed(self)
         else:
             plan = self._triggered_plan(rebalancer)
@@ -744,8 +785,18 @@ class ShardedIndex(SpatialIndexFacade):
             rebalancer.monitor.reset(self.shards)
             return None
         self.partitioner = plan.partitioner
+        self._log_repartition()
         rebalancer.committed(self)
         return plan
+
+    def _log_repartition(self) -> None:
+        """Log the just-installed partitioner to the coordinator meta log.
+
+        Recovery applies the *last* such record, so routing after replay
+        matches the boundaries the replayed migrations were routed with.
+        """
+        if self.durability is not None:
+            self.durability.log_repartition(self.partitioner.to_spec())
 
     def auto_rebalance(self) -> Optional[RebalanceReport]:
         """Policy-gated :meth:`rebalance`, called by the serial batch epilogues."""
@@ -818,6 +869,10 @@ class ShardedIndex(SpatialIndexFacade):
         self.migrations = 0
         if parallel_spec is not None:
             self.set_parallel(**parallel_spec)
+        if self.durability is not None:
+            # Bulk construction has no cheap log representation; checkpoint
+            # (rotating the logs) so the loaded state is the recovery base.
+            self.checkpoint()
 
     def configure_buffer(self, percent: Optional[float] = None) -> None:
         """Size the aggregate buffer and split its capacity across the shards.
@@ -897,6 +952,8 @@ class ShardedIndex(SpatialIndexFacade):
         if oid in self._shard_of:
             raise DuplicateObjectError(oid)
         shard_id = self.partitioner.shard_of(location)
+        if self.durability is not None:
+            self.durability.log_record(shard_id, insert_record(oid, location))
         self._record_update(shard_id)
         self._shard_insert(shard_id, oid, location)
         self._shard_of[oid] = shard_id
@@ -908,6 +965,10 @@ class ShardedIndex(SpatialIndexFacade):
             raise UnknownObjectError(oid)
         target = self.partitioner.shard_of(new_location)
         if target == source:
+            if self.durability is not None:
+                self.durability.log_record(
+                    source, update_record(oid, new_location)
+                )
             self._record_update(source)
             return self._shard_update(source, oid, new_location)
         self._execute_migration(
@@ -916,11 +977,14 @@ class ShardedIndex(SpatialIndexFacade):
         return UpdateOutcome.MIGRATED
 
     def delete(self, oid: int, strict: bool = True) -> bool:
-        shard_id = self._shard_of.pop(oid, None)
+        shard_id = self._shard_of.get(oid)
         if shard_id is None:
             if strict:
                 raise UnknownObjectError(oid)
             return False
+        if self.durability is not None:
+            self.durability.log_record(shard_id, delete_record(oid))
+        del self._shard_of[oid]
         self._record_update(shard_id)
         return self._shard_delete(shard_id, oid)
 
@@ -1149,6 +1213,7 @@ class ShardedIndex(SpatialIndexFacade):
                 self._execute_migration(request, result)
             else:
                 per_shard.setdefault(source, []).append(request)
+        self._log_update_buckets(per_shard)
         if self._backend is not None:
             # The parallel payoff path: every shard's bucket dispatches in
             # one go — the backend runs them concurrently (the process
@@ -1185,12 +1250,63 @@ class ShardedIndex(SpatialIndexFacade):
             result.largest_group = max(result.largest_group, sub.largest_group)
             result.residuals += sub.residuals
 
+    def _log_update_buckets(
+        self, per_shard: Dict[int, List[BatchUpdate]]
+    ) -> None:
+        """Log one batch dispatch's in-shard buckets as a single commit unit.
+
+        The whole dispatch is one appended+fsynced frame per touched shard
+        log, all sharing one LSN — the group-commit shape; boundary-crossing
+        members logged per migration are disjoint from these buckets (the
+        pending set holds one request per object).
+        """
+        if self.durability is None or not per_shard:
+            return
+        self.durability.log_unit(
+            {
+                shard_id: [
+                    update_record(request.oid, request.new_location)
+                    for request in requests
+                ]
+                for shard_id, requests in per_shard.items()
+            },
+            barrier=True,
+        )
+
     def _execute_migration(
         self, request: BatchUpdate, result: Optional[BatchResult] = None
     ) -> None:
         """Delete from the source shard, insert into the target, re-route."""
         source = self._shard_of.get(request.oid)
         target = self.partitioner.shard_of(request.new_location)
+        if self.durability is not None:
+            # One commit unit across both shard logs, arrival first: a torn
+            # tail that keeps the arrival but loses the departure replays as
+            # the whole migration (recovery's ownership map evicts the stale
+            # source copy); the reverse order would lose the object.
+            frames: Dict[int, Tuple[LogRecord, ...]]
+            if source is None:
+                frames = {
+                    target: (insert_record(request.oid, request.new_location),)
+                }
+            elif source == target:
+                # Routed back into its own shard (the partitioner moved
+                # between planning and execution): departure before arrival,
+                # mirroring the delete+insert this method performs.
+                frames = {
+                    source: (
+                        migrate_out_record(request.oid),
+                        migrate_in_record(request.oid, request.new_location),
+                    )
+                }
+            else:
+                frames = {
+                    target: (
+                        migrate_in_record(request.oid, request.new_location),
+                    ),
+                    source: (migrate_out_record(request.oid),),
+                }
+            self.durability.log_unit(frames, barrier=False)
         if source is not None:
             self._record_update(source)
             self._shard_delete(source, request.oid)
@@ -1339,6 +1455,10 @@ class ShardedIndex(SpatialIndexFacade):
                 operations.append(MigrationOperation(engine, self, request, result))
             else:
                 per_shard.setdefault(source, []).append(request)
+        # Log the in-shard buckets at prepare time (one commit unit for the
+        # whole batch — the group-commit frame); migrations log when they
+        # execute, routed against the partitioner state of that moment.
+        self._log_update_buckets(per_shard)
         for shard_id, requests in per_shard.items():
             shard = self.shards[shard_id]
             self._record_update(shard_id, len(requests))

@@ -76,8 +76,11 @@ class LocalizedBottomUpUpdate(UpdateStrategy):
             return UpdateOutcome.IN_PLACE
 
         # Retrieve the parent of the leaf node (through the parent pointer).
-        if leaf.parent_page_id is None:
-            # The leaf is the root: there is nothing to enlarge against and no
+        if leaf.parent_page_id is None or not self.tree.disk.contains(
+            leaf.parent_page_id
+        ):
+            # The leaf is the root (or its parent pointer dangles after a
+            # restructure): there is nothing to enlarge against and no
             # siblings to shift to; repair top-down.
             return self._top_down_update(oid, old_location, new_location)
         parent = self.tree.read_node(leaf.parent_page_id)
@@ -140,7 +143,12 @@ class LocalizedBottomUpUpdate(UpdateStrategy):
         leaf = self.tree.read_node(leaf_page_id)
         residuals, dirty = self._apply_in_place(leaf, group)
 
-        if residuals and leaf.entries and leaf.parent_page_id is not None:
+        if (
+            residuals
+            and leaf.entries
+            and leaf.parent_page_id is not None
+            and self.tree.disk.contains(leaf.parent_page_id)
+        ):
             parent = self.tree.read_node(leaf.parent_page_id)
             parent_entry = parent.find_entry(leaf.page_id)
             if parent_entry is not None:
@@ -201,7 +209,9 @@ class LocalizedBottomUpUpdate(UpdateStrategy):
             requests.append(tree_intention)
             return merge_requests(requests)
 
-        if leaf.parent_page_id is None:
+        if leaf.parent_page_id is None or not self.tree.disk.contains(
+            leaf.parent_page_id
+        ):
             return super().lock_scope(oid, old_location, new_location)
         parent = self.tree.peek_node(leaf.parent_page_id)
         if parent.find_entry(leaf_page) is None:
