@@ -189,10 +189,15 @@ class MovingObjectIndex(SpatialIndexFacade):
         """Insert a new object (:class:`DuplicateObjectError` when it exists)."""
         if oid in self._positions:
             raise DuplicateObjectError(oid)
-        if self.durability is not None:
-            self.durability.log_record(SINGLE_SHARD, insert_record(oid, location))
+        # Apply first, log on success: a strategy that raises must leave the
+        # WAL silent, or recovery would replay a mutation the live index
+        # never performed (redo replay is idempotent, so apply-then-log
+        # costs nothing; a crash in the gap loses an op that was never
+        # acknowledged durable).
         self.strategy.insert(oid, location)
         self._positions[oid] = location
+        if self.durability is not None:
+            self.durability.log_record(SINGLE_SHARD, insert_record(oid, location))
 
     def update(self, oid: int, new_location: Point) -> UpdateOutcome:
         """Move an existing object to *new_location* using the configured strategy.
@@ -203,10 +208,10 @@ class MovingObjectIndex(SpatialIndexFacade):
         old_location = self._positions.get(oid)
         if old_location is None:
             raise UnknownObjectError(oid)
-        if self.durability is not None:
-            self.durability.log_record(SINGLE_SHARD, update_record(oid, new_location))
         outcome = self.strategy.update(oid, old_location, new_location)
         self._positions[oid] = new_location
+        if self.durability is not None:
+            self.durability.log_record(SINGLE_SHARD, update_record(oid, new_location))
         return outcome
 
     def delete(self, oid: int, strict: bool = True) -> bool:
@@ -223,10 +228,11 @@ class MovingObjectIndex(SpatialIndexFacade):
             if strict:
                 raise UnknownObjectError(oid)
             return False
+        removed = self.strategy.delete(oid, location)
+        del self._positions[oid]
         if self.durability is not None:
             self.durability.log_record(SINGLE_SHARD, delete_record(oid))
-        del self._positions[oid]
-        return self.strategy.delete(oid, location)
+        return removed
 
     def range_query(self, window: Rect) -> List[int]:
         """Object ids whose positions fall inside *window*."""
@@ -258,8 +264,9 @@ class MovingObjectIndex(SpatialIndexFacade):
         :class:`IOStatistics` snapshot.
         """
         parsed = self.parse_updates(updates)
+        result = self.batch.execute(parsed)
         self._log_batch_ops(parsed)
-        return self.batch.execute(parsed)
+        return result
 
     def apply(self, operations: Iterable[Tuple]) -> BatchResult:
         """Execute a mixed operation stream with batched updates.
@@ -283,15 +290,21 @@ class MovingObjectIndex(SpatialIndexFacade):
     ) -> BatchResult:
         """Validate a typed/tuple stream against the overlay and run the batch."""
         parsed = self._parse_operations(operations, strict_deletes=strict_deletes)
+        result = self.batch.execute(parsed)
         self._log_batch_ops(parsed)
-        return self.batch.execute(parsed)
+        return result
 
     def _log_batch_ops(self, ops: Sequence) -> None:
-        """Log one parsed batch as a single group-commit frame.
+        """Log one executed batch as a single group-commit frame.
 
         The batch executor applies its operations through the strategy
         directly (never back through the facade's per-op methods), so the
         whole stream logs here exactly once — queries carry no records.
+        Called *after* the batch has been applied (apply first, log on
+        success): an executor that raises mid-stream leaves the WAL silent
+        rather than durably recording mutations that never happened —
+        recovery then restores the pre-batch state, and the caller already
+        knows the batch failed.
         """
         if self.durability is None:
             return
@@ -407,7 +420,6 @@ class MovingObjectIndex(SpatialIndexFacade):
         ``parse_updates``; re-assigning the same final values is idempotent).
         """
         updates = list(updates)
-        self._log_batch_ops(updates)
         plan = self.batch.plan(updates)
         for bucket in plan.buckets.values():
             for request in bucket:
@@ -427,6 +439,10 @@ class MovingObjectIndex(SpatialIndexFacade):
 
         def finalize() -> None:
             result.io = self.batch.stats.snapshot().delta_since(before)
+            # Apply first, log on success: finalize runs once the scheduler
+            # has drained every operation, so a batch the engine abandoned
+            # mid-schedule is never durably recorded as having happened.
+            self._log_batch_ops(updates)
 
         return PreparedBatch(operations=operations, result=result, finalize=finalize)
 

@@ -157,11 +157,13 @@ def save_index(index, path: Union[str, Path]) -> None:
     """Write a checkpoint of *index* (single or sharded) to *path*.
 
     The write is crash-atomic (temp file + fsync + ``os.replace``).  When
-    the index has a durability manager attached, its spec section is
-    embedded in the document, and — if *path* is the manager's own
-    ``checkpoint.json`` — the write-ahead logs are rotated afterwards: the
-    new checkpoint subsumes them.  Saving anywhere else is a plain export
-    and leaves the logs untouched.
+    the index has a durability manager attached and *path* is the manager's
+    own ``checkpoint.json``, the manager's spec section is embedded in the
+    document and the write-ahead logs are rotated afterwards: the new
+    checkpoint subsumes them.  Saving anywhere else is a plain export — a
+    point-in-time snapshot that carries no ``durability`` section (loading
+    it must not replay, or attach a second writer to, logs the live index
+    still owns) and leaves the logs untouched.
     """
     from repro.shard.index import ShardedIndex  # local: avoids an import cycle
 
@@ -189,19 +191,27 @@ def save_index(index, path: Union[str, Path]) -> None:
         # Builder spec section: restored indexes keep their session defaults,
         # so spec -> index -> checkpoint -> load round-trips to the same spec.
         document["engine"] = dict(index.engine_defaults)
+    target = Path(path)
     manager = getattr(index, "durability", None)
-    if manager is not None:
+    is_durable_checkpoint = (
+        manager is not None
+        and target.resolve() == manager.checkpoint_path.resolve()
+    )
+    if is_durable_checkpoint:
         # Builder spec section: loading this checkpoint replays the WAL
         # tail from the manager's directory and re-attaches the manager.
+        # A save to any *other* path is a plain export and deliberately
+        # omits the section — loading an export must not replay the live
+        # index's logs, nor attach a second writer (with its own LSN
+        # counter) to a directory the live manager is still appending to.
         document["durability"] = manager.to_spec()
-    target = Path(path)
     try:
         _atomic_write_text(target, json.dumps(document))
     except OSError as error:
         raise CheckpointError(
             f"failed to write checkpoint {target}: {error}"
         ) from error
-    if manager is not None and target.resolve() == manager.checkpoint_path.resolve():
+    if is_durable_checkpoint:
         # The durable checkpoint just landed: every logged record is now in
         # the checkpoint, so the logs restart empty (the LSN keeps counting).
         manager.rotate()

@@ -51,6 +51,7 @@ from repro.durability.wal import (
     WriteAheadLog,
     delete_record,
     insert_record,
+    intact_prefix_length,
     last_lsn,
     migrate_in_record,
     migrate_out_record,
@@ -67,6 +68,7 @@ __all__ = [
     "recover_index",
     "replay_into",
     "read_frames",
+    "intact_prefix_length",
     "last_lsn",
     "insert_record",
     "update_record",

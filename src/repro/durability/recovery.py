@@ -12,16 +12,23 @@ re-applied, everything after it is the crash's lost tail.
 Replay is **idempotent** (records upsert / tolerant-delete), which makes
 three things safe:
 
-* re-applying operations the checkpoint already contains (an exported
-  checkpoint does not rotate the logs, so its log covers ops on both sides
-  of the export point — replaying the full log in order still converges on
-  the final state);
+* re-applying operations the checkpoint already contains (a crash between
+  the durable checkpoint landing and its log rotation completing leaves
+  logs covering ops the checkpoint already holds — replaying them in order
+  still converges on the same state);
 * double-logged fallback paths (a bulk leaf-group migration that degrades
   to per-object reroutes);
 * asymmetric torn tails of a migration's two logs: an arrival record whose
   matching departure was torn away moves the object anyway (the ownership
   map deletes it from the stale shard), so the migration replays whole from
-  either surviving half that contains the arrival.
+  either surviving half that contains the arrival.  The reverse asymmetry —
+  a durable departure whose matching arrival was lost in another log's torn
+  tail — is an **orphaned departure**: both halves of a migration share one
+  LSN, so replay detects the missing arrival and skips the departure, and
+  the object stays on its source shard at its old position instead of
+  vanishing.  The arrival frame's durability is thereby the precondition
+  for the departure taking effect, under every sync policy and regardless
+  of the order the OS flushed the two logs.
 
 After replay a sharded index rebuilds its object directory from the shards'
 own position tables and installs the **last** logged repartition, so routing
@@ -31,6 +38,7 @@ matches the recovered placement.
 from __future__ import annotations
 
 import heapq
+import itertools
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -63,15 +71,23 @@ class RecoveryReport:
     records: int = 0
     last_lsn: int = 0
     repartitioned: bool = False
+    #: ``migrate_out`` records skipped because their matching arrival was
+    #: lost in another log's torn tail (the object stayed on its source).
+    orphaned_departures: int = 0
     applied: Dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
         kinds = ", ".join(
             f"{kind}={count}" for kind, count in sorted(self.applied.items())
         )
+        orphaned = (
+            f", {self.orphaned_departures} orphaned departure(s) skipped"
+            if self.orphaned_departures
+            else ""
+        )
         return (
             f"replayed {self.records} records in {self.frames} frames "
-            f"(last lsn {self.last_lsn}){': ' + kinds if kinds else ''}"
+            f"(last lsn {self.last_lsn}){': ' + kinds if kinds else ''}{orphaned}"
         )
 
 
@@ -117,34 +133,54 @@ def replay_into(index: Any, directory: Union[str, Path]) -> RecoveryReport:
     }
 
     streams = [_tagged_frames(sid, path) for sid, path in sorted(logs.items())]
-    for lsn, shard_id, records in heapq.merge(*streams):
-        report.frames += 1
+    merged = heapq.merge(*streams)
+    for lsn, unit in itertools.groupby(merged, key=lambda tagged: tagged[0]):
+        frames = list(unit)
         report.last_lsn = max(report.last_lsn, lsn)
-        sub = subs[shard_id]
-        for record in records:
-            report.records += 1
-            report.applied[record.kind] = report.applied.get(record.kind, 0) + 1
-            if record.kind in _ARRIVALS:
-                stale = owner.get(record.oid)
-                if stale is not None and stale != shard_id:
-                    subs[stale].delete(record.oid)
-                if record.oid in sub._positions:
-                    sub.update(record.oid, record.position())
+        # Frames sharing an LSN are one commit unit (a migration's two
+        # halves, a group handoff's fan-out).  A ``migrate_out`` with no
+        # matching ``migrate_in`` anywhere in its unit is *orphaned*: the
+        # arrival landed in another log's torn tail, so applying the
+        # departure would delete the object with nowhere for it to land.
+        # Skipping it leaves the object on its source shard — the arrival
+        # frame's durability is the precondition for the departure taking
+        # effect, whatever order the OS flushed the two logs in.
+        arrived = {
+            record.oid
+            for _lsn, _sid, unit_records in frames
+            for record in unit_records
+            if record.kind == KIND_MIGRATE_IN
+        }
+        for _lsn, shard_id, records in frames:
+            report.frames += 1
+            sub = subs[shard_id]
+            for record in records:
+                if record.kind == KIND_MIGRATE_OUT and record.oid not in arrived:
+                    report.orphaned_departures += 1
+                    continue
+                report.records += 1
+                report.applied[record.kind] = report.applied.get(record.kind, 0) + 1
+                if record.kind in _ARRIVALS:
+                    stale = owner.get(record.oid)
+                    if stale is not None and stale != shard_id:
+                        subs[stale].delete(record.oid)
+                    if record.oid in sub._positions:
+                        sub.update(record.oid, record.position())
+                    else:
+                        sub.insert(record.oid, record.position())
+                    owner[record.oid] = shard_id
+                elif record.kind in _DEPARTURES:
+                    # Tolerant: the object may already have left this shard
+                    # (a departure whose matching arrival replayed first, or
+                    # a double-logged reroute fallback).
+                    if owner.get(record.oid) == shard_id:
+                        sub.delete(record.oid)
+                        del owner[record.oid]
                 else:
-                    sub.insert(record.oid, record.position())
-                owner[record.oid] = shard_id
-            elif record.kind in _DEPARTURES:
-                # Tolerant: the object may already have left this shard (a
-                # departure whose matching arrival replayed first, or a
-                # double-logged reroute fallback).
-                if owner.get(record.oid) == shard_id:
-                    sub.delete(record.oid)
-                    del owner[record.oid]
-            else:
-                raise CorruptLogError(
-                    f"record kind {record.kind!r} is not valid in shard log "
-                    f"{shard_id}"
-                )
+                    raise CorruptLogError(
+                        f"record kind {record.kind!r} is not valid in shard "
+                        f"log {shard_id}"
+                    )
 
     partitioner_spec: Any = None
     for lsn, records in read_frames(meta_log_path(directory)):

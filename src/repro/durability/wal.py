@@ -28,7 +28,11 @@ Two corruption classes are kept deliberately distinct:
 * a **torn frame** — the tail of a log whose last write never completed
   (short header, body running past EOF, CRC mismatch).  This is the normal
   signature of a crash; :func:`read_frames` stops cleanly at the first torn
-  frame and recovery replays the intact prefix.
+  frame and recovery replays the intact prefix.  A :class:`WriteAheadLog`
+  reopening such a file truncates it to that prefix
+  (:func:`intact_prefix_length`) before appending, so frames logged after
+  a recovery never land beyond the tear where a second recovery would
+  miss them.
 * a **corrupt frame** — a frame that passes the length and CRC checks yet
   decodes to nonsense (unknown kind byte, record overrunning the body, LSN
   running backwards).  That is media/logic corruption, not a crash, and
@@ -200,30 +204,20 @@ def _decode_body(body: bytes, where: str) -> Tuple[int, List[LogRecord]]:
     return int(lsn), records
 
 
-def read_frames(
-    path: Union[str, Path], strict: bool = False
-) -> Iterator[Tuple[int, List[LogRecord]]]:
-    """Iterate ``(lsn, records)`` frames from a log file.
+def _scan_frames(
+    data: bytes, name: str, strict: bool
+) -> Iterator[Tuple[int, List[LogRecord], int]]:
+    """Walk the frames of *data*, yielding ``(lsn, records, end_offset)``.
 
-    With ``strict=False`` (recovery mode) the iteration stops cleanly at the
-    first *torn* frame — a short header, a body length running past EOF, or
-    a CRC mismatch — which is the on-disk signature of a crash mid-append.
-    With ``strict=True`` a torn frame raises
-    :class:`~repro.api.errors.CorruptLogError` instead.
-
-    A frame that passes the CRC yet decodes to nonsense, or whose LSN runs
-    backwards, raises :class:`CorruptLogError` in **both** modes: that is
-    not what a crash produces.
+    ``end_offset`` is the byte just past the frame — the running length of
+    the intact prefix.  Torn-tail handling follows *strict* (see
+    :func:`read_frames`); structural corruption always raises.
     """
-    path = Path(path)
-    if not path.exists():
-        return
-    data = path.read_bytes()
     offset = 0
     frame_index = 0
     previous_lsn = -1
     while offset < len(data):
-        where = f"{path.name}: frame {frame_index} at byte {offset}"
+        where = f"{name}: frame {frame_index} at byte {offset}"
         if offset + _FRAME_HEADER.size > len(data):
             if strict:
                 raise CorruptLogError(f"{where}: torn frame header")
@@ -249,9 +243,51 @@ def read_frames(
                 f"{where}: LSN {lsn} does not advance past {previous_lsn}"
             )
         previous_lsn = lsn
-        yield lsn, records
         offset = body_start + body_length
+        yield lsn, records, offset
         frame_index += 1
+
+
+def read_frames(
+    path: Union[str, Path], strict: bool = False
+) -> Iterator[Tuple[int, List[LogRecord]]]:
+    """Iterate ``(lsn, records)`` frames from a log file.
+
+    With ``strict=False`` (recovery mode) the iteration stops cleanly at the
+    first *torn* frame — a short header, a body length running past EOF, or
+    a CRC mismatch — which is the on-disk signature of a crash mid-append.
+    With ``strict=True`` a torn frame raises
+    :class:`~repro.api.errors.CorruptLogError` instead.
+
+    A frame that passes the CRC yet decodes to nonsense, or whose LSN runs
+    backwards, raises :class:`CorruptLogError` in **both** modes: that is
+    not what a crash produces.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    data = path.read_bytes()
+    for lsn, records, _end in _scan_frames(data, path.name, strict):
+        yield lsn, records
+
+
+def intact_prefix_length(path: Union[str, Path]) -> int:
+    """Byte length of the intact frame prefix of *path* (0 when absent).
+
+    Everything past this offset is a torn tail — the debris of a crash
+    mid-append.  A writer reopening the log must truncate to this length
+    before appending: frames written after a torn frame would be
+    unreachable (:func:`read_frames` stops at the tear), so the next
+    recovery would silently lose them.
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    data = path.read_bytes()
+    end = 0
+    for _lsn, _records, end in _scan_frames(data, path.name, strict=False):
+        pass
+    return end
 
 
 def last_lsn(path: Union[str, Path]) -> int:
@@ -274,7 +310,16 @@ class WriteAheadLog:
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # A crash can leave a torn frame at the tail.  Recovery replays the
+        # intact prefix and stops there — so must the writer: appending
+        # beyond the tear would put every new frame where read_frames never
+        # reaches, and the *next* recovery would silently drop them all.
+        # Truncate to the intact prefix before the first append resumes.
+        intact = intact_prefix_length(self.path)
         self._file: BinaryIO = open(self.path, "ab")
+        if self.path.stat().st_size > intact:
+            self._file.truncate(intact)
+            os.fsync(self._file.fileno())
         #: True when frames have been appended since the last :meth:`sync`.
         self.dirty = False
 
@@ -322,6 +367,7 @@ __all__ = [
     "LogRecord",
     "WriteAheadLog",
     "read_frames",
+    "intact_prefix_length",
     "last_lsn",
     "encode_frame",
     "encode_record",

@@ -584,7 +584,6 @@ class ShardedIndex(SpatialIndexFacade):
         for oid, target, position in confirmed:
             positions[oid] = position
             per_target.setdefault(target, []).append(oid)
-        self._log_group_migration(source_id, per_target, positions)
         for oid, _target, _position in confirmed:
             source._positions.pop(oid, None)
         for target, group in per_target.items():
@@ -593,6 +592,7 @@ class ShardedIndex(SpatialIndexFacade):
             for oid in group:
                 target_shard._positions[oid] = positions[oid]
                 self._shard_of[oid] = target
+        self._log_group_migration(source_id, per_target, positions)
         self.migrations += len(confirmed)
         return len(confirmed) + sum(1 for oid in drifted if self.reroute(oid))
 
@@ -606,10 +606,12 @@ class ShardedIndex(SpatialIndexFacade):
 
         Arrivals before the departures (same rationale as
         :meth:`_execute_migration`), one frame per destination log plus one
-        on the source log, all under one LSN.  Logged only once the bulk
-        removal is known to proceed — the fallback per-object reroutes log
-        through :meth:`_execute_migration` instead, and replay's idempotence
-        keeps any overlap harmless.
+        on the source log, all under one LSN — so recovery can pair each
+        departure with its arrival and skip any departure whose arrival was
+        lost in a torn tail.  Logged only after the handoff has fully
+        applied (apply first, log on success) — the fallback per-object
+        reroutes log through :meth:`_execute_migration` instead, and
+        replay's idempotence keeps any overlap harmless.
         """
         if self.durability is None or not per_target:
             return
@@ -680,7 +682,6 @@ class ShardedIndex(SpatialIndexFacade):
         for oid, target, position in confirmed:
             positions[oid] = position
             per_target.setdefault(target, []).append(oid)
-        self._log_group_migration(source_id, per_target, positions)
         for oid, _target, _position in confirmed:
             source._positions.pop(oid, None)
         self._dispatch(
@@ -699,6 +700,7 @@ class ShardedIndex(SpatialIndexFacade):
             for oid in group:
                 target_shard._positions[oid] = positions[oid]
                 self._shard_of[oid] = target
+        self._log_group_migration(source_id, per_target, positions)
         self.migrations += len(confirmed)
         return len(confirmed) + sum(1 for oid in drifted if self.reroute(oid))
 
@@ -952,11 +954,14 @@ class ShardedIndex(SpatialIndexFacade):
         if oid in self._shard_of:
             raise DuplicateObjectError(oid)
         shard_id = self.partitioner.shard_of(location)
-        if self.durability is not None:
-            self.durability.log_record(shard_id, insert_record(oid, location))
+        # Apply first, log on success (see MovingObjectIndex.insert): a
+        # shard that raises must leave the WAL silent, or recovery would
+        # replay a mutation the live index never performed.
         self._record_update(shard_id)
         self._shard_insert(shard_id, oid, location)
         self._shard_of[oid] = shard_id
+        if self.durability is not None:
+            self.durability.log_record(shard_id, insert_record(oid, location))
 
     def update(self, oid: int, new_location: Point) -> UpdateOutcome:
         """Route the update; migrate across shards when a boundary is crossed."""
@@ -965,12 +970,13 @@ class ShardedIndex(SpatialIndexFacade):
             raise UnknownObjectError(oid)
         target = self.partitioner.shard_of(new_location)
         if target == source:
+            self._record_update(source)
+            outcome = self._shard_update(source, oid, new_location)
             if self.durability is not None:
                 self.durability.log_record(
                     source, update_record(oid, new_location)
                 )
-            self._record_update(source)
-            return self._shard_update(source, oid, new_location)
+            return outcome
         self._execute_migration(
             BatchUpdate(oid, self.position_of(oid), new_location)
         )
@@ -982,11 +988,12 @@ class ShardedIndex(SpatialIndexFacade):
             if strict:
                 raise UnknownObjectError(oid)
             return False
+        self._record_update(shard_id)
+        removed = self._shard_delete(shard_id, oid)
+        del self._shard_of[oid]
         if self.durability is not None:
             self.durability.log_record(shard_id, delete_record(oid))
-        del self._shard_of[oid]
-        self._record_update(shard_id)
-        return self._shard_delete(shard_id, oid)
+        return removed
 
     def _query_shards(self, window: Rect) -> List[int]:
         """Shards a window query must visit.
@@ -1213,7 +1220,6 @@ class ShardedIndex(SpatialIndexFacade):
                 self._execute_migration(request, result)
             else:
                 per_shard.setdefault(source, []).append(request)
-        self._log_update_buckets(per_shard)
         if self._backend is not None:
             # The parallel payoff path: every shard's bucket dispatches in
             # one go — the backend runs them concurrently (the process
@@ -1239,6 +1245,7 @@ class ShardedIndex(SpatialIndexFacade):
                     result.largest_group, sub["largest_group"]
                 )
                 result.residuals += sub["residuals"]
+            self._log_update_buckets(per_shard)
             return
         for shard_id, requests in per_shard.items():
             shard = self.shards[shard_id]
@@ -1249,16 +1256,20 @@ class ShardedIndex(SpatialIndexFacade):
             result.groups += sub.groups
             result.largest_group = max(result.largest_group, sub.largest_group)
             result.residuals += sub.residuals
+        self._log_update_buckets(per_shard)
 
     def _log_update_buckets(
         self, per_shard: Dict[int, List[BatchUpdate]]
     ) -> None:
-        """Log one batch dispatch's in-shard buckets as a single commit unit.
+        """Log one executed batch dispatch's in-shard buckets as one commit unit.
 
         The whole dispatch is one appended+fsynced frame per touched shard
         log, all sharing one LSN — the group-commit shape; boundary-crossing
         members logged per migration are disjoint from these buckets (the
-        pending set holds one request per object).
+        pending set holds one request per object).  Called *after* the
+        dispatch has executed (apply first, log on success), so a shard or
+        worker that raises leaves the WAL silent instead of durably
+        recording updates that never happened.
         """
         if self.durability is None or not per_shard:
             return
@@ -1279,12 +1290,17 @@ class ShardedIndex(SpatialIndexFacade):
         """Delete from the source shard, insert into the target, re-route."""
         source = self._shard_of.get(request.oid)
         target = self.partitioner.shard_of(request.new_location)
+        # The log frames are computed against the pre-move routing but
+        # appended only after both shards applied their halves (apply
+        # first, log on success — a shard that raises leaves the WAL
+        # silent).  One commit unit across both shard logs, arrival first:
+        # a torn tail that keeps the arrival but loses the departure
+        # replays as the whole migration (recovery's ownership map evicts
+        # the stale source copy), and the reverse asymmetry — departure
+        # durable, arrival lost — is detected by recovery as an orphaned
+        # departure (both halves share the LSN) and skipped.
+        frames: Optional[Dict[int, Tuple[LogRecord, ...]]] = None
         if self.durability is not None:
-            # One commit unit across both shard logs, arrival first: a torn
-            # tail that keeps the arrival but loses the departure replays as
-            # the whole migration (recovery's ownership map evicts the stale
-            # source copy); the reverse order would lose the object.
-            frames: Dict[int, Tuple[LogRecord, ...]]
             if source is None:
                 frames = {
                     target: (insert_record(request.oid, request.new_location),)
@@ -1306,7 +1322,6 @@ class ShardedIndex(SpatialIndexFacade):
                     ),
                     source: (migrate_out_record(request.oid),),
                 }
-            self.durability.log_unit(frames, barrier=False)
         if source is not None:
             self._record_update(source)
             self._shard_delete(source, request.oid)
@@ -1318,6 +1333,8 @@ class ShardedIndex(SpatialIndexFacade):
         self._record_update(target)
         self._shard_insert(target, request.oid, request.new_location)
         self._shard_of[request.oid] = target
+        if self.durability is not None and frames is not None:
+            self.durability.log_unit(frames, barrier=False)
 
     def parse_updates(self, updates: Iterable[Tuple[int, Point]]) -> List[BatchUpdate]:
         """Overlay-validate an ``(oid, new_position)`` stream into batch ops.
@@ -1455,10 +1472,6 @@ class ShardedIndex(SpatialIndexFacade):
                 operations.append(MigrationOperation(engine, self, request, result))
             else:
                 per_shard.setdefault(source, []).append(request)
-        # Log the in-shard buckets at prepare time (one commit unit for the
-        # whole batch — the group-commit frame); migrations log when they
-        # execute, routed against the partitioner state of that moment.
-        self._log_update_buckets(per_shard)
         for shard_id, requests in per_shard.items():
             shard = self.shards[shard_id]
             self._record_update(shard_id, len(requests))
@@ -1484,6 +1497,12 @@ class ShardedIndex(SpatialIndexFacade):
 
         def finalize() -> None:
             self._merge_io_delta(result, before)
+            # Apply first, log on success: finalize runs once the schedule
+            # has drained, so the in-shard buckets log as one commit unit
+            # (the group-commit frame) only after they actually executed;
+            # migrations logged themselves as they ran.  An engine batch
+            # abandoned mid-schedule is never durably recorded.
+            self._log_update_buckets(per_shard)
             # Batch-path auto-trigger: the schedule has drained and every
             # pre-committed position is applied, so a boundary adjustment is
             # planned against consistent state.

@@ -15,6 +15,7 @@ Hypothesis property test drives the single-index case with arbitrary
 truncation offsets.
 """
 
+import itertools
 import json
 import random
 import shutil
@@ -145,13 +146,103 @@ class TestSingleIndexCrashPoints:
             recovered.detach_durability()
 
 
+class TestDoubleCrash:
+    """Recover, keep working, crash again: nothing post-recovery is lost.
+
+    The first crash leaves a torn frame at the log tail.  The reopened
+    writer must truncate to the intact prefix before appending — frames
+    written beyond the tear are invisible to ``read_frames``, so without
+    the truncation every operation logged after the first recovery would
+    silently vanish at the second.
+    """
+
+    def test_operations_after_recovery_survive_a_second_crash(self, tmp_path):
+        baseline, script = build_single(tmp_path, "GBU", objects=60, seed=21)
+        log = shard_log_paths(tmp_path / "wal")[0]
+        offsets = frame_boundaries(log)
+        # First crash: tear the last frame in half.
+        with open(log, "r+b") as handle:
+            handle.truncate((offsets[-2] + offsets[-1]) // 2)
+        recovered = load_index(tmp_path / "wal" / "checkpoint.json")
+        expected = apply_script(dict(baseline), script[: len(offsets) - 2])
+        assert_recovered_state(recovered, expected)
+
+        # Post-recovery work appends to the same (previously torn) log.
+        rng = random.Random(99)
+        for oid in sorted(expected)[:10]:
+            position = Point(rng.random(), rng.random())
+            recovered.update(oid, position)
+            expected[oid] = position
+        recovered.durability.flush()
+        recovered.detach_durability()
+
+        # Second crash (no checkpoint in between): recover again.
+        twice = load_index(tmp_path / "wal" / "checkpoint.json")
+        assert_recovered_state(twice, expected)
+        twice.detach_durability()
+
+
+class TestOrphanedDepartures:
+    """A migration whose arrival frame was lost must not drop the object.
+
+    A cross-shard migration's two halves share one LSN: the arrival frame
+    in the target shard's log, the departure frame in the source's.  The
+    OS may flush the two files in any order, so a crash can leave the
+    departure durable while the arrival is torn away.  Recovery pairs the
+    halves by LSN, recognises the departure as orphaned, and leaves the
+    object on its source shard at its old position.
+    """
+
+    def test_departure_without_arrival_keeps_the_object(self, tmp_path):
+        index = open_index(
+            {
+                "kind": "sharded",
+                "shards": 2,
+                "config": {"strategy": "GBU"},
+                "durability": {"dir": str(tmp_path / "wal"), "sync": "none"},
+            }
+        )
+        rng = random.Random(3)
+        index.load(
+            [(oid, Point(rng.random(), rng.random())) for oid in range(80)]
+        )
+        oid = next(o for o, sid in index._shard_of.items() if sid == 0)
+        old_position = index.position_of(oid)
+        target_position = next(
+            p
+            for p in (Point(0.025 + 0.05 * i, 0.5) for i in range(20))
+            if index.partitioner.shard_of(p) == 1
+        )
+        index.update(oid, target_position)  # the cross-shard migration
+        assert index._shard_of[oid] == 1
+        index.durability.flush()
+        index.detach_durability()
+
+        logs = shard_log_paths(tmp_path / "wal")
+        # The crash: shard 1's log (holding the arrival) never hit the disk.
+        with open(logs[1], "r+b") as handle:
+            handle.truncate(0)
+
+        recovered = load_index(tmp_path / "wal" / "checkpoint.json")
+        # The object survived — still on its source shard, old position —
+        # instead of being deleted by the orphaned departure.
+        assert sorted(recovered._shard_of) == sorted(index._shard_of)
+        assert recovered._shard_of[oid] == 0
+        assert recovered.position_of(oid) == old_position
+        assert oid in recovered.range_query(WHOLE_SPACE)
+        recovered.validate()
+        recovered.detach_durability()
+
+
 def replay_reference(per_shard_baseline, surviving_logs, meta_path):
     """Independent ownership-tracking replay of the surviving frames.
 
     Mirrors the documented recovery semantics with none of its code: merge
     per-shard frames on LSN, arrivals evict the stale copy and land on the
     logging shard, departures only apply while the logging shard owns the
-    object.
+    object — and a ``migrate_out`` with no matching ``migrate_in`` in its
+    commit unit (the two halves share one LSN) is an orphaned departure
+    whose arrival was torn away: it is skipped, the object stays put.
     """
     owner = {
         oid: sid for sid, table in per_shard_baseline.items() for oid in table
@@ -163,17 +254,30 @@ def replay_reference(per_shard_baseline, surviving_logs, meta_path):
     for sid, path in surviving_logs.items():
         for lsn, records in read_frames(path):
             tagged.append((lsn, sid, records))
-    for lsn, sid, records in sorted(tagged, key=lambda item: item[0]):
-        for record in records:
-            if record.kind in (KIND_INSERT, KIND_UPDATE, KIND_MIGRATE_IN):
-                owner[record.oid] = sid
-                positions[record.oid] = record.position()
-            elif record.kind in (KIND_DELETE, KIND_MIGRATE_OUT):
-                if owner.get(record.oid) == sid:
-                    del owner[record.oid]
-                    del positions[record.oid]
-            else:  # pragma: no cover - the workload logs no other kinds
-                raise AssertionError(record.kind)
+    tagged.sort(key=lambda item: (item[0], item[1]))
+    for _lsn, unit in itertools.groupby(tagged, key=lambda item: item[0]):
+        frames = list(unit)
+        arrived = {
+            record.oid
+            for _l, _s, unit_records in frames
+            for record in unit_records
+            if record.kind == KIND_MIGRATE_IN
+        }
+        for _l, sid, records in frames:
+            for record in records:
+                if record.kind in (KIND_INSERT, KIND_UPDATE, KIND_MIGRATE_IN):
+                    owner[record.oid] = sid
+                    positions[record.oid] = record.position()
+                elif record.kind == KIND_MIGRATE_OUT:
+                    if record.oid in arrived and owner.get(record.oid) == sid:
+                        del owner[record.oid]
+                        del positions[record.oid]
+                elif record.kind == KIND_DELETE:
+                    if owner.get(record.oid) == sid:
+                        del owner[record.oid]
+                        del positions[record.oid]
+                else:  # pragma: no cover - the workload logs no other kinds
+                    raise AssertionError(record.kind)
     list(read_frames(meta_path))  # meta log must at least parse
     return positions, owner
 

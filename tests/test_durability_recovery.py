@@ -15,13 +15,14 @@ builder/spec/checkpoint round trip, and log rotation across checkpoints.
 Torn-log crash simulation lives in ``tests/test_durability_crash_injection.py``.
 """
 
+import json
 import random
 
 import pytest
 
 from repro.api import IndexBuilder, Update, index_spec, open_index
 from repro.core.persistence import load_index, save_index
-from repro.durability import recover_index, shard_log_paths
+from repro.durability import read_frames, recover_index, shard_log_paths
 from repro.geometry import Point, Rect
 
 STRATEGIES = ("TD", "NAIVE", "LBU", "GBU")
@@ -212,6 +213,66 @@ class TestSpecAndCheckpointRoundTrip:
         restored = load_index(tmp_path / "export.json")
         assert restored.durability is None
         assert_equivalent(live, restored)
+
+    def test_durable_index_exports_without_a_durability_section(self, tmp_path):
+        """Exporting a *durable* index must not point back at its live logs.
+
+        If the export carried the durability spec, loading it would replay
+        the live WAL tail and attach a second writer (with its own LSN
+        counter) to a directory the live manager is still appending to.
+        """
+        live = run_mixed_workload(
+            open_index(durable_spec(tmp_path, "TD", "single")), objects=40
+        )
+        save_index(live, tmp_path / "export.json")
+        document = json.loads((tmp_path / "export.json").read_text())
+        assert "durability" not in document
+        restored = load_index(tmp_path / "export.json")
+        assert restored.durability is None
+        assert_equivalent(live, restored)
+        # The live recovery timeline is untouched: the logs were not
+        # rotated, and the manager's own checkpoint still recovers.
+        live.durability.flush()
+        recovered = load_index(tmp_path / "wal" / "checkpoint.json")
+        assert recovered.durability is not None
+        assert_equivalent(live, recovered)
+
+    def test_failed_apply_leaves_the_wal_silent(self, tmp_path):
+        """Apply first, log on success: a strategy that raises logs nothing.
+
+        Were the operation logged up front, recovery would replay a
+        mutation the live index never performed and diverge from every
+        answer the pre-crash process gave.
+        """
+        live = open_index(durable_spec(tmp_path, "TD", "single"))
+        rng = random.Random(7)
+        live.load(
+            [(oid, Point(rng.random(), rng.random())) for oid in range(30)]
+        )
+        live.update(3, Point(0.5, 0.5))
+        position_before = live.position_of(4)
+
+        def failing_update(oid, old_location, new_location):
+            raise RuntimeError("injected strategy failure")
+
+        original = live.strategy.update
+        live.strategy.update = failing_update
+        try:
+            with pytest.raises(RuntimeError):
+                live.update(4, Point(0.25, 0.25))
+        finally:
+            live.strategy.update = original
+        assert live.position_of(4) == position_before
+        live.durability.flush()
+        logged_oids = [
+            record.oid
+            for _lsn, records in read_frames(shard_log_paths(tmp_path / "wal")[0])
+            for record in records
+        ]
+        assert 4 not in logged_oids
+        recovered = load_index(tmp_path / "wal" / "checkpoint.json")
+        assert recovered.position_of(4) == position_before
+        assert_equivalent(live, recovered)
 
     def test_shard_sub_indexes_do_not_double_log(self, tmp_path):
         live = run_mixed_workload(

@@ -49,6 +49,7 @@ from repro.durability.wal import (
     KIND_UPDATE,
     LogRecord,
     encode_frame,
+    intact_prefix_length,
 )
 from repro.geometry import Point
 
@@ -212,6 +213,31 @@ class TestWriteAheadLogLifecycle:
         write_log(tmp_path / "log.wal", [(1, [delete_record(1)])])
         write_log(tmp_path / "log.wal", [(2, [delete_record(2)])])
         assert [lsn for lsn, _ in read_frames(tmp_path / "log.wal")] == [1, 2]
+
+    def test_reopening_truncates_a_torn_tail_before_appending(self, tmp_path):
+        """Frames appended after a crash must not land beyond the tear.
+
+        A reader stops at the first torn frame, so a writer that blindly
+        appended after one would put every post-recovery frame where the
+        *next* recovery never looks.  Reopening truncates to the intact
+        prefix first.
+        """
+        path = tmp_path / "log.wal"
+        write_log(path, [(1, [delete_record(1)]), (2, [delete_record(2)])])
+        intact = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(encode_frame(3, [delete_record(3)])[:-5])  # torn append
+        assert intact_prefix_length(path) == intact
+        write_log(path, [(3, [delete_record(4)])])
+        assert path.stat().st_size > intact
+        # Strict read succeeds: no torn bytes remain, every frame reachable.
+        assert [lsn for lsn, _ in read_frames(path, strict=True)] == [1, 2, 3]
+
+    def test_intact_prefix_length_of_missing_and_whole_logs(self, tmp_path):
+        assert intact_prefix_length(tmp_path / "absent.wal") == 0
+        path = tmp_path / "log.wal"
+        write_log(path, [(1, [delete_record(1)])])
+        assert intact_prefix_length(path) == path.stat().st_size
 
 
 class TestDurabilityManager:
