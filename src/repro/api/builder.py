@@ -112,6 +112,8 @@ def index_spec(index: "SpatialIndexFacade") -> Dict[str, Any]:
         }
         if index.rebalancer is not None:
             spec["rebalance"] = index.rebalancer.to_spec()
+        if index.adaptive is not None:
+            spec["adaptive"] = index.adaptive.to_spec()
         if index.parallel_spec is not None:
             spec["parallel"] = dict(index.parallel_spec)
     else:
@@ -139,6 +141,8 @@ def open_index(
                        "cpu_time_per_op": ...},  # session defaults
             "rebalance": {"threshold": ..., "cooldown": ...,
                           "min_ops": ...},       # sharded: online rebalancer
+            "adaptive": {"enabled": ..., "cooldown": ...,
+                         "min_ops": ...},        # sharded: strategy selection
             "parallel": {"backend": "thread" | "process",
                          "workers": N},          # sharded: execution backend
             "durability": {"dir": "...", "sync": "always"|"group"|"none",
@@ -173,6 +177,7 @@ class IndexBuilder:
         self._partitioner_spec: Optional[Dict[str, Any]] = None
         self._engine: Dict[str, Any] = {}
         self._rebalance: Optional[Dict[str, Any]] = None
+        self._adaptive: Optional[Dict[str, Any]] = None
         self._parallel: Optional[Dict[str, Any]] = None
         self._durability: Optional[Dict[str, Any]] = None
 
@@ -259,6 +264,31 @@ class IndexBuilder:
         self._rebalance = section
         return self
 
+    def adaptive(
+        self,
+        enabled: bool = True,
+        cooldown: Optional[int] = None,
+        min_ops: Optional[int] = None,
+    ) -> "IndexBuilder":
+        """Attach the adaptive strategy controller (implies a sharded topology).
+
+        The built :class:`~repro.shard.index.ShardedIndex` observes each
+        shard's update/query mix, movement distances and buffer hit ratio,
+        ranks the four update strategies with the paper's Section 4 cost
+        models (:mod:`repro.cost.model`), and hot-swaps any shard whose
+        observed workload favours a different strategy — after at least
+        *min_ops* observed operations (first switch) and every *cooldown*
+        operations thereafter.  See :mod:`repro.shard.adaptive`.
+        """
+        section: Dict[str, Any] = {"enabled": bool(enabled)}
+        if cooldown is not None:
+            section["cooldown"] = cooldown
+        if min_ops is not None:
+            section["min_ops"] = min_ops
+        self._kind = "sharded"
+        self._adaptive = section
+        return self
+
     def parallel(
         self, backend: str = "process", workers: Optional[int] = None
     ) -> "IndexBuilder":
@@ -337,6 +367,7 @@ class IndexBuilder:
             "partitioner",
             "engine",
             "rebalance",
+            "adaptive",
             "parallel",
             "durability",
         }
@@ -355,6 +386,9 @@ class IndexBuilder:
         if spec.get("rebalance") is not None:
             builder._kind = "sharded"
             builder._rebalance = dict(spec["rebalance"])
+        if spec.get("adaptive") is not None:
+            builder._kind = "sharded"
+            builder._adaptive = dict(spec["adaptive"])
         if spec.get("parallel") is not None:
             section = dict(spec["parallel"])
             builder.parallel(
@@ -372,7 +406,7 @@ class IndexBuilder:
             if kind == "single" and builder._kind == "sharded":
                 raise ValueError(
                     "kind 'single' conflicts with a shards/partitioner/"
-                    "rebalance/parallel entry"
+                    "rebalance/adaptive/parallel entry"
                 )
             builder._kind = kind
         builder._engine = dict(spec.get("engine", {}))
@@ -403,6 +437,15 @@ class IndexBuilder:
             policy_data = dict(self._rebalance)
             policy_data.pop("rebalances", None)
             spec["rebalance"] = RebalancePolicy.from_spec(policy_data).to_spec()
+        if self._adaptive is not None:
+            # Same normalisation: explicit defaults, runtime counters dropped.
+            from repro.shard.adaptive import AdaptiveStrategyPolicy
+
+            adaptive_data = dict(self._adaptive)
+            adaptive_data.pop("switches", None)
+            spec["adaptive"] = AdaptiveStrategyPolicy.from_spec(
+                adaptive_data
+            ).to_spec()
         if self._parallel is not None:
             # Normalise the worker count to the concrete value the built
             # index would resolve (one per shard unless capped lower), so
@@ -465,6 +508,14 @@ class IndexBuilder:
 
                 index.attach_rebalancer(
                     ShardRebalancer.from_spec(self._rebalance, index.num_shards)
+                )
+            if self._adaptive is not None:
+                from repro.shard.adaptive import AdaptiveStrategyController
+
+                index.attach_adaptive(
+                    AdaptiveStrategyController.from_spec(
+                        self._adaptive, index.num_shards
+                    )
                 )
         else:
             index = MovingObjectIndex(config)

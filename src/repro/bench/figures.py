@@ -35,6 +35,9 @@ The experiments and their paper counterparts:
 ``rebalance_hotspot`` beyond paper — online shard rebalancing under the
                       hotspot workload: makespan with/without the rebalancer
                       vs. the uniform-workload makespan at 4 shards
+``adaptive_strategy`` beyond paper — cost-model-driven per-shard strategy
+                      selection on a mixed workload where no single global
+                      strategy wins across shards
 ``cost_model``        Section 4 — analytical vs. measured bottom-up cost
 ``naive_fallback``    Section 3.1 — fraction of naive bottom-up updates that
                       degrade to top-down
@@ -705,6 +708,185 @@ def _run_rebalance_hotspot(scale: float, seed: Optional[int]) -> List[MetricRow]
 
 
 # ---------------------------------------------------------------------------
+# Adaptive strategy: per-shard cost-model selection vs. static globals
+# ---------------------------------------------------------------------------
+
+#: Two shards: the grid splits the unit square into left/right halves.
+ADAPTIVE_STRATEGY_SHARDS = 2
+#: The calibrated operating point: at 8 % buffer the hot-cell update shard's
+#: working set is cached (top-down descents nearly free, every bottom-up
+#: update still pays its unbuffered hash probe → TD wins), while the uniform
+#: query-heavy shard thrashes the buffer (GBU's summary-guided leaf-only
+#: queries win).  No single global strategy wins both.
+ADAPTIVE_STRATEGY_BUFFER_PERCENT = 8.0
+ADAPTIVE_STRATEGY_PAGE_SIZE = 4096
+#: Evidence gate of the adaptive runs: first switch after 256 observed
+#: operations on a shard, later switches after 400.
+ADAPTIVE_STRATEGY_POLICY = {"cooldown": 400, "min_ops": 256}
+#: The adaptive variant starts on NAIVE — a strategy that wins *neither*
+#: shard, so both observed switches are real work, and their cost (the LBU/
+#: GBU transitions plus the warmup spent under the wrong strategy) is paid
+#: inside the measured makespan.
+ADAPTIVE_STRATEGY_INITIAL = "NAIVE"
+ADAPTIVE_STRATEGY_VARIANTS = ("TD", "NAIVE", "LBU", "GBU", "adaptive")
+#: The controller is polled every this many operations — the stand-in for
+#: the engine's maintenance interleave in the benchmark's serial driver.
+ADAPTIVE_STRATEGY_MAINTENANCE_EVERY = 100
+
+
+def adaptive_mixed_workload(scale: float, seed: Optional[int]):
+    """Initial placements + op stream of the two-regime mixed workload.
+
+    Shard 0 (left half) holds a hot cell of objects making short moves —
+    pure update traffic over a cacheable working set.  Shard 1 (right half)
+    holds a uniform spread answering 0.1-extent window queries with a
+    trickle of short moves — query-heavy traffic over a buffer-thrashing
+    working set.  The floors are deliberately high relative to *scale*
+    (like the rebalance-hotspot figure): the buffer-regime contrast that
+    separates the strategies only exists at the calibrated size, so smoke
+    runs shrink nothing — they are simply the same workload.
+
+    Returns ``(points, ops)`` where ops are ``("update", oid, Point)`` and
+    ``("range_query", None, Rect)`` tuples, identical for every variant.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    import random as _random
+
+    rng = _random.Random(1 if seed is None else seed)
+    per_shard = max(3_000, int(3_000 * scale))
+    steps = max(3_000, int(3_000 * scale))
+    points: List = []
+    positions: Dict[int, object] = {}
+    oid = 0
+    from repro.geometry import Point, Rect
+
+    for _ in range(per_shard):  # hot cell inside shard 0
+        p = Point(rng.uniform(0.05, 0.20), rng.uniform(0.40, 0.55))
+        points.append((oid, p))
+        positions[oid] = p
+        oid += 1
+    for _ in range(per_shard):  # uniform spread over shard 1
+        p = Point(rng.uniform(0.55, 0.95), rng.uniform(0.05, 0.95))
+        points.append((oid, p))
+        positions[oid] = p
+        oid += 1
+    hot = list(range(per_shard))
+    cold = list(range(per_shard, 2 * per_shard))
+    ops: List = []
+    for _ in range(steps):
+        o = rng.choice(hot)
+        p = positions[o]
+        moved = Point(
+            min(0.20, max(0.05, p.x + rng.uniform(-0.01, 0.01))),
+            min(0.55, max(0.40, p.y + rng.uniform(-0.01, 0.01))),
+        )
+        positions[o] = moved
+        ops.append(("update", o, moved))
+        if rng.random() < 0.9:
+            x, y = rng.uniform(0.55, 0.85), rng.uniform(0.05, 0.85)
+            ops.append(("range_query", None, Rect(x, y, x + 0.1, y + 0.1)))
+        else:
+            o = rng.choice(cold)
+            p = positions[o]
+            moved = Point(
+                min(0.95, max(0.55, p.x + rng.uniform(-0.02, 0.02))),
+                min(0.95, max(0.05, p.y + rng.uniform(-0.02, 0.02))),
+            )
+            positions[o] = moved
+            ops.append(("update", o, moved))
+    return points, ops
+
+
+def run_adaptive_variant(variant: str, points, ops) -> Dict:
+    """One cell of the comparison: a static global strategy or ``adaptive``.
+
+    The makespan is the summed per-shard charged I/O (physical reads +
+    writes + unbuffered hash probes) over the op stream — the serial
+    execution cost, deterministic at fixed seed.  For the adaptive variant
+    every switch (the LBU sweep's leaf writes, the warmup spent under the
+    initial strategy) lands inside the measured window.
+    """
+    spec: Dict = {
+        "kind": "sharded",
+        "shards": ADAPTIVE_STRATEGY_SHARDS,
+        "config": {
+            "strategy": ADAPTIVE_STRATEGY_INITIAL
+            if variant == "adaptive"
+            else variant,
+            "page_size": ADAPTIVE_STRATEGY_PAGE_SIZE,
+            "buffer_percent": ADAPTIVE_STRATEGY_BUFFER_PERCENT,
+        },
+    }
+    if variant == "adaptive":
+        spec["adaptive"] = dict(ADAPTIVE_STRATEGY_POLICY)
+    index = open_index(spec)
+    index.load(points)
+    index.reset_statistics()
+    for i, (kind, oid, argument) in enumerate(ops):
+        if kind == "update":
+            index.update(oid, argument)
+        else:
+            index.range_query(argument)
+        if i % ADAPTIVE_STRATEGY_MAINTENANCE_EVERY == (
+            ADAPTIVE_STRATEGY_MAINTENANCE_EVERY - 1
+        ):
+            index.auto_adapt()
+    per_shard = [shard.stats.total_physical_io for shard in index.shards]
+    index.validate()
+    return {
+        "variant": variant,
+        "makespan_io": sum(per_shard),
+        "shard_io": per_shard,
+        "strategies": index.active_strategies(),
+        "switches": index.adaptive.switches if index.adaptive is not None else 0,
+        "fingerprint": tuple(
+            sorted(
+                (oid, index.position_of(oid).x, index.position_of(oid).y)
+                for oid in index.object_directory()
+            )
+        ),
+    }
+
+
+def _run_adaptive_strategy(scale: float, seed: Optional[int]) -> List[MetricRow]:
+    """Adaptive per-shard selection vs. every static global strategy.
+
+    Expected shape — and the acceptance assertion of
+    ``benchmarks/bench_adaptive_strategy.py``: the adaptive run's total
+    makespan (switch cost included) is strictly below every static global
+    strategy's, because TD wins the hot-cell update shard while GBU wins
+    the query-heavy shard and no static choice gets both.
+    """
+    points, ops = adaptive_mixed_workload(scale, seed)
+    rows: List[MetricRow] = []
+    fingerprints = set()
+    for variant in ADAPTIVE_STRATEGY_VARIANTS:
+        cell = run_adaptive_variant(variant, points, ops)
+        fingerprints.add(cell["fingerprint"])
+        rows.append(
+            MetricRow(
+                x_label="series",
+                x_value=variant,
+                strategy=variant,
+                extras={
+                    "makespan": float(cell["makespan_io"]),
+                    "shard0_io": float(cell["shard_io"][0]),
+                    "shard1_io": float(cell["shard_io"][1]),
+                    "switches": float(cell["switches"]),
+                },
+            )
+        )
+    if len(fingerprints) != 1:
+        raise AssertionError(
+            "strategy variants diverged on final object positions — the "
+            "comparison is meaningless unless every variant indexes the "
+            "same data"
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Section 4: analytical cost model vs. measurement
 # ---------------------------------------------------------------------------
 
@@ -948,6 +1130,25 @@ _register(FigureDefinition(
         "Rebalanced hotspot makespan strictly below the static hotspot "
         "makespan and within 1.5x of the uniform-workload makespan; final "
         "imbalance drops towards 1."
+    ),
+))
+_register(FigureDefinition(
+    key="adaptive_strategy",
+    title="Adaptive per-shard strategy selection vs. static global strategies",
+    paper_reference="beyond paper",
+    x_label="series",
+    runner=_run_adaptive_strategy,
+    notes=(
+        "2 shards, 8% buffer: a hot-cell update shard (cached working set "
+        "-> TD wins) next to a uniform query-heavy shard (buffer-thrashing "
+        "-> GBU's summary-guided queries win).  The adaptive variant starts "
+        "on NAIVE and the cost-model controller hot-swaps each shard; the "
+        "switch cost is inside the measured makespan."
+    ),
+    expected_shape=(
+        "Adaptive total I/O makespan strictly below every static global "
+        "strategy (TD loses the query shard, GBU/LBU/NAIVE lose the "
+        "update shard)."
     ),
 ))
 _register(FigureDefinition(

@@ -68,6 +68,7 @@ from repro.durability.wal import (
     LogRecord,
     delete_record,
     insert_record,
+    set_strategy_record,
     update_record,
 )
 from repro.geometry import Point, Rect
@@ -81,6 +82,7 @@ from repro.storage import BufferPool, DiskManager, IOStatistics, PageLayout
 from repro.storage.serialization import NodeCodec
 from repro.summary import SummaryStructure
 from repro.update import UpdateOutcome, make_strategy
+from repro.update.factory import strategy_names, strategy_requires_parent_pointers
 from repro.update.base import BatchUpdate, UpdateStrategy
 from repro.update.batch import (
     BatchExecutor,
@@ -135,6 +137,7 @@ class MovingObjectIndex(SpatialIndexFacade):
             summary=self.summary,
             use_summary_for_queries=self.config.use_summary_for_queries,
         )
+        self.strategy.install()  # idempotent: construction already wired the state
         self.batch = BatchExecutor(
             self.tree,
             self.strategy,
@@ -142,6 +145,9 @@ class MovingObjectIndex(SpatialIndexFacade):
             buffer=self.buffer,
             stats=self.stats,
         )
+        #: The strategy currently live on this index.  ``config.strategy``
+        #: stays the *initial* strategy; :meth:`set_strategy` moves this.
+        self.active_strategy: str = self.config.strategy
         self._positions: Dict[int, Point] = {}
 
     # ------------------------------------------------------------------
@@ -181,6 +187,58 @@ class MovingObjectIndex(SpatialIndexFacade):
         self.buffer.capacity = BufferPool.capacity_for_percentage(
             percent, len(self.disk)
         )
+
+    # ------------------------------------------------------------------
+    # Strategy lifecycle (hot swap)
+    # ------------------------------------------------------------------
+    def set_strategy(self, name: str) -> str:
+        """Switch the live index to update strategy *name* without a rebuild.
+
+        The transition is in place: the old strategy's auxiliary state is
+        released through its ``uninstall()`` hook (GBU detaches the summary
+        observer, LBU stops parent-pointer maintenance) and the new
+        strategy's is installed (LBU backfills leaf parent pointers in one
+        tree sweep — those leaf writes are the switch's I/O cost; GBU builds
+        a fresh summary from the live tree, uncharged like any bootstrap).
+        The tree keeps its construction-time leaf capacity throughout — the
+        paper's one-slot parent-pointer charge models trees *built* for LBU.
+
+        ``config.strategy`` remains the initial strategy; the live choice is
+        :attr:`active_strategy`, which checkpoints round-trip.  Switching to
+        the already-active strategy is a no-op.  When a durability manager
+        is attached the switch is logged as its own commit unit, so recovery
+        replays the log tail into the strategy that was live.
+        """
+        key = name.upper()
+        if key not in strategy_names():
+            raise ValueError(
+                f"unknown strategy {name!r}; expected one of {strategy_names()}"
+            )
+        if key == self.active_strategy:
+            return key
+        self.strategy.uninstall()
+        self.summary = None
+        if strategy_requires_parent_pointers(key):
+            # The LBU constructor validates the flag, so it is raised before
+            # the strategy exists; install() then backfills the pointers.
+            self.tree.store_parent_pointers = True
+        self.strategy = make_strategy(
+            key,
+            self.tree,
+            params=self.config.params,
+            stats=self.stats,
+            hash_index=self.hash_index,
+            use_summary_for_queries=self.config.use_summary_for_queries,
+        )
+        self.strategy.install()
+        self.summary = getattr(self.strategy, "summary", None)
+        self.batch.strategy = self.strategy
+        self.active_strategy = key
+        if self.durability is not None:
+            self.durability.log_unit(
+                {SINGLE_SHARD: (set_strategy_record(key),)}, barrier=True
+            )
+        return key
 
     # ------------------------------------------------------------------
     # Data operations

@@ -58,6 +58,10 @@ def _index_document(index: MovingObjectIndex) -> Dict:
         # The embedded configuration IS the declarative builder spec's
         # ``config`` section (repro.api.builder) — one codec for both.
         "config": api_builder.config_to_spec(index.config),
+        # The live strategy: ``config.strategy`` is the *initial* choice,
+        # ``set_strategy`` may have moved the index since.  Restore re-enters
+        # the live strategy so the round trip preserves the running index.
+        "active_strategy": index.active_strategy,
         "tree": {
             "root_page_id": index.tree.root_page_id,
             "height": index.tree.height,
@@ -126,6 +130,15 @@ def _restore_index(document: Dict) -> MovingObjectIndex:
     for oid_text, (x, y) in document["positions"].items():
         index._positions.setdefault(int(oid_text), Point(x, y))
 
+    # Re-enter the strategy that was live at checkpoint time (a plain
+    # construction starts on ``config.strategy``).  The restored pages carry
+    # whatever parent pointers were installed, so an LBU re-entry's sweep
+    # finds them correct; the buffer/statistics reset below keeps the
+    # transition out of any measured phase.
+    active = document.get("active_strategy")
+    if active is not None and active != index.active_strategy:
+        index.set_strategy(active)
+
     index.configure_buffer()
     index.reset_statistics()
     return index
@@ -181,6 +194,11 @@ def save_index(index, path: Union[str, Path]) -> None:
             # Builder spec section plus the runtime counters, so a restored
             # index resumes the same policy with its rebalance history.
             document["rebalance"] = index.rebalancer.state_to_spec()
+        if index.adaptive is not None:
+            # Same shape: policy spec plus the switch counter.  The live
+            # per-shard strategies travel inside each shard document's
+            # ``active_strategy`` field, not here.
+            document["adaptive"] = index.adaptive.state_to_spec()
         if index.parallel_spec is not None:
             # Builder spec section: the restored index re-attaches the same
             # execution backend.
@@ -259,6 +277,14 @@ def load_index(path: Union[str, Path]):
 
             index.attach_rebalancer(
                 ShardRebalancer.from_spec(document["rebalance"], index.num_shards)
+            )
+        if document.get("adaptive"):
+            from repro.shard.adaptive import AdaptiveStrategyController
+
+            index.attach_adaptive(
+                AdaptiveStrategyController.from_spec(
+                    document["adaptive"], index.num_shards
+                )
             )
         if durability_spec:
             # Replay before the parallel backend attaches: replay writes

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import ClassVar, Dict, List, Sequence, Tuple
 
 from repro.rtree.tree import RTree
 
@@ -139,10 +139,10 @@ class BottomUpCostModel:
     use_direct_access_table: bool = True
 
     # I/O constants from the paper's case analysis.
-    COST_IN_PLACE = 3.0          # hash probe + leaf read + leaf write
-    COST_EXTEND = 4.0            # + parent read
-    COST_SIBLING = 6.0           # + sibling read/write
-    COST_ASCEND_WITH_TABLE = 7.0  # worst case with the direct access table
+    COST_IN_PLACE: ClassVar[float] = 3.0          # hash probe + leaf read + leaf write
+    COST_EXTEND: ClassVar[float] = 4.0            # + parent read
+    COST_SIBLING: ClassVar[float] = 6.0           # + sibling read/write
+    COST_ASCEND_WITH_TABLE: ClassVar[float] = 7.0  # worst case with the direct access table
 
     def probability_within_leaf(self, distance: float) -> float:
         """Probability the new position stays inside the leaf MBR.

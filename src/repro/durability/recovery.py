@@ -52,6 +52,7 @@ from repro.durability.wal import (
     KIND_MIGRATE_IN,
     KIND_MIGRATE_OUT,
     KIND_REPARTITION,
+    KIND_SET_STRATEGY,
     KIND_UPDATE,
     LogRecord,
     read_frames,
@@ -160,7 +161,12 @@ def replay_into(index: Any, directory: Union[str, Path]) -> RecoveryReport:
                     continue
                 report.records += 1
                 report.applied[record.kind] = report.applied.get(record.kind, 0) + 1
-                if record.kind in _ARRIVALS:
+                if record.kind == KIND_SET_STRATEGY:
+                    # Re-enter the strategy that was live when the records
+                    # after this one were written; the last switch in the
+                    # log leaves the shard on its at-crash strategy.
+                    sub.set_strategy(record.payload.decode("utf-8"))
+                elif record.kind in _ARRIVALS:
                     stale = owner.get(record.oid)
                     if stale is not None and stale != shard_id:
                         subs[stale].delete(record.oid)

@@ -21,6 +21,7 @@ delete    ``<Q oid>``             remove the object (no-op when absent)
 migr_in   ``<Q oid><d x><d y>``   shard-local half of a migration: arrive
 migr_out  ``<Q oid>``             shard-local half of a migration: depart
 repart    ``<I len><bytes json>`` install this partitioner spec (meta log)
+set_strat ``<I len><bytes name>`` switch the shard's live update strategy
 ========  ======================  ==========================================
 
 Two corruption classes are kept deliberately distinct:
@@ -68,6 +69,7 @@ KIND_DELETE = "delete"
 KIND_MIGRATE_IN = "migrate_in"
 KIND_MIGRATE_OUT = "migrate_out"
 KIND_REPARTITION = "repartition"
+KIND_SET_STRATEGY = "set_strategy"
 
 _KIND_CODES: Dict[str, int] = {
     KIND_INSERT: 1,
@@ -76,6 +78,7 @@ _KIND_CODES: Dict[str, int] = {
     KIND_MIGRATE_IN: 4,
     KIND_MIGRATE_OUT: 5,
     KIND_REPARTITION: 6,
+    KIND_SET_STRATEGY: 7,
 }
 _CODE_KINDS: Dict[int, str] = {code: kind for kind, code in _KIND_CODES.items()}
 
@@ -141,6 +144,16 @@ def repartition_record(spec: Dict[str, Any]) -> LogRecord:
     return LogRecord(
         KIND_REPARTITION, payload=json.dumps(spec, sort_keys=True).encode("utf-8")
     )
+
+
+def set_strategy_record(name: str) -> LogRecord:
+    """A live strategy switch on the logging shard (payload = strategy name).
+
+    Logged by ``set_strategy`` so recovery replays the log tail into the
+    strategy that was active when each subsequent record was written, and
+    recovers the shard with the strategy that was live at the crash.
+    """
+    return LogRecord(KIND_SET_STRATEGY, payload=name.upper().encode("utf-8"))
 
 
 # ----------------------------------------------------------------------
@@ -377,10 +390,12 @@ __all__ = [
     "migrate_in_record",
     "migrate_out_record",
     "repartition_record",
+    "set_strategy_record",
     "KIND_INSERT",
     "KIND_UPDATE",
     "KIND_DELETE",
     "KIND_MIGRATE_IN",
     "KIND_MIGRATE_OUT",
     "KIND_REPARTITION",
+    "KIND_SET_STRATEGY",
 ]

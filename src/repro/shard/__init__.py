@@ -18,6 +18,11 @@ across **spatial shards**.  This package provides:
   per-shard load monitoring, an imbalance trigger policy, a weighted
   boundary-adjustment planner, and conflict-scheduled migration batches
   that re-cut the partition under hotspot drift;
+* :mod:`repro.shard.adaptive` — the cost-model-driven
+  :class:`AdaptiveStrategyController`: observes each shard's update/query
+  mix, movement distances and buffer hit ratio, ranks the four update
+  strategies with the Section 4 cost models and hot-swaps any shard whose
+  workload favours a different one;
 * :mod:`repro.shard.parallel` — the pluggable shard-execution backends
   (``serial`` | ``thread`` | ``process``): the process backend runs each
   shard inside a long-lived worker process speaking a batched picklable
@@ -25,6 +30,12 @@ across **spatial shards**.  This package provides:
   counters while overlapping per-shard work.
 """
 
+from repro.shard.adaptive import (
+    AdaptiveStrategyController,
+    AdaptiveStrategyPolicy,
+    StrategyDecision,
+    strategy_costs,
+)
 from repro.shard.index import MigrationOperation, ShardedIndex
 from repro.shard.parallel import (
     BACKENDS,
@@ -53,6 +64,10 @@ from repro.shard.rebalance import (
 )
 
 __all__ = [
+    "AdaptiveStrategyController",
+    "AdaptiveStrategyPolicy",
+    "StrategyDecision",
+    "strategy_costs",
     "ShardedIndex",
     "MigrationOperation",
     "BACKENDS",

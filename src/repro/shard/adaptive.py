@@ -1,0 +1,377 @@
+"""Cost-model-driven per-shard update-strategy selection.
+
+The paper's Section 4 cost formulas say *when* each update strategy should
+win; a live sharded index can act on them.  This module closes that loop the
+same way :mod:`repro.shard.rebalance` closes the load-skew loop:
+
+* the :class:`~repro.shard.rebalance.ShardLoadMonitor` already counts every
+  routed operation per shard — :meth:`~repro.shard.rebalance.ShardLoadMonitor.update_query_mix`
+  turns the counters into the observed per-shard update/query mix;
+* :class:`AdaptiveStrategyPolicy` is the evidence/cooldown gate (the
+  :class:`~repro.shard.rebalance.RebalancePolicy` pattern: a minimum
+  evidence window before the first switch, a longer one between switches);
+* :class:`AdaptiveStrategyController` evaluates the Section 4 models —
+  :class:`~repro.cost.model.TopDownCostModel` and
+  :class:`~repro.cost.model.BottomUpCostModel` against the live
+  :class:`~repro.cost.model.TreeShape` of each shard — weighted by that
+  shard's observed mix, and proposes the cost-minimising strategy; the
+  sharded index executes the proposal through
+  :meth:`~repro.shard.index.ShardedIndex.set_strategy` (a hot swap, no
+  rebuild).
+
+The models give expected **node accesses**; what a deployment pays is
+**disk transfers**.  The controller bridges the two with each shard's
+observed buffer hit ratio: tree-page accesses are discounted by the hit
+ratio, while the secondary-index probe every bottom-up update issues is
+charged in full (the paper's Section 4.2 accounting — a hash probe is a
+disk read the buffer pool never absorbs).  This is exactly the trade-off
+the calibration benchmark measures: a shard whose working set is hot in
+the buffer favours top-down (its descents are nearly free, the probes are
+not), while a buffer-thrashing query-heavy shard favours GBU (the summary
+answers window queries from leaf accesses alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, ClassVar, Dict, List, Optional, Tuple
+
+from repro.cost.model import (
+    BottomUpCostModel,
+    TopDownCostModel,
+    TreeShape,
+    expected_query_node_accesses,
+    window_overlap_probability,
+)
+from repro.shard.rebalance import ShardLoadMonitor, UpdateQueryMix
+
+if TYPE_CHECKING:  # runtime-import free: shard.index imports this module
+    from repro.shard.index import ShardedIndex
+
+#: Query window edge assumed by the selection rule when ranking strategies
+#: (the paper's experiments use windows of about 1 % of the unit square).
+DEFAULT_QUERY_EXTENT = 0.1
+
+#: Movement distance assumed before a shard has reported any moves.
+DEFAULT_MOVE_DISTANCE = 0.05
+
+#: The candidate strategies, in the factory's canonical order (ties in the
+#: cost ranking resolve towards the front, after preferring the incumbent).
+CANDIDATE_STRATEGIES: Tuple[str, ...] = ("TD", "NAIVE", "LBU", "GBU")
+
+
+def leaf_level_query_accesses(
+    shape: TreeShape, query_width: float, query_height: float
+) -> float:
+    """Theorem 1 restricted to the leaf level.
+
+    A summary-guided window query (GBU with ``use_summary_for_queries``)
+    prunes internal levels in main memory and reads only the qualifying
+    leaves, so its expected node accesses are the leaf terms of the
+    Theorem 1 sum.
+    """
+    if not shape.node_extents:
+        return 0.0
+    return sum(
+        window_overlap_probability(width, height, query_width, query_height)
+        for width, height in shape.node_extents[0]
+    )
+
+
+def strategy_costs(
+    shape: TreeShape,
+    mix: UpdateQueryMix,
+    *,
+    miss_ratio: float,
+    distance: float,
+    query_extent: float = DEFAULT_QUERY_EXTENT,
+    use_summary_for_queries: bool = True,
+    charge_hash_io: bool = True,
+    epsilon: float = 0.003,
+) -> Dict[str, float]:
+    """Expected disk transfers of the observed mix under each strategy.
+
+    Per-operation costs come from the Section 4 models; tree-page accesses
+    are scaled by *miss_ratio* (the shard's observed buffer miss fraction),
+    while bottom-up hash probes are charged in full when *charge_hash_io*
+    is set — the probe bypasses the buffer pool.  The returned mapping has
+    one non-negative total per candidate strategy.
+    """
+    miss = max(0.0, min(1.0, miss_ratio))
+    probe = 1.0 if charge_hash_io else 0.0
+
+    query_plain = expected_query_node_accesses(shape, query_extent, query_extent)
+    query_summary = leaf_level_query_accesses(shape, query_extent, query_extent)
+
+    top_down = TopDownCostModel(shape)
+    update_td = top_down.update_cost()
+
+    # The bottom-up constants fold the hash probe into COST_IN_PLACE (probe +
+    # leaf read + leaf write); peel it off so it can be charged unbuffered.
+    localized = BottomUpCostModel(
+        shape, epsilon=epsilon, use_direct_access_table=False
+    )
+    generalized = BottomUpCostModel(
+        shape, epsilon=epsilon, use_direct_access_table=True
+    )
+    update_lbu_tree = max(0.0, localized.update_cost(distance) - 1.0)
+    update_gbu_tree = max(0.0, generalized.update_cost(distance) - 1.0)
+
+    # NAIVE (Section 3.1 strawman): probe + leaf read, update in place when
+    # the leaf MBR still covers the new position, otherwise fall back to a
+    # full top-down update with the probe and read wasted.
+    p_in_place = generalized.probability_within_leaf(distance)
+    update_naive_tree = 1.0 + p_in_place * 1.0 + (1.0 - p_in_place) * update_td
+
+    per_update = {
+        "TD": update_td * miss,
+        "NAIVE": probe + update_naive_tree * miss,
+        "LBU": probe + update_lbu_tree * miss,
+        "GBU": probe + update_gbu_tree * miss,
+    }
+    per_query = {
+        "TD": query_plain * miss,
+        "NAIVE": query_plain * miss,
+        "LBU": query_plain * miss,
+        "GBU": (query_summary if use_summary_for_queries else query_plain) * miss,
+    }
+    return {
+        name: mix.updates * per_update[name] + mix.queries * per_query[name]
+        for name in CANDIDATE_STRATEGIES
+    }
+
+
+@dataclass
+class AdaptiveStrategyPolicy:
+    """When a shard's observed mix is evidence enough to switch strategy.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; a disabled policy never proposes a change (the
+        controller still monitors, so flipping it on acts immediately).
+    cooldown:
+        Minimum recorded operations on a shard between consecutive switches
+        of that shard, so a fresh strategy gets time to prove itself.
+    min_ops:
+        Minimum recorded operations on a shard before its *first* switch;
+        prevents a handful of early operations from being read as a trend.
+    """
+
+    enabled: bool = True
+    cooldown: int = 400
+    min_ops: int = 128
+
+    def __post_init__(self) -> None:
+        if self.cooldown < 0 or self.min_ops < 0:
+            raise ValueError("cooldown and min_ops must be non-negative")
+
+    def evidence_required(self, switches: int) -> int:
+        """Operations a shard needs in its window before a switch is considered."""
+        return self.min_ops if switches == 0 else max(self.min_ops, self.cooldown)
+
+    def to_spec(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-safe), the ``adaptive`` builder spec section."""
+        return {
+            "enabled": self.enabled,
+            "cooldown": self.cooldown,
+            "min_ops": self.min_ops,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "AdaptiveStrategyPolicy":
+        """Rebuild a policy from its (possibly partial) spec dict."""
+        known = {"enabled", "cooldown", "min_ops"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(f"unknown adaptive spec keys {sorted(unknown)!r}")
+        return cls(
+            enabled=bool(spec.get("enabled", cls.enabled)),
+            cooldown=int(spec.get("cooldown", cls.cooldown)),
+            min_ops=int(spec.get("min_ops", cls.min_ops)),
+        )
+
+
+@dataclass(frozen=True)
+class StrategyDecision:
+    """One shard's proposed strategy switch, with the ranking that chose it."""
+
+    shard_id: int
+    strategy: str
+    current: str
+    costs: Dict[str, float] = field(compare=False)
+
+    def describe(self) -> str:
+        ranking = ", ".join(
+            f"{name}={self.costs[name]:.0f}"
+            for name in sorted(self.costs, key=lambda key: self.costs[key])
+        )
+        return (
+            f"shard {self.shard_id}: {self.current} -> {self.strategy} ({ranking})"
+        )
+
+
+class AdaptiveStrategyController:
+    """Feedback loop: observe each shard's mix, switch it to the cheapest strategy.
+
+    Attach to a :class:`~repro.shard.index.ShardedIndex` (the ``adaptive``
+    spec section of :func:`repro.api.open_index` does this declaratively).
+    Once attached, the index records every routed operation into the
+    monitor; the auto-trigger hooks — the engine's maintenance interleave
+    for live sessions, the batch epilogue for serial batches — call
+    :meth:`~repro.shard.index.ShardedIndex.auto_adapt`, which executes the
+    :meth:`decide` proposals as hot swaps.  ``switches`` counts completed
+    switches across all shards and survives checkpoints
+    (:meth:`state_to_spec`).
+    """
+
+    #: Candidate strategies, re-exported for callers.
+    CANDIDATES: ClassVar[Tuple[str, ...]] = CANDIDATE_STRATEGIES
+
+    def __init__(
+        self,
+        num_shards: int,
+        policy: Optional[AdaptiveStrategyPolicy] = None,
+        switches: int = 0,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.policy = policy if policy is not None else AdaptiveStrategyPolicy()
+        self.monitor = ShardLoadMonitor(num_shards)
+        self.switches = switches
+        self.query_extent = DEFAULT_QUERY_EXTENT
+        self._shard_switches: List[int] = [0] * num_shards
+        self._move_distance: List[float] = [0.0] * num_shards
+        self._moves: List[int] = [0] * num_shards
+
+    # -- observation -----------------------------------------------------
+    def record_move(self, shard_id: int, distance: float) -> None:
+        """Fold one observed object movement distance into the shard's window."""
+        if distance < 0:
+            return
+        self._move_distance[shard_id] += distance
+        self._moves[shard_id] += 1
+
+    def observed_distance(self, shard_id: int) -> float:
+        """Mean movement distance observed on the shard (default when idle)."""
+        if self._moves[shard_id] == 0:
+            return DEFAULT_MOVE_DISTANCE
+        return self._move_distance[shard_id] / self._moves[shard_id]
+
+    @staticmethod
+    def miss_ratio(shard: Any) -> float:
+        """The shard's observed buffer miss fraction (1.0 before any reads)."""
+        stats = shard.stats
+        logical = stats.logical_reads
+        if logical <= 0:
+            return 1.0
+        return max(0.0, min(1.0, 1.0 - stats.buffer_hits / logical))
+
+    # -- trigger ---------------------------------------------------------
+    def should_adapt(self, sharded: "ShardedIndex") -> bool:
+        """Cheap gate: has any shard accumulated enough evidence to rank?
+
+        Polled from the same places as
+        :meth:`~repro.shard.rebalance.ShardRebalancer.should_rebalance`;
+        the tree-shape measurement in :meth:`decide` is only worth paying
+        once a switch is possible at all.
+        """
+        if not self.policy.enabled:
+            return False
+        return any(
+            mix.total >= self.policy.evidence_required(self._shard_switches[i])
+            for i, mix in enumerate(self.monitor.update_query_mix())
+        )
+
+    # -- selection -------------------------------------------------------
+    def decide(self, sharded: "ShardedIndex") -> List[StrategyDecision]:
+        """Rank the candidates per shard; propose every beneficial switch.
+
+        A shard is considered once its window holds
+        :meth:`AdaptiveStrategyPolicy.evidence_required` operations.  The
+        incumbent strategy wins ties, so an idle ranking never churns.
+        """
+        decisions: List[StrategyDecision] = []
+        if not self.policy.enabled:
+            return decisions
+        mixes = self.monitor.update_query_mix()
+        for shard_id, shard in enumerate(sharded.shards):
+            mix = mixes[shard_id]
+            required = self.policy.evidence_required(self._shard_switches[shard_id])
+            if mix.total < required:
+                continue
+            shape = TreeShape.from_tree(shard.tree)
+            if not shape.node_extents or not shape.node_extents[0]:
+                continue  # empty shard: nothing to rank
+            costs = strategy_costs(
+                shape,
+                mix,
+                miss_ratio=self.miss_ratio(shard),
+                distance=self.observed_distance(shard_id),
+                query_extent=self.query_extent,
+                use_summary_for_queries=shard.config.use_summary_for_queries,
+                charge_hash_io=shard.config.charge_hash_io,
+                epsilon=shard.config.params.epsilon,
+            )
+            current = str(shard.active_strategy)
+            winner = min(
+                CANDIDATE_STRATEGIES,
+                key=lambda name: (costs[name], name != current),
+            )
+            if winner != current:
+                decisions.append(
+                    StrategyDecision(
+                        shard_id=shard_id,
+                        strategy=winner,
+                        current=current,
+                        costs=costs,
+                    )
+                )
+        return decisions
+
+    # -- bookkeeping -----------------------------------------------------
+    def committed(self, shard_id: int) -> None:
+        """Record a completed switch and restart that shard's evidence window."""
+        self.switches += 1
+        self._shard_switches[shard_id] += 1
+        self.monitor.updates[shard_id] = 0
+        self.monitor.queries[shard_id] = 0
+        self.monitor.physical_io[shard_id] = 0
+        self._move_distance[shard_id] = 0.0
+        self._moves[shard_id] = 0
+
+    # -- persistence -----------------------------------------------------
+    def to_spec(self) -> Dict[str, Any]:
+        """The declarative (policy-only) spec section, JSON-round-trippable."""
+        return self.policy.to_spec()
+
+    def state_to_spec(self) -> Dict[str, Any]:
+        """Checkpoint form: the policy spec plus the runtime counters."""
+        spec = self.to_spec()
+        spec["switches"] = self.switches
+        return spec
+
+    @classmethod
+    def from_spec(
+        cls, spec: Dict[str, Any], num_shards: int
+    ) -> "AdaptiveStrategyController":
+        """Rebuild a controller from a policy spec or a checkpointed state spec."""
+        data = dict(spec)
+        switches = int(data.pop("switches", 0))
+        return cls(
+            num_shards,
+            policy=AdaptiveStrategyPolicy.from_spec(data),
+            switches=switches,
+        )
+
+
+__all__ = [
+    "AdaptiveStrategyController",
+    "AdaptiveStrategyPolicy",
+    "CANDIDATE_STRATEGIES",
+    "DEFAULT_MOVE_DISTANCE",
+    "DEFAULT_QUERY_EXTENT",
+    "StrategyDecision",
+    "leaf_level_query_accesses",
+    "strategy_costs",
+]

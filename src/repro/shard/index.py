@@ -64,10 +64,12 @@ from repro.durability.wal import (
     insert_record,
     migrate_in_record,
     migrate_out_record,
+    set_strategy_record,
     update_record,
 )
 from repro.geometry import Point, Rect
 from repro.shard import parallel as shard_parallel
+from repro.shard.adaptive import AdaptiveStrategyController
 from repro.shard.partitioner import GridPartitioner, Partitioner
 from repro.shard.rebalance import (
     RebalanceGroupMigration,
@@ -185,6 +187,12 @@ class ShardedIndex(SpatialIndexFacade):
         #: every routed operation is recorded into its load monitor and the
         #: batch/engine paths auto-trigger boundary adjustments.
         self.rebalancer: Optional[ShardRebalancer] = None
+        #: Optional adaptive strategy controller (attached via
+        #: :meth:`attach_adaptive` or the declarative ``adaptive`` spec
+        #: section).  When present, every routed operation is recorded into
+        #: its monitor and the batch/engine paths auto-trigger per-shard
+        #: strategy switches.
+        self.adaptive: Optional[AdaptiveStrategyController] = None
         #: True while a rebalance migration executes: the rebalancer's own
         #: traffic must not land in the load monitor's evidence window, or a
         #: re-cut displacing more than ``cooldown`` objects would re-satisfy
@@ -451,13 +459,61 @@ class ShardedIndex(SpatialIndexFacade):
         if rebalancer is not None:
             rebalancer.monitor.reset(self.shards)
 
+    def attach_adaptive(
+        self, adaptive: Optional[AdaptiveStrategyController]
+    ) -> None:
+        """Install (or remove, with ``None``) the adaptive strategy controller.
+
+        Once attached, every routed operation is recorded into the
+        controller's per-shard monitor, and the auto-trigger hooks — the
+        engine's maintenance interleave for live sessions, the batch
+        epilogues for serial batches — execute its cost-model proposals as
+        hot strategy swaps (:meth:`auto_adapt`).
+        """
+        self.adaptive = adaptive
+        if adaptive is not None:
+            adaptive.monitor.reset(self.shards)
+
     def _record_update(self, shard_id: int, count: int = 1) -> None:
-        if self.rebalancer is not None and not self._suppress_load_recording:
+        if self._suppress_load_recording:
+            return
+        if self.rebalancer is not None:
             self.rebalancer.monitor.record_update(shard_id, count)
+        if self.adaptive is not None:
+            self.adaptive.monitor.record_update(shard_id, count)
 
     def _record_query(self, shard_id: int, count: int = 1) -> None:
-        if self.rebalancer is not None and not self._suppress_load_recording:
+        if self._suppress_load_recording:
+            return
+        if self.rebalancer is not None:
             self.rebalancer.monitor.record_query(shard_id, count)
+        if self.adaptive is not None:
+            self.adaptive.monitor.record_query(shard_id, count)
+
+    def _record_move(
+        self, shard_id: int, old_location: Optional[Point], new_location: Point
+    ) -> None:
+        """Feed an observed movement distance to the adaptive controller."""
+        if (
+            self.adaptive is None
+            or self._suppress_load_recording
+            or old_location is None
+        ):
+            return
+        self.adaptive.record_move(
+            shard_id, old_location.distance_to(new_location)
+        )
+
+    def _record_batch_moves(
+        self, shard_id: int, requests: List[BatchUpdate]
+    ) -> None:
+        """Feed a routed in-shard bucket's movement distances to the controller."""
+        if self.adaptive is None or self._suppress_load_recording:
+            return
+        for request in requests:
+            self._record_move(
+                shard_id, request.old_location, request.new_location
+            )
 
     def reroute(self, oid: int) -> bool:
         """Migrate *oid* to the shard its *current* position routes to.
@@ -808,6 +864,79 @@ class ShardedIndex(SpatialIndexFacade):
             return None
         return self.rebalance()
 
+    # ------------------------------------------------------------------
+    # Update strategies (hot swap + adaptive selection)
+    # ------------------------------------------------------------------
+    def active_strategies(self) -> List[str]:
+        """The live update strategy of every shard (may be heterogeneous)."""
+        return [shard.active_strategy for shard in self.shards]
+
+    def set_strategy(self, name: str, shard_id: Optional[int] = None) -> str:
+        """Hot-swap the update strategy of one shard (or, default, all).
+
+        The swap happens where the authoritative tree lives: in-process on
+        the serial path, through a :class:`~repro.shard.parallel.SetStrategy`
+        command under a backend (the process backend's coordinator mirror
+        tracks the active-strategy metadata; mirror trees stay untouched —
+        they are replaced wholesale on detach).  With a durability manager
+        attached, an actual change is logged to that shard's WAL as its own
+        fsynced commit unit, so recovery replays the log tail into the
+        strategy that was live.
+        """
+        key = name.upper()
+        if shard_id is None:
+            for sid in range(self.num_shards):
+                self.set_strategy(key, sid)
+            return key
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(
+                f"shard_id {shard_id} out of range for {self.num_shards} shards"
+            )
+        previous = self.shards[shard_id].active_strategy
+        if self._backend is None:
+            key = self.shards[shard_id].set_strategy(key)
+        else:
+            key = self._dispatch_one(
+                shard_id, shard_parallel.SetStrategy(key)
+            )
+            if self._backend.remote:
+                # Metadata mirror only: under the process backend the local
+                # shard objects are not executing operations, but describe()
+                # / active_strategies() / checkpoints must see the live
+                # choice without a worker round trip.
+                self.shards[shard_id].active_strategy = key
+        if key != previous and self.durability is not None:
+            self.durability.log_unit(
+                {shard_id: (set_strategy_record(key),)}, barrier=True
+            )
+        return key
+
+    def auto_adapt(self) -> int:
+        """Policy-gated adaptive strategy switching; returns switches made.
+
+        Called by the same hooks as :meth:`auto_rebalance`.  Skipped under
+        the process backend: the controller ranks strategies against the
+        authoritative trees, which live in the workers there (explicit
+        :meth:`set_strategy` calls still propagate).
+        """
+        adaptive = self.adaptive
+        if adaptive is None:
+            return 0
+        if self._backend is not None and self._backend.remote:
+            return 0
+        if not adaptive.should_adapt(self):
+            return 0
+        decisions = adaptive.decide(self)
+        for decision in decisions:
+            # The swap itself (an LBU entry sweeps leaf parent pointers) is
+            # maintenance, not client load — shield the monitors the same
+            # way rebalance migrations are shielded.
+            self._unrecorded_migration(
+                lambda d=decision: self.set_strategy(d.strategy, d.shard_id)
+            )
+            adaptive.committed(decision.shard_id)
+        return len(decisions)
+
     def maintenance_operations(self, engine) -> List[VirtualOperation]:
         """Engine SPI: inject rebalance migrations into a live schedule.
 
@@ -824,6 +953,11 @@ class ShardedIndex(SpatialIndexFacade):
             # lock schedule; rebalancing under the process backend runs
             # through :meth:`rebalance` instead.
             return []
+        # Strategy switches are coordinator-local and instantaneous in
+        # virtual time — executed inline at the same maintenance point the
+        # rebalancer uses (between operation draws; lock scopes are
+        # recomputed from the live strategies on every dispatch attempt).
+        self.auto_adapt()
         rebalancer = self.rebalancer
         if rebalancer is None:
             return []
@@ -971,6 +1105,8 @@ class ShardedIndex(SpatialIndexFacade):
         target = self.partitioner.shard_of(new_location)
         if target == source:
             self._record_update(source)
+            if self.adaptive is not None:
+                self._record_move(source, self.position_of(oid), new_location)
             outcome = self._shard_update(source, oid, new_location)
             if self.durability is not None:
                 self.durability.log_record(
@@ -1195,6 +1331,7 @@ class ShardedIndex(SpatialIndexFacade):
         self._flush_updates(run, result)
         self._merge_io_delta(result, before)
         self.auto_rebalance()
+        self.auto_adapt()
         return result
 
     def _execute_batch(self, ops: List[BatchUpdate]) -> BatchResult:
@@ -1203,6 +1340,7 @@ class ShardedIndex(SpatialIndexFacade):
         self._flush_updates(list(ops), result)
         self._merge_io_delta(result, before)
         self.auto_rebalance()
+        self.auto_adapt()
         return result
 
     def _flush_updates(self, run: List[BatchUpdate], result: BatchResult) -> None:
@@ -1227,6 +1365,7 @@ class ShardedIndex(SpatialIndexFacade):
             # executes the identical pre-commit + group-by-leaf step.
             for shard_id, requests in per_shard.items():
                 self._record_update(shard_id, len(requests))
+                self._record_batch_moves(shard_id, requests)
             if self._backend.remote:
                 for shard_id, requests in per_shard.items():
                     mirror = self.shards[shard_id]._positions
@@ -1250,6 +1389,7 @@ class ShardedIndex(SpatialIndexFacade):
         for shard_id, requests in per_shard.items():
             shard = self.shards[shard_id]
             self._record_update(shard_id, len(requests))
+            self._record_batch_moves(shard_id, requests)
             for request in requests:
                 shard._positions[request.oid] = request.new_location
             sub = shard.batch.execute(requests)
@@ -1475,6 +1615,7 @@ class ShardedIndex(SpatialIndexFacade):
         for shard_id, requests in per_shard.items():
             shard = self.shards[shard_id]
             self._record_update(shard_id, len(requests))
+            self._record_batch_moves(shard_id, requests)
             plan = shard.batch.plan(requests)
             for bucket in plan.buckets.values():
                 for request in bucket:
@@ -1507,6 +1648,7 @@ class ShardedIndex(SpatialIndexFacade):
             # pre-committed position is applied, so a boundary adjustment is
             # planned against consistent state.
             self.auto_rebalance()
+            self.auto_adapt()
 
         return PreparedBatch(operations=operations, result=result, finalize=finalize)
 
@@ -1547,6 +1689,8 @@ class ShardedIndex(SpatialIndexFacade):
         self.migrations = 0
         if self.rebalancer is not None:
             self.rebalancer.monitor.reset(self.shards)
+        if self.adaptive is not None:
+            self.adaptive.monitor.reset(self.shards)
 
     def io_snapshot(self) -> IOStatistics:
         """The shards' I/O counters merged into one aggregate snapshot."""
@@ -1628,6 +1772,11 @@ class ShardedIndex(SpatialIndexFacade):
         )
         if self.rebalancer is not None:
             text += f" rebalances={self.rebalancer.rebalances}"
+        if self.adaptive is not None:
+            text += (
+                f" strategies={self.active_strategies()} "
+                f"switches={self.adaptive.switches}"
+            )
         if self._backend is not None:
             text += f" parallel={self._backend.describe()}"
         return text

@@ -182,6 +182,13 @@ class RefreshSummary:
 
 
 @dataclass(frozen=True)
+class SetStrategy:
+    """Hot-swap the shard's update strategy in place; returns the new name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
 class Checkpoint:
     """Return the shard's full checkpoint document (page images + config)."""
 
@@ -282,6 +289,8 @@ def execute_command(shard, command: Command) -> Any:
     if isinstance(command, RefreshSummary):
         shard.refresh_summary()
         return None
+    if isinstance(command, SetStrategy):
+        return shard.set_strategy(command.name)
     if isinstance(command, Checkpoint):
         from repro.core.persistence import _index_document
 
@@ -668,6 +677,7 @@ __all__ = [
     "RefreshSummary",
     "ResetStats",
     "SetIOLatency",
+    "SetStrategy",
     "ShardBackend",
     "ThreadBackend",
     "Update",

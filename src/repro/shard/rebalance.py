@@ -75,6 +75,35 @@ class _IOSource(Protocol):
     def total_physical_io(self) -> int: ...
 
 
+@dataclass(frozen=True)
+class UpdateQueryMix:
+    """One shard's observed operation mix since the last monitor reset.
+
+    The consumer-facing view of the raw update/query counters: the adaptive
+    strategy controller weights its cost-model comparison by this mix, and
+    callers no longer re-derive ratios (with their own zero-total guards)
+    from the counter lists.
+    """
+
+    updates: int
+    queries: int
+
+    @property
+    def total(self) -> int:
+        """Recorded operations on the shard (updates + query visits)."""
+        return self.updates + self.queries
+
+    @property
+    def update_fraction(self) -> float:
+        """Updates as a fraction of the total (0.0 on an idle shard)."""
+        return self.updates / self.total if self.total else 0.0
+
+    @property
+    def query_fraction(self) -> float:
+        """Query visits as a fraction of the total (0.0 on an idle shard)."""
+        return self.queries / self.total if self.total else 0.0
+
+
 # ---------------------------------------------------------------------------
 # Load monitoring
 # ---------------------------------------------------------------------------
@@ -139,6 +168,13 @@ class ShardLoadMonitor:
     def total_operations(self) -> int:
         """Recorded operations (updates + query visits) since the last reset."""
         return sum(self.updates) + sum(self.queries)
+
+    def update_query_mix(self) -> List[UpdateQueryMix]:
+        """Per-shard observed mix (ratio + totals) since the last reset."""
+        return [
+            UpdateQueryMix(updates=self.updates[i], queries=self.queries[i])
+            for i in range(self.num_shards)
+        ]
 
     def imbalance(self) -> float:
         """Max/mean of the per-shard loads (1.0 = balanced, also when idle)."""
@@ -595,5 +631,6 @@ __all__ = [
     "RebalanceReport",
     "ShardLoadMonitor",
     "ShardRebalancer",
+    "UpdateQueryMix",
     "plan_boundaries",
 ]

@@ -66,6 +66,29 @@ class UpdateStrategy:
         self.update_count = 0
 
     # ------------------------------------------------------------------
+    # Lifecycle (hot swap — repro.core.index.MovingObjectIndex.set_strategy)
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Install the strategy's auxiliary state on the live tree.
+
+        Called once after construction, both at index build time and when a
+        live index switches to this strategy.  Implementations must be
+        idempotent: the auxiliary state may already be present (a tree built
+        for this strategy from the start, or a checkpoint restore).  The base
+        strategies own no auxiliary state; LBU backfills leaf parent
+        pointers, GBU attaches its summary structure as a tree observer.
+        """
+
+    def uninstall(self) -> None:
+        """Release the strategy's auxiliary state from the live tree.
+
+        Called when a live index switches *away* from this strategy.  After
+        uninstall the tree must behave as if the strategy had never been
+        active: LBU stops parent-pointer maintenance, GBU detaches its
+        summary observer.
+        """
+
+    # ------------------------------------------------------------------
     # API
     # ------------------------------------------------------------------
     def update(self, oid: int, old_location: Point, new_location: Point) -> UpdateOutcome:

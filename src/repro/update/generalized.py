@@ -65,6 +65,26 @@ class GeneralizedBottomUpUpdate(UpdateStrategy):
         self.use_summary_for_queries = use_summary_for_queries
 
     # ------------------------------------------------------------------
+    # Lifecycle (hot swap)
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Attach the summary structure to the live tree.
+
+        ``SummaryStructure.build_from_tree`` already rebuilds and registers
+        the summary when the factory created it, so the common paths find it
+        attached and do nothing.  A summary handed in detached (a restored
+        checkpoint, a re-install after uninstall) is rebuilt from the live
+        tree before registering — it must reflect the tree as of *now*.
+        """
+        if self.summary not in self.tree.observers:
+            self.summary.rebuild_from_tree()
+            self.tree.register_observer(self.summary)
+
+    def uninstall(self) -> None:
+        """Detach the summary observer; the structure is dropped with the strategy."""
+        self.tree.unregister_observer(self.summary)
+
+    # ------------------------------------------------------------------
     # Queries (summary-assisted, Section 3.2)
     # ------------------------------------------------------------------
     def range_query(self, window: Rect) -> List[int]:

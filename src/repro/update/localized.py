@@ -56,6 +56,35 @@ class LocalizedBottomUpUpdate(UpdateStrategy):
         self.params = params if params is not None else TuningParameters.paper_defaults()
 
     # ------------------------------------------------------------------
+    # Lifecycle (hot swap)
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Backfill leaf parent pointers with one tree sweep.
+
+        A tree that was *built* for LBU already maintains the pointers, so
+        the sweep finds every leaf correct and writes nothing.  A live index
+        switching into LBU arrives with stale (or absent) pointers: each
+        stale leaf is rewritten once, and those leaf writes are charged —
+        they are the I/O cost of the switch.  The tree keeps its
+        construction-time leaf capacity either way: the paper's one-slot
+        parent-pointer charge models trees built for LBU, not a live switch.
+        """
+        self.tree.store_parent_pointers = True
+        for node, parent_page_id in self.tree.iter_nodes():
+            if node.level == 0 and node.parent_page_id != parent_page_id:
+                node.parent_page_id = parent_page_id
+                self.tree.write_node(node)
+
+    def uninstall(self) -> None:
+        """Stop parent-pointer maintenance.
+
+        The pointers already written stay in the pages (they are ignored,
+        and validation only checks them while the flag is on); a later
+        switch back into LBU re-sweeps whatever went stale in between.
+        """
+        self.tree.store_parent_pointers = False
+
+    # ------------------------------------------------------------------
     # Algorithm 1
     # ------------------------------------------------------------------
     def _update(self, oid: int, old_location: Point, new_location: Point) -> UpdateOutcome:

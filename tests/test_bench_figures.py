@@ -161,6 +161,23 @@ class TestBatchThroughputFigure:
             assert row.extras["speedup"] > 1.0
 
 
+class TestAdaptiveStrategyFigure:
+    def test_adaptive_strictly_beats_every_static_strategy(self):
+        """Acceptance criterion of the adaptive-strategy PR: the adaptive
+        configuration's total I/O makespan — switch cost included, starting
+        from a strategy that wins neither shard — is strictly below every
+        static global strategy's on the mixed two-shard workload."""
+        rows = get_figure("adaptive_strategy").run(scale=TINY, seed=5)
+        makespan = {row.x_value: row.extras["makespan"] for row in rows}
+        switches = {row.x_value: row.extras["switches"] for row in rows}
+        assert set(makespan) == {"TD", "NAIVE", "LBU", "GBU", "adaptive"}
+        for static in ("TD", "NAIVE", "LBU", "GBU"):
+            assert makespan["adaptive"] < makespan[static], static
+            assert switches[static] == 0
+        # Both shards adapted away from the NAIVE start.
+        assert switches["adaptive"] >= 2
+
+
 class TestRebalanceHotspotFigure:
     def test_rebalancer_beats_the_static_grid_and_nears_uniform(self):
         """Acceptance criterion of the rebalancing PR: with the rebalancer

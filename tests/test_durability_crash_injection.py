@@ -35,6 +35,7 @@ from repro.durability.wal import (
     KIND_INSERT,
     KIND_MIGRATE_IN,
     KIND_MIGRATE_OUT,
+    KIND_SET_STRATEGY,
     KIND_UPDATE,
 )
 from repro.geometry import Point, Rect
@@ -333,6 +334,167 @@ class TestShardedCrashPoints:
             # Placement matches the reference replay too: a half-replayed
             # migration must land the object on the arrival shard.
             assert recovered._shard_of == expected_owner
+            recovered.detach_durability()
+
+
+def switch_frame_index(log, pre_ops):
+    """The frame index of the strategy-switch record, asserted in position."""
+    frames = list(read_frames(log))
+    switch_at = next(
+        i
+        for i, (_lsn, records) in enumerate(frames)
+        if any(record.kind == KIND_SET_STRATEGY for record in records)
+    )
+    assert switch_at == pre_ops, "one frame per op, then the switch frame"
+    return switch_at
+
+
+class TestStrategySwitchCrashPoints:
+    """The strategy-switch WAL frame: cuts at and around it must recover the
+    strategy that was live at the cut — pre-switch before the frame survives
+    intact (including a torn switch frame), post-switch from the frame on."""
+
+    def test_cuts_at_and_around_the_switch_frame(self, tmp_path):
+        rng = random.Random(17)
+        index = open_index(
+            {
+                "config": {"strategy": "TD"},
+                "durability": {"dir": str(tmp_path / "wal"), "sync": "none"},
+            }
+        )
+        index.load(
+            [(oid, Point(rng.random(), rng.random())) for oid in range(60)]
+        )
+        baseline = {oid: index.position_of(oid) for oid in range(60)}
+        pre = [
+            ("update", oid, Point(rng.random(), rng.random()))
+            for oid in rng.sample(range(60), 8)
+        ]
+        post = [
+            ("update", oid, Point(rng.random(), rng.random()))
+            for oid in rng.sample(range(60), 8)
+        ]
+        for _kind, oid, position in pre:
+            index.update(oid, position)
+        index.set_strategy("GBU")
+        for _kind, oid, position in post:
+            index.update(oid, position)
+        index.durability.flush()
+        index.detach_durability()
+
+        log = shard_log_paths(tmp_path / "wal")[0]
+        offsets = frame_boundaries(log)
+        switch_at = switch_frame_index(log, len(pre))
+        assert len(offsets) - 1 == len(pre) + 1 + len(post)
+
+        mid_switch = (offsets[switch_at] + offsets[switch_at + 1]) // 2
+        cases = [
+            (offsets[-1], "GBU", pre + post),  # whole log
+            (offsets[switch_at + 2], "GBU", pre + post[:1]),
+            (offsets[switch_at + 1], "GBU", pre),  # switch is the last frame
+            (mid_switch, "TD", pre),  # torn switch frame: switch never happened
+            (offsets[switch_at], "TD", pre),
+            (offsets[max(0, switch_at - 1)], "TD", pre[:-1]),
+        ]
+        for cut_at, expected_strategy, intact in sorted(cases, reverse=True):
+            with open(log, "r+b") as handle:
+                handle.truncate(cut_at)
+            recovered = load_index(tmp_path / "wal" / "checkpoint.json")
+            assert recovered.active_strategy == expected_strategy, cut_at
+            assert recovered.config.strategy == "TD"
+            assert_recovered_state(
+                recovered, apply_script(dict(baseline), intact)
+            )
+            recovered.detach_durability()
+
+    def test_cut_between_two_switches_recovers_the_middle_strategy(
+        self, tmp_path
+    ):
+        rng = random.Random(23)
+        index = open_index(
+            {
+                "config": {"strategy": "TD"},
+                "durability": {"dir": str(tmp_path / "wal"), "sync": "none"},
+            }
+        )
+        index.load(
+            [(oid, Point(rng.random(), rng.random())) for oid in range(40)]
+        )
+        index.set_strategy("GBU")
+        for oid in range(5):
+            index.update(oid, Point(rng.random(), rng.random()))
+        index.set_strategy("LBU")
+        index.durability.flush()
+        index.detach_durability()
+
+        log = shard_log_paths(tmp_path / "wal")[0]
+        offsets = frame_boundaries(log)
+        # Frames: switch, 5 updates, switch.  Cut after the updates.
+        with open(log, "r+b") as handle:
+            handle.truncate(offsets[6])
+        recovered = load_index(tmp_path / "wal" / "checkpoint.json")
+        assert recovered.active_strategy == "GBU"
+        recovered.validate()
+        recovered.detach_durability()
+
+    def test_sharded_per_shard_switch_frame_truncation(self, tmp_path):
+        rng = random.Random(31)
+        index = open_index(
+            {
+                "kind": "sharded",
+                "shards": 2,
+                "config": {"strategy": "NAIVE"},
+                "durability": {"dir": str(tmp_path / "wal"), "sync": "none"},
+            }
+        )
+        index.load(
+            [(oid, Point(rng.random(), rng.random())) for oid in range(80)]
+        )
+        baseline = {oid: index.position_of(oid) for oid in range(80)}
+        local = sorted(
+            oid for oid, sid in index._shard_of.items() if sid == 1
+        )[:12]
+
+        def move_within_shard_1(oid):
+            while True:
+                position = Point(rng.random(), rng.random())
+                if index.partitioner.shard_of(position) == 1:
+                    return ("update", oid, position)
+
+        pre = [move_within_shard_1(oid) for oid in local[:6]]
+        post = [move_within_shard_1(oid) for oid in local[6:]]
+        for _kind, oid, position in pre:
+            index.update(oid, position)
+        index.set_strategy("LBU", shard_id=1)
+        for _kind, oid, position in post:
+            index.update(oid, position)
+        index.durability.flush()
+        index.detach_durability()
+
+        victim = shard_log_paths(tmp_path / "wal")[1]
+        offsets = frame_boundaries(victim)
+        switch_at = switch_frame_index(victim, len(pre))
+
+        mid_switch = (offsets[switch_at] + offsets[switch_at + 1]) // 2
+        cases = [
+            (offsets[-1], "LBU", pre + post),
+            (offsets[switch_at + 1], "LBU", pre),
+            (mid_switch, "NAIVE", pre),
+            (offsets[switch_at], "NAIVE", pre),
+        ]
+        for cut_at, expected_strategy, intact in sorted(cases, reverse=True):
+            with open(victim, "r+b") as handle:
+                handle.truncate(cut_at)
+            recovered = load_index(tmp_path / "wal" / "checkpoint.json")
+            assert recovered.shards[1].active_strategy == expected_strategy
+            assert recovered.shards[0].active_strategy == "NAIVE"
+            assert recovered.active_strategies() == [
+                "NAIVE",
+                expected_strategy,
+            ]
+            assert_recovered_state(
+                recovered, apply_script(dict(baseline), intact)
+            )
             recovered.detach_durability()
 
 
